@@ -1,0 +1,27 @@
+//! `emlio-baselines` — the paper's comparison loaders, runnable for real.
+//!
+//! §5.1 compares EMLIO against two state-of-the-art pipelines reading
+//! per-sample files over an NFSv4 mount:
+//!
+//! * [`pytorch::PytorchLoader`] — a PyTorch-`DataLoader`-shaped loader:
+//!   `W` worker threads, batch-level task assignment (worker `w` owns
+//!   batches `w, w+W, …`), `prefetch_factor` batches in flight per worker,
+//!   and **in-order delivery** (a reorder buffer holds early arrivals, just
+//!   like torch). Every sample is an individual `NfsMount::read_file`, which
+//!   is exactly the many-small-reads pattern that multiplies RTTs.
+//! * [`dali_nfs::DaliNfsLoader`] — a DALI-file-reader-shaped loader: a
+//!   deeper asynchronous prefetch pool and arrival-order delivery (no
+//!   reorder stalls), same per-file NFS access. Its preprocessing half is
+//!   `emlio-pipeline` with GPU placement.
+//!
+//! Both implement [`emlio_pipeline::ExternalSource`], so they feed the same
+//! preprocessing pipeline as the EMLIO receiver — comparisons differ only
+//! in how bytes reach the compute node.
+
+pub mod dali_nfs;
+pub mod loader;
+pub mod pytorch;
+
+pub use dali_nfs::DaliNfsLoader;
+pub use loader::{EpochResult, run_epoch_through};
+pub use pytorch::PytorchLoader;

@@ -1,0 +1,11 @@
+//! EXP-ABL: sweeps over EMLIO's design knobs (daemon concurrency, HWM,
+//! prefetch depth, batch size) at 30 ms RTT.
+
+fn main() {
+    let rows = emlio_testbed::experiment::ablations();
+    emlio_bench::emit(
+        "ablations",
+        "Ablations: EMLIO knobs at 30 ms RTT (ImageNet/ResNet-50)",
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! §6 future-work extensions: the LLM text workload and heterogeneous
+//! transports.
+
+fn main() {
+    emlio_bench::emit(
+        "ext_llm",
+        "Extension: LLM text pretraining (4 KiB token records)",
+        &emlio_testbed::experiment::ext_llm(),
+    );
+    emlio_bench::emit(
+        "ext_transport",
+        "Extension: heterogeneous transports (EMLIO @0.1 ms)",
+        &emlio_testbed::experiment::ext_transport(),
+    );
+}

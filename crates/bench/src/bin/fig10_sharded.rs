@@ -1,0 +1,10 @@
+//! Figure 10: sharded scenario — 50% local + 50% remote reads, 2-node DDP.
+
+fn main() {
+    let rows = emlio_testbed::experiment::fig10();
+    emlio_bench::emit(
+        "fig10_sharded",
+        "Figure 10: sharded dataset (local half + remote half), 2-node DDP",
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Figure 11: training loss vs wall-clock time at 10 ms RTT (COCO).
+
+fn main() {
+    let traces = emlio_testbed::experiment::fig11();
+    println!("{}", emlio_testbed::NodeSpec::table1_text());
+    println!("== Figure 11: loss vs wall-clock @10 ms RTT, COCO ==");
+    let mut csv = String::from("method,t_secs,mean_loss,std\n");
+    for t in &traces {
+        println!(
+            "{:<12} epoch completes at {:8.1}s (paper: EMLIO ~1000s vs DALI ~7500s; ratio is the claim)",
+            t.method, t.epoch_end_secs
+        );
+        for p in &t.points {
+            csv.push_str(&format!(
+                "{},{:.2},{:.4},{:.4}\n",
+                t.method, p.t_secs, p.mean, p.std
+            ));
+        }
+    }
+    let dali = traces.iter().find(|t| t.method == "dali").unwrap();
+    let emlio = traces.iter().find(|t| t.method.starts_with("emlio")).unwrap();
+    println!(
+        "wall-clock speedup: {:.1}x (paper ~7.5x)",
+        dali.epoch_end_secs / emlio.epoch_end_secs
+    );
+    // Loss at a fixed early time: EMLIO should be lower.
+    let at = |tr: &emlio_testbed::experiment::LossTrace, t: f64| {
+        tr.points
+            .iter()
+            .take_while(|p| p.t_secs <= t)
+            .last()
+            .map(|p| p.mean)
+            .unwrap_or(f64::NAN)
+    };
+    let t200 = 200.0_f64.min(emlio.epoch_end_secs);
+    println!(
+        "loss at t={t200:.0}s: EMLIO {:.2} vs DALI {:.2} (paper: 3.8 vs 4.0 at 200s)",
+        at(emlio, t200),
+        at(dali, t200)
+    );
+    let dir = emlio_bench::output_dir().join("fig11_loss_curve.csv");
+    std::fs::write(&dir, csv).expect("write csv");
+    println!("wrote {}", dir.display());
+}

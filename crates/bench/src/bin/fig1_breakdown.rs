@@ -1,0 +1,27 @@
+//! Figure 1: energy/time breakdown of the R / R+P / R+P+T pipeline stages
+//! under four distance regimes.
+
+fn main() {
+    let rows = emlio_testbed::experiment::fig1();
+    emlio_bench::emit(
+        "fig1_breakdown",
+        "Figure 1: stage breakdown (R / R+P / R+P+T), DALI-style default stack",
+        &rows,
+    );
+    // The paper's headline: I/O share of time grows from ~20% locally to
+    // >90% at 30 ms RTT.
+    for regime in ["local", "0.1ms", "10ms", "30ms"] {
+        let read = rows
+            .iter()
+            .find(|r| r.regime == regime && r.method == "R")
+            .unwrap();
+        let full = rows
+            .iter()
+            .find(|r| r.regime == regime && r.method == "R+P+T")
+            .unwrap();
+        println!(
+            "I/O share @{regime:>6}: {:5.1}% of epoch time",
+            100.0 * read.duration_secs / full.duration_secs
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 5: ImageNet/ResNet-50 centralized repository — PyTorch vs DALI vs
+//! EMLIO across local / 0.1 ms / 10 ms / 30 ms.
+
+fn main() {
+    let rows = emlio_testbed::experiment::fig5();
+    emlio_bench::emit(
+        "fig5_imagenet",
+        "Figure 5: ImageNet 10 GB, ResNet-50, centralized NFS repository",
+        &rows,
+    );
+    let at = |rg: &str, m: &str| {
+        rows.iter()
+            .find(|r| r.regime == rg && r.method.starts_with(m))
+            .unwrap()
+            .duration_secs
+    };
+    println!(
+        "WAN 30 ms speedups — EMLIO vs DALI: {:.1}x (paper 10.9x), vs PyTorch: {:.1}x (paper 27.1x)",
+        at("30ms", "dali") / at("30ms", "emlio"),
+        at("30ms", "pytorch") / at("30ms", "emlio"),
+    );
+}

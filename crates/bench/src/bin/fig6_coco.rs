@@ -1,0 +1,18 @@
+//! Figure 6: COCO centralized — DALI vs EMLIO across 0.1 / 10 / 30 ms.
+
+fn main() {
+    let rows = emlio_testbed::experiment::fig6();
+    emlio_bench::emit("fig6_coco", "Figure 6: COCO, ResNet-50, centralized", &rows);
+    let at = |rg: &str, m: &str| {
+        rows.iter()
+            .find(|r| r.regime == rg && r.method.starts_with(m))
+            .unwrap()
+    };
+    let d = at("30ms", "dali");
+    let e = at("30ms", "emlio");
+    println!(
+        "30 ms: EMLIO {:.1}x faster, {:.1}x less compute-node energy (paper: ~6x faster, ~8x less I/O energy)",
+        d.duration_secs / e.duration_secs,
+        d.total_j() / e.total_j(),
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 7: synthetic 2 MB records, EMLIO daemon concurrency 1 — the
+//! serialization-bound regime.
+
+fn main() {
+    let rows = emlio_testbed::experiment::fig7();
+    emlio_bench::emit(
+        "fig7_synthetic_c1",
+        "Figure 7: synthetic 2 MB samples, EMLIO concurrency T=1",
+        &rows,
+    );
+}

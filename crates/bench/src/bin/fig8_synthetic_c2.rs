@@ -1,0 +1,11 @@
+//! Figure 8: synthetic 2 MB records, EMLIO daemon concurrency 2 — the
+//! concurrency ablation that amortizes serialization.
+
+fn main() {
+    let rows = emlio_testbed::experiment::fig8();
+    emlio_bench::emit(
+        "fig8_synthetic_c2",
+        "Figure 8: synthetic 2 MB samples, EMLIO concurrency T=2",
+        &rows,
+    );
+}

@@ -1,0 +1,7 @@
+//! Figure 9: VGG-19 on the ImageNet subset — the gains generalize across
+//! backbones.
+
+fn main() {
+    let rows = emlio_testbed::experiment::fig9();
+    emlio_bench::emit("fig9_vgg19", "Figure 9: VGG-19, ImageNet 10 GB", &rows);
+}

@@ -1,0 +1,58 @@
+//! `emlio-bench` — the reproduction harness.
+//!
+//! One binary per paper artifact (run them with
+//! `cargo run -p emlio-bench --release --bin figN_…`):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1_breakdown`     | Figure 1 — R / R+P / R+P+T stage breakdown |
+//! | `fig5_imagenet`      | Figure 5 — ImageNet centralized, 3 loaders × 4 regimes |
+//! | `fig6_coco`          | Figure 6 — COCO, DALI vs EMLIO |
+//! | `fig7_synthetic_c1`  | Figure 7 — synthetic 2 MB, daemon concurrency 1 |
+//! | `fig8_synthetic_c2`  | Figure 8 — synthetic 2 MB, daemon concurrency 2 |
+//! | `fig9_vgg19`         | Figure 9 — VGG-19 |
+//! | `fig10_sharded`      | Figure 10 — sharded scenario with DDP |
+//! | `fig11_loss_curve`   | Figure 11 — loss vs wall-clock at 10 ms RTT |
+//! | `ablations`          | EXP-ABL — HWM / concurrency / prefetch / batch sweeps |
+//!
+//! Each binary prints a paper-vs-reproduction table (Table 1 header
+//! included) and writes a CSV under `target/experiments/`. The Criterion
+//! microbenches (`cargo bench -p emlio-bench`) cover the data-plane hot
+//! paths: CRC32C, msgpack, TFRecord framing and range reads, SIF decode,
+//! zmq-lite transfer, planner construction, and the DES kernel itself; the
+//! `figures` bench target replays every figure so `cargo bench --workspace`
+//! regenerates the entire evaluation.
+
+use emlio_testbed::experiment::ExperimentRow;
+use emlio_testbed::{report, NodeSpec};
+use std::path::PathBuf;
+
+/// Where CSV artifacts land.
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Print the standard report (Table 1 header + paper-vs-ours table) and
+/// write `<name>.csv`.
+pub fn emit(name: &str, title: &str, rows: &[ExperimentRow]) {
+    println!("{}", NodeSpec::table1_text());
+    println!("{}", report::render_table(title, rows));
+    let csv_path = output_dir().join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&csv_path, report::to_csv(rows)) {
+        eprintln!("warning: could not write {}: {e}", csv_path.display());
+    } else {
+        println!("wrote {}", csv_path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dir_exists() {
+        assert!(output_dir().is_dir());
+    }
+}

@@ -1,0 +1,103 @@
+//! EMLIO deployment configuration.
+
+/// How the planner distributes the dataset across compute nodes each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// Shards are assigned round-robin: the nodes jointly cover the dataset
+    /// once per epoch (standard DDP partitioning; Algorithm 2 line 5).
+    Partition,
+    /// Every node receives the full dataset each epoch (the paper's
+    /// sharded-local+remote scenario where "each node … still processes the
+    /// full dataset", §5.2).
+    FullPerNode,
+}
+
+/// Top-level knobs (paper defaults in parentheses).
+#[derive(Debug, Clone)]
+pub struct EmlioConfig {
+    /// Batch size `B` (64).
+    pub batch_size: usize,
+    /// Epochs `E`.
+    pub epochs: u32,
+    /// Sender threads per compute-node destination `T` — the daemon
+    /// "concurrency" swept in Figures 7/8.
+    pub threads_per_node: usize,
+    /// PUSH/PULL high-water mark (16).
+    pub hwm: usize,
+    /// Dataset coverage mode.
+    pub coverage: Coverage,
+    /// Shuffle seed (epoch number is mixed in per epoch).
+    pub seed: u64,
+    /// Verify TFRecord CRCs when the daemon reads ranges. Off by default:
+    /// shards are verified at conversion time, matching the paper's
+    /// trusted-replay reads.
+    pub verify_crc: bool,
+}
+
+impl Default for EmlioConfig {
+    fn default() -> Self {
+        EmlioConfig {
+            batch_size: 64,
+            epochs: 1,
+            threads_per_node: 2,
+            hwm: emlio_zmq::DEFAULT_HWM,
+            coverage: Coverage::Partition,
+            seed: 0x0E41_10,
+            verify_crc: false,
+        }
+    }
+}
+
+impl EmlioConfig {
+    /// Override the batch size.
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        assert!(b > 0, "batch size must be positive");
+        self.batch_size = b;
+        self
+    }
+
+    /// Override the epoch count.
+    pub fn with_epochs(mut self, e: u32) -> Self {
+        assert!(e > 0, "need at least one epoch");
+        self.epochs = e;
+        self
+    }
+
+    /// Override sender-thread concurrency.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        assert!(t > 0, "need at least one sender thread");
+        self.threads_per_node = t;
+        self
+    }
+
+    /// Override the coverage mode.
+    pub fn with_coverage(mut self, c: Coverage) -> Self {
+        self.coverage = c;
+        self
+    }
+
+    /// Override the shuffle seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EmlioConfig::default();
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.hwm, 16);
+        assert_eq!(c.coverage, Coverage::Partition);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_rejected() {
+        let _ = EmlioConfig::default().with_batch_size(0);
+    }
+}

@@ -1,0 +1,325 @@
+//! The EMLIO Daemon: storage-side batch assembly and streaming.
+//!
+//! Each `SendWorker` thread (Algorithm 2, line 8) walks its slice of the
+//! plan: one positioned range read per batch (the contiguous span the
+//! planner guaranteed), msgpack serialization of the whole batch, and a
+//! blocking PUSH over its own stream. With `T > 1` workers per destination,
+//! reading/serializing one batch overlaps sending another — the paper's
+//! network-pipeline concurrency, and the knob behind Figures 7 and 8.
+
+use crate::config::EmlioConfig;
+use crate::metrics::DataPathMetrics;
+use crate::plan::{BatchRange, Plan};
+use crate::wire;
+use bytes::Bytes;
+use emlio_tfrecord::{GlobalIndex, RangeReader, RecordError};
+use emlio_zmq::{Endpoint, PushSocket, SocketOptions, ZmqError};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Daemon failures.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Shard file / index problems.
+    Storage(RecordError),
+    /// Transport problems.
+    Transport(ZmqError),
+    /// The plan references a node or shard this daemon doesn't know.
+    BadPlan(String),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Storage(e) => write!(f, "daemon storage: {e}"),
+            DaemonError::Transport(e) => write!(f, "daemon transport: {e}"),
+            DaemonError::BadPlan(s) => write!(f, "daemon plan: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<RecordError> for DaemonError {
+    fn from(e: RecordError) -> Self {
+        DaemonError::Storage(e)
+    }
+}
+
+impl From<ZmqError> for DaemonError {
+    fn from(e: ZmqError) -> Self {
+        DaemonError::Transport(e)
+    }
+}
+
+/// A storage-side daemon bound to one dataset directory.
+pub struct EmlioDaemon {
+    id: String,
+    index: Arc<GlobalIndex>,
+    config: EmlioConfig,
+    metrics: Arc<DataPathMetrics>,
+}
+
+impl EmlioDaemon {
+    /// Open the dataset at `dataset_dir` (must contain shard + index files).
+    pub fn open(
+        id: &str,
+        dataset_dir: &std::path::Path,
+        config: EmlioConfig,
+    ) -> Result<EmlioDaemon, DaemonError> {
+        let index = GlobalIndex::load_dir(dataset_dir)?;
+        Ok(EmlioDaemon {
+            id: id.to_string(),
+            index: Arc::new(index),
+            config,
+            metrics: DataPathMetrics::shared(),
+        })
+    }
+
+    /// The daemon's shard index.
+    pub fn index(&self) -> &GlobalIndex {
+        &self.index
+    }
+
+    /// Shared data-path counters.
+    pub fn metrics(&self) -> Arc<DataPathMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Serve every epoch of `plan` destined for `node_id`, pushing to
+    /// `endpoint` with `T` concurrent workers. Blocks until every batch has
+    /// been accepted by the transport and end-of-stream markers are sent.
+    pub fn serve(
+        &self,
+        plan: &Plan,
+        node_id: &str,
+        endpoint: &Endpoint,
+    ) -> Result<(), DaemonError> {
+        let t = self.config.threads_per_node;
+        for ep in &plan.epochs {
+            let np = ep.nodes.get(node_id).ok_or_else(|| {
+                DaemonError::BadPlan(format!("plan has no node {node_id:?}"))
+            })?;
+            if np.thread_splits.len() != t {
+                return Err(DaemonError::BadPlan(format!(
+                    "plan built for {} threads, daemon configured with {t}",
+                    np.thread_splits.len()
+                )));
+            }
+        }
+
+        std::thread::scope(|scope| -> Result<(), DaemonError> {
+            let mut handles = Vec::with_capacity(t);
+            for worker in 0..t {
+                handles.push(scope.spawn(move || self.run_worker(plan, node_id, endpoint, worker)));
+            }
+            let mut first_err = None;
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    Err(_) => {
+                        first_err =
+                            first_err.or(Some(DaemonError::BadPlan("worker panicked".into())))
+                    }
+                }
+            }
+            match first_err {
+                None => Ok(()),
+                Some(e) => Err(e),
+            }
+        })
+    }
+
+    /// One `SendWorker`: its own socket, its own shard readers, its slice of
+    /// every epoch.
+    fn run_worker(
+        &self,
+        plan: &Plan,
+        node_id: &str,
+        endpoint: &Endpoint,
+        worker: usize,
+    ) -> Result<(), DaemonError> {
+        let origin = format!("{}/t{}", self.id, worker);
+        let socket = PushSocket::connect(
+            endpoint,
+            SocketOptions::default().with_hwm(self.config.hwm),
+        )?;
+        let mut readers: HashMap<u32, RangeReader> = HashMap::new();
+        let mut sent = 0u64;
+
+        for ep in &plan.epochs {
+            let ranges = &plan.epochs[ep.epoch as usize].nodes[node_id].thread_splits[worker];
+            for range in ranges {
+                let frame = self.assemble_batch(range, ep.epoch, &origin, &mut readers)?;
+                socket.send(frame)?;
+                sent += 1;
+            }
+        }
+        socket.send(Bytes::from(wire::encode_end_stream(&origin, sent)))?;
+        socket.close()?;
+        Ok(())
+    }
+
+    /// Read one planned range with a single positioned read and serialize it
+    /// into one wire frame.
+    fn assemble_batch(
+        &self,
+        range: &BatchRange,
+        epoch: u32,
+        origin: &str,
+        readers: &mut HashMap<u32, RangeReader>,
+    ) -> Result<Bytes, DaemonError> {
+        let shard = self
+            .index
+            .shards
+            .get(range.shard_id as usize)
+            .ok_or_else(|| {
+                DaemonError::BadPlan(format!("unknown shard {}", range.shard_id))
+            })?;
+        if range.end > shard.records.len() {
+            return Err(DaemonError::BadPlan(format!(
+                "range [{}, {}) beyond shard {} ({} records)",
+                range.start,
+                range.end,
+                range.shard_id,
+                shard.records.len()
+            )));
+        }
+        let reader = match readers.entry(range.shard_id) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut r = RangeReader::open(&self.index.shard_path(range.shard_id))?;
+                if !self.config.verify_crc {
+                    r = r.without_crc_verification();
+                }
+                e.insert(r)
+            }
+        };
+
+        // One contiguous pread for the whole batch.
+        let (offset, size) = shard.span(range.start, range.end)?;
+        let t_read = Instant::now();
+        let payloads = reader.read_records_in_range(offset, size)?;
+        self.metrics
+            .add_read_nanos(t_read.elapsed().as_nanos() as u64);
+
+        debug_assert_eq!(payloads.len(), range.len());
+        let metas = &shard.records[range.start..range.end];
+        let samples: Vec<(u64, u32, &[u8])> = metas
+            .iter()
+            .zip(&payloads)
+            .map(|(m, p)| (m.sample_id, m.label, p.as_slice()))
+            .collect();
+
+        let t_ser = Instant::now();
+        let frame = wire::encode_batch(epoch, range.batch_id, origin, &samples);
+        self.metrics
+            .add_codec_nanos(t_ser.elapsed().as_nanos() as u64);
+        self.metrics
+            .record_batch(samples.len() as u64, size);
+        let _ = self.metrics.bytes.load(Ordering::Relaxed);
+        Ok(Bytes::from(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use emlio_datagen::convert::build_tfrecord_dataset;
+    use emlio_datagen::DatasetSpec;
+    use emlio_tfrecord::ShardSpec;
+    use emlio_util::testutil::TempDir;
+    use emlio_zmq::PullSocket;
+
+    #[test]
+    fn daemon_streams_planned_batches_inproc() {
+        let dir = TempDir::new("daemon-test");
+        let spec = DatasetSpec::tiny("daemon", 25);
+        build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(3)).unwrap();
+
+        let config = EmlioConfig::default()
+            .with_batch_size(4)
+            .with_threads(2)
+            .with_epochs(2);
+        let daemon = EmlioDaemon::open("d0", dir.path(), config.clone()).unwrap();
+        let plan = Plan::build(daemon.index(), &["node".to_string()], &config);
+        let expected: u64 = (0..2).map(|e| plan.batches_for(e, "node")).sum();
+
+        let pull = PullSocket::bind(
+            &Endpoint::inproc("daemon-test-sink"),
+            SocketOptions::default().with_hwm(64),
+        )
+        .unwrap();
+        let ep = pull.local_endpoint().unwrap();
+
+        let server = std::thread::spawn(move || daemon.serve(&plan, "node", &ep).unwrap());
+
+        let mut batches = 0u64;
+        let mut ends = 0u32;
+        let mut seen_per_epoch = vec![std::collections::HashSet::new(); 2];
+        while ends < 2 {
+            let frame = pull.recv().unwrap();
+            match wire::decode(&frame).unwrap() {
+                wire::WireMsg::Batch(b) => {
+                    batches += 1;
+                    for s in &b.samples {
+                        assert!(
+                            seen_per_epoch[b.epoch as usize].insert(s.sample_id),
+                            "duplicate sample {} in epoch {}",
+                            s.sample_id,
+                            b.epoch
+                        );
+                        assert_eq!(s.label, spec.label_of(s.sample_id));
+                        assert_eq!(s.bytes.as_ref(), spec.payload_of(s.sample_id));
+                    }
+                }
+                wire::WireMsg::EndStream { .. } => ends += 1,
+            }
+        }
+        server.join().unwrap();
+        assert_eq!(batches, expected);
+        for (e, seen) in seen_per_epoch.iter().enumerate() {
+            assert_eq!(seen.len(), 25, "epoch {e} exactly-once coverage");
+        }
+    }
+
+    #[test]
+    fn daemon_rejects_mismatched_plan() {
+        let dir = TempDir::new("daemon-badplan");
+        let spec = DatasetSpec::tiny("bad", 8);
+        build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(1)).unwrap();
+        let config = EmlioConfig::default().with_threads(2);
+        let daemon = EmlioDaemon::open("d0", dir.path(), config).unwrap();
+        // Plan built with a different thread count.
+        let other_cfg = EmlioConfig::default().with_threads(3);
+        let plan = Plan::build(daemon.index(), &["node".to_string()], &other_cfg);
+        let err = daemon
+            .serve(&plan, "node", &Endpoint::inproc("never-bound"))
+            .unwrap_err();
+        assert!(matches!(err, DaemonError::BadPlan(_)));
+        // Unknown node.
+        let plan2 = Plan::build(
+            daemon.index(),
+            &["node".to_string()],
+            &EmlioConfig::default().with_threads(2),
+        );
+        assert!(matches!(
+            daemon.serve(&plan2, "ghost", &Endpoint::inproc("never-bound")),
+            Err(DaemonError::BadPlan(_))
+        ));
+    }
+
+    #[test]
+    fn open_missing_dataset_fails() {
+        let dir = TempDir::new("daemon-missing");
+        assert!(matches!(
+            EmlioDaemon::open("d0", dir.path(), EmlioConfig::default()),
+            Err(DaemonError::Storage(_))
+        ));
+    }
+}

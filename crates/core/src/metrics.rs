@@ -1,0 +1,69 @@
+//! Data-path counters shared between daemon, receiver, and reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counters for one side of the data path.
+#[derive(Debug, Default)]
+pub struct DataPathMetrics {
+    /// Batches moved.
+    pub batches: AtomicU64,
+    /// Samples moved.
+    pub samples: AtomicU64,
+    /// Payload bytes moved.
+    pub bytes: AtomicU64,
+    /// Nanoseconds spent in storage reads (daemon side).
+    pub read_nanos: AtomicU64,
+    /// Nanoseconds spent serializing/deserializing.
+    pub codec_nanos: AtomicU64,
+}
+
+impl DataPathMetrics {
+    /// Fresh shared counters.
+    pub fn shared() -> Arc<DataPathMetrics> {
+        Arc::new(DataPathMetrics::default())
+    }
+
+    /// Record one batch of `samples` totalling `bytes`.
+    pub fn record_batch(&self, samples: u64, bytes: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(samples, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Add storage-read time.
+    pub fn add_read_nanos(&self, nanos: u64) {
+        self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Add codec time.
+    pub fn add_codec_nanos(&self, nanos: u64) {
+        self.codec_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshot `(batches, samples, bytes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.samples.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = DataPathMetrics::shared();
+        m.record_batch(64, 6400);
+        m.record_batch(64, 6400);
+        m.add_read_nanos(100);
+        m.add_codec_nanos(50);
+        assert_eq!(m.snapshot(), (2, 128, 12800));
+        assert_eq!(m.read_nanos.load(Ordering::Relaxed), 100);
+        assert_eq!(m.codec_nanos.load(Ordering::Relaxed), 50);
+    }
+}

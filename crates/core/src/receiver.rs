@@ -1,0 +1,248 @@
+//! The EMLIO Receiver — Algorithm 3's compute-side intake.
+//!
+//! Binds a PULL socket, spawns the `zmq_receiver` thread that deserializes
+//! incoming msgpack frames into [`RawBatch`]es and pushes them into a shared
+//! bounded queue, and exposes that queue as a DALI `external_source`.
+//! Batches from any stream are accepted in whatever order they arrive —
+//! out-of-order prefetching is what keeps tail latency bounded under RTT.
+
+use crate::metrics::DataPathMetrics;
+use crate::wire::{self, WireMsg};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use emlio_pipeline::{QueueSource, RawBatch};
+use emlio_zmq::{Endpoint, PullSocket, SocketOptions, ZmqError};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Receiver configuration.
+#[derive(Debug, Clone)]
+pub struct ReceiverConfig {
+    /// Address to bind (`tcp://127.0.0.1:0` for an ephemeral port).
+    pub bind: Endpoint,
+    /// PULL-socket HWM (transport-side buffering).
+    pub hwm: usize,
+    /// Shared in-memory queue capacity (batches buffered for the pipeline).
+    pub queue_capacity: usize,
+    /// Stop after this many `end_stream` markers (daemons × workers).
+    pub expected_streams: u32,
+}
+
+impl ReceiverConfig {
+    /// Loopback config with sensible defaults.
+    pub fn loopback(expected_streams: u32) -> ReceiverConfig {
+        ReceiverConfig {
+            bind: Endpoint::Tcp("127.0.0.1:0".into()),
+            hwm: emlio_zmq::DEFAULT_HWM,
+            queue_capacity: emlio_zmq::DEFAULT_HWM,
+            expected_streams,
+        }
+    }
+}
+
+/// A bound, running receiver.
+pub struct EmlioReceiver {
+    rx: Receiver<RawBatch>,
+    endpoint: Endpoint,
+    metrics: Arc<DataPathMetrics>,
+    streams_seen: Arc<AtomicU32>,
+    thread: Option<JoinHandle<Result<(), ZmqError>>>,
+}
+
+impl EmlioReceiver {
+    /// Bind and start receiving.
+    pub fn bind(config: ReceiverConfig) -> Result<EmlioReceiver, ZmqError> {
+        let pull = PullSocket::bind(
+            &config.bind,
+            SocketOptions::default().with_hwm(config.hwm),
+        )?;
+        let endpoint = pull
+            .local_endpoint()
+            .ok_or_else(|| ZmqError::BadEndpoint("unresolvable local endpoint".into()))?;
+        let (tx, rx) = bounded(config.queue_capacity.max(1));
+        let metrics = DataPathMetrics::shared();
+        let streams_seen = Arc::new(AtomicU32::new(0));
+        let thread = {
+            let metrics = metrics.clone();
+            let streams_seen = streams_seen.clone();
+            let expected = config.expected_streams;
+            std::thread::Builder::new()
+                .name("emlio-receiver".into())
+                .spawn(move || receive_loop(pull, tx, metrics, streams_seen, expected))
+                .expect("spawn receiver thread")
+        };
+        Ok(EmlioReceiver {
+            rx,
+            endpoint,
+            metrics,
+            streams_seen,
+            thread: Some(thread),
+        })
+    }
+
+    /// The endpoint daemons should connect to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// A DALI `external_source` over the shared queue. The stream ends once
+    /// every expected sender has sent its end-of-stream marker and the queue
+    /// has drained.
+    pub fn source(&self) -> QueueSource {
+        QueueSource::new(self.rx.clone())
+    }
+
+    /// Raw access to the shared queue (for non-pipeline consumers).
+    pub fn queue(&self) -> Receiver<RawBatch> {
+        self.rx.clone()
+    }
+
+    /// Data-path counters.
+    pub fn metrics(&self) -> Arc<DataPathMetrics> {
+        self.metrics.clone()
+    }
+
+    /// End-of-stream markers seen so far.
+    pub fn streams_seen(&self) -> u32 {
+        self.streams_seen.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the intake thread to finish (all streams ended).
+    pub fn join(mut self) -> Result<(), ZmqError> {
+        match self.thread.take() {
+            Some(h) => h.join().map_err(|_| ZmqError::Closed)?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for EmlioReceiver {
+    fn drop(&mut self) {
+        // Disconnect the shared queue first: an intake thread blocked on a
+        // full queue must observe the disconnect, or the join would deadlock
+        // (its `tx.send` only errors once every receiver clone is gone).
+        let rx = std::mem::replace(&mut self.rx, crossbeam::channel::never());
+        drop(rx);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn receive_loop(
+    pull: PullSocket,
+    tx: Sender<RawBatch>,
+    metrics: Arc<DataPathMetrics>,
+    streams_seen: Arc<AtomicU32>,
+    expected_streams: u32,
+) -> Result<(), ZmqError> {
+    let mut ended = 0u32;
+    while ended < expected_streams {
+        let frame = match pull.recv_timeout(Duration::from_millis(200))? {
+            Some(f) => f,
+            None => continue,
+        };
+        match wire::decode(&frame) {
+            Ok(WireMsg::Batch(batch)) => {
+                metrics.record_batch(batch.samples.len() as u64, batch.payload_bytes());
+                if tx.send(batch).is_err() {
+                    // Consumer went away; drain politely and stop.
+                    return Ok(());
+                }
+            }
+            Ok(WireMsg::EndStream { .. }) => {
+                ended += 1;
+                streams_seen.store(ended, Ordering::SeqCst);
+            }
+            Err(_) => {
+                // Corrupt frame: drop it. The CRC layers below make this
+                // effectively unreachable; counting it as a lost batch is
+                // the safe failure mode.
+                continue;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use emlio_pipeline::ExternalSource;
+    use emlio_zmq::PushSocket;
+
+    fn push_batches(ep: &Endpoint, origin: &str, ids: Vec<u64>) {
+        let sock = PushSocket::connect(ep, SocketOptions::default()).unwrap();
+        for id in &ids {
+            let payload = vec![*id as u8; 16];
+            let frame = wire::encode_batch(0, *id, origin, &[(*id, 0, payload.as_slice())]);
+            sock.send(Bytes::from(frame)).unwrap();
+        }
+        sock.send(Bytes::from(wire::encode_end_stream(origin, ids.len() as u64)))
+            .unwrap();
+        sock.close().unwrap();
+    }
+
+    #[test]
+    fn multi_stream_out_of_order_intake() {
+        let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(3)).unwrap();
+        let ep = receiver.endpoint().clone();
+        let senders: Vec<_> = (0..3u64)
+            .map(|s| {
+                let ep = ep.clone();
+                std::thread::spawn(move || {
+                    push_batches(&ep, &format!("d/{s}"), (s * 100..s * 100 + 20).collect())
+                })
+            })
+            .collect();
+        let mut src = receiver.source();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(b) = src.next_batch() {
+            assert!(seen.insert(b.batch_id), "dup {}", b.batch_id);
+            if seen.len() == 60 {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 60);
+        for s in senders {
+            s.join().unwrap();
+        }
+        receiver.join().unwrap();
+    }
+
+    #[test]
+    fn stream_ends_after_expected_markers() {
+        let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+        let ep = receiver.endpoint().clone();
+        push_batches(&ep, "solo", vec![1, 2, 3]);
+        let mut src = receiver.source();
+        let mut n = 0;
+        while src.next_batch().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3, "source ends after end_stream + drain");
+        assert_eq!(receiver.streams_seen(), 1);
+        let (batches, samples, _bytes) = receiver.metrics().snapshot();
+        assert_eq!((batches, samples), (3, 3));
+        receiver.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_frames_skipped() {
+        let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+        let ep = receiver.endpoint().clone();
+        let sock = PushSocket::connect(&ep, SocketOptions::default()).unwrap();
+        sock.send(Bytes::from_static(b"\xde\xad\xbe\xef")).unwrap();
+        let good = wire::encode_batch(0, 9, "x", &[(9, 1, &[1, 2])]);
+        sock.send(Bytes::from(good)).unwrap();
+        sock.send(Bytes::from(wire::encode_end_stream("x", 1))).unwrap();
+        sock.close().unwrap();
+        let mut src = receiver.source();
+        let b = src.next_batch().unwrap();
+        assert_eq!(b.batch_id, 9);
+        assert!(src.next_batch().is_none());
+        receiver.join().unwrap();
+    }
+}

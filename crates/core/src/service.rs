@@ -1,0 +1,182 @@
+//! Deployment harness: wire planner + daemons + receiver into a running
+//! EMLIO service (Figure 3's whole block diagram, in one call).
+//!
+//! The harness runs everything in one process over real TCP. For WAN
+//! emulation, point `connect_via` at an `emlio-netem` proxy that forwards
+//! to the receiver — daemons then experience the shaped RTT/bandwidth.
+
+use crate::config::EmlioConfig;
+use crate::daemon::{DaemonError, EmlioDaemon};
+use crate::plan::Plan;
+use crate::receiver::{EmlioReceiver, ReceiverConfig};
+use emlio_zmq::Endpoint;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+/// One storage node: an id plus the directory holding its shards.
+#[derive(Debug, Clone)]
+pub struct StorageSpec {
+    /// Daemon id (appears in wire `origin` fields).
+    pub id: String,
+    /// Dataset directory (TFRecord shards + `mapping_shard_*.json`).
+    pub dataset_dir: PathBuf,
+}
+
+/// A launched deployment: a receiver plus daemon threads streaming into it.
+pub struct Deployment {
+    /// The compute-side receiver.
+    pub receiver: EmlioReceiver,
+    /// Per-epoch expected batch count on the compute node.
+    pub batches_per_epoch: Vec<u64>,
+    daemons: Vec<JoinHandle<Result<(), DaemonError>>>,
+    /// Keeps interposed infrastructure (e.g. a netem proxy) alive for the
+    /// deployment's lifetime.
+    _guard: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Deployment {
+    /// Wait for every daemon to finish streaming. Call after consuming all
+    /// batches (or concurrently from another thread).
+    pub fn join_daemons(&mut self) -> Result<(), DaemonError> {
+        let mut first_err = None;
+        for h in self.daemons.drain(..) {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err = first_err.or(Some(DaemonError::BadPlan("daemon panicked".into())))
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Total expected batches across epochs.
+    pub fn total_batches(&self) -> u64 {
+        self.batches_per_epoch.iter().sum()
+    }
+}
+
+/// Service entry points.
+pub struct EmlioService;
+
+impl EmlioService {
+    /// Launch a single-compute-node deployment: one receiver, one daemon per
+    /// storage spec, each daemon planning over its own shards.
+    ///
+    /// `connect_via`: where daemons connect. `None` = directly to the
+    /// receiver; `Some(addr)` = through that address (a netem proxy
+    /// forwarding to the receiver).
+    pub fn launch(
+        storage: &[StorageSpec],
+        config: &EmlioConfig,
+        node_id: &str,
+        connect_via: Option<Endpoint>,
+    ) -> Result<Deployment, DaemonError> {
+        Self::launch_with(storage, config, node_id, |receiver_ep| {
+            (
+                connect_via.unwrap_or_else(|| receiver_ep.clone()),
+                Box::new(()) as Box<dyn std::any::Any + Send>,
+            )
+        })
+    }
+
+    /// Like [`launch`](Self::launch), but the caller decides where daemons
+    /// connect *after* seeing the receiver's bound endpoint — the hook for
+    /// interposing an `emlio-netem` shaping proxy. The returned guard is
+    /// held for the deployment's lifetime.
+    pub fn launch_with<F>(
+        storage: &[StorageSpec],
+        config: &EmlioConfig,
+        node_id: &str,
+        interpose: F,
+    ) -> Result<Deployment, DaemonError>
+    where
+        F: FnOnce(&Endpoint) -> (Endpoint, Box<dyn std::any::Any + Send>),
+    {
+        assert!(!storage.is_empty(), "need at least one storage node");
+        // Every daemon runs T worker streams.
+        let expected_streams = (storage.len() * config.threads_per_node) as u32;
+        let receiver = EmlioReceiver::bind(ReceiverConfig {
+            hwm: config.hwm,
+            queue_capacity: config.hwm,
+            ..ReceiverConfig::loopback(expected_streams)
+        })
+        .map_err(DaemonError::Transport)?;
+        let (connect_to, guard) = interpose(receiver.endpoint());
+
+        let mut daemons = Vec::with_capacity(storage.len());
+        let mut batches_per_epoch = vec![0u64; config.epochs as usize];
+        for spec in storage {
+            let daemon = EmlioDaemon::open(&spec.id, &spec.dataset_dir, config.clone())?;
+            let plan = Plan::build(daemon.index(), &[node_id.to_string()], config);
+            for e in 0..config.epochs {
+                batches_per_epoch[e as usize] += plan.batches_for(e, node_id);
+            }
+            let node_id = node_id.to_string();
+            let endpoint = connect_to.clone();
+            daemons.push(
+                std::thread::Builder::new()
+                    .name(format!("emlio-daemon-{}", spec.id))
+                    .spawn(move || daemon.serve(&plan, &node_id, &endpoint))
+                    .expect("spawn daemon thread"),
+            );
+        }
+        Ok(Deployment {
+            receiver,
+            batches_per_epoch,
+            daemons,
+            _guard: Some(guard),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emlio_datagen::convert::build_tfrecord_dataset;
+    use emlio_datagen::DatasetSpec;
+    use emlio_pipeline::ExternalSource;
+    use emlio_tfrecord::ShardSpec;
+    use emlio_util::testutil::TempDir;
+
+    #[test]
+    fn two_daemons_one_receiver_full_delivery() {
+        let dir = TempDir::new("service-test");
+        let config = EmlioConfig::default()
+            .with_batch_size(5)
+            .with_threads(2)
+            .with_epochs(2);
+
+        // Two storage nodes, each with its own (distinct) dataset half.
+        let mut storage = Vec::new();
+        let mut expected_samples = 0u64;
+        for node in 0..2 {
+            let spec = DatasetSpec::tiny(&format!("svc{node}"), 17).with_samples(17);
+            let d = dir.path().join(format!("storage{node}"));
+            build_tfrecord_dataset(&d, &spec, ShardSpec::Count(2)).unwrap();
+            expected_samples += spec.num_samples;
+            storage.push(StorageSpec {
+                id: format!("storage{node}"),
+                dataset_dir: d,
+            });
+        }
+
+        let mut dep = EmlioService::launch(&storage, &config, "compute-0", None).unwrap();
+        let mut src = dep.receiver.source();
+        let mut per_epoch_samples = vec![0u64; 2];
+        let mut batches = 0u64;
+        while let Some(b) = src.next_batch() {
+            batches += 1;
+            per_epoch_samples[b.epoch as usize] += b.samples.len() as u64;
+        }
+        assert_eq!(batches, dep.total_batches());
+        for (e, &n) in per_epoch_samples.iter().enumerate() {
+            assert_eq!(n, expected_samples, "epoch {e} delivers the union");
+        }
+        dep.join_daemons().unwrap();
+    }
+}

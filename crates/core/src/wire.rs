@@ -1,0 +1,281 @@
+//! Batch wire schema: one msgpack map per ZeroMQ message.
+//!
+//! ```text
+//! { "epoch": uint, "batch_id": uint, "origin": str,
+//!   "samples": [ { "id": uint, "label": uint, "data": bin }, … ] }
+//! ```
+//!
+//! Control messages carry `"ctrl"` instead of `"samples"`:
+//!
+//! ```text
+//! { "ctrl": "end_stream", "origin": str, "batches_sent": uint }
+//! ```
+//!
+//! Decoding is zero-copy for the dominant payload: sample `data` fields are
+//! [`bytes::Bytes`] slices of the received frame, not copies.
+
+use bytes::Bytes;
+use emlio_msgpack::{DecodeError, Decoder, Encoder};
+use emlio_pipeline::{RawBatch, RawSample};
+use std::fmt;
+
+/// A decoded wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// A data batch.
+    Batch(RawBatch),
+    /// End-of-stream marker from one daemon worker.
+    EndStream {
+        /// Daemon/worker identity.
+        origin: String,
+        /// Batches that worker sent in total.
+        batches_sent: u64,
+    },
+}
+
+/// Wire decode failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// msgpack-level failure.
+    Decode(DecodeError),
+    /// Structurally valid msgpack with the wrong shape.
+    Schema(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Decode(e) => write!(f, "wire decode: {e}"),
+            WireError::Schema(s) => write!(f, "wire schema: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// Serialize a batch. `origin` identifies the sending worker (diagnostics
+/// and out-of-order accounting).
+pub fn encode_batch(
+    epoch: u32,
+    batch_id: u64,
+    origin: &str,
+    samples: &[(u64, u32, &[u8])],
+) -> Vec<u8> {
+    // Capacity estimate: payloads + ~32 bytes/sample overhead.
+    let payload: usize = samples.iter().map(|(_, _, d)| d.len()).sum();
+    let mut buf = Vec::with_capacity(payload + samples.len() * 32 + 64);
+    let mut e = Encoder::new(&mut buf);
+    e.write_map_len(4);
+    e.write_str("epoch");
+    e.write_uint(epoch as u64);
+    e.write_str("batch_id");
+    e.write_uint(batch_id);
+    e.write_str("origin");
+    e.write_str(origin);
+    e.write_str("samples");
+    e.write_array_len(samples.len());
+    for (id, label, data) in samples {
+        e.write_map_len(3);
+        e.write_str("id");
+        e.write_uint(*id);
+        e.write_str("label");
+        e.write_uint(*label as u64);
+        e.write_str("data");
+        e.write_bin(data);
+    }
+    buf
+}
+
+/// Serialize an end-of-stream control message.
+pub fn encode_end_stream(origin: &str, batches_sent: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    let mut e = Encoder::new(&mut buf);
+    e.write_map_len(3);
+    e.write_str("ctrl");
+    e.write_str("end_stream");
+    e.write_str("origin");
+    e.write_str(origin);
+    e.write_str("batches_sent");
+    e.write_uint(batches_sent);
+    buf
+}
+
+/// Decode one wire frame. Sample payloads alias `frame` (zero-copy).
+pub fn decode(frame: &Bytes) -> Result<WireMsg, WireError> {
+    let mut d = Decoder::new(frame);
+    let n_fields = d.read_map_len()?;
+    let mut epoch: Option<u64> = None;
+    let mut batch_id: Option<u64> = None;
+    let mut origin: Option<String> = None;
+    let mut ctrl: Option<String> = None;
+    let mut batches_sent: Option<u64> = None;
+    let mut samples: Option<Vec<RawSample>> = None;
+
+    for _ in 0..n_fields {
+        let key = d.read_str()?;
+        match key {
+            "epoch" => epoch = Some(d.read_u64()?),
+            "batch_id" => batch_id = Some(d.read_u64()?),
+            "origin" => origin = Some(d.read_str()?.to_string()),
+            "ctrl" => ctrl = Some(d.read_str()?.to_string()),
+            "batches_sent" => batches_sent = Some(d.read_u64()?),
+            "samples" => {
+                let n = d.read_array_len()?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(decode_sample(&mut d, frame, i)?);
+                }
+                samples = Some(out);
+            }
+            other => {
+                return Err(WireError::Schema(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    d.finish()?;
+
+    if let Some(ctrl) = ctrl {
+        if ctrl != "end_stream" {
+            return Err(WireError::Schema(format!("unknown ctrl {ctrl:?}")));
+        }
+        return Ok(WireMsg::EndStream {
+            origin: origin.ok_or_else(|| WireError::Schema("ctrl needs origin".into()))?,
+            batches_sent: batches_sent
+                .ok_or_else(|| WireError::Schema("ctrl needs batches_sent".into()))?,
+        });
+    }
+    Ok(WireMsg::Batch(RawBatch {
+        epoch: epoch.ok_or_else(|| WireError::Schema("missing epoch".into()))? as u32,
+        batch_id: batch_id.ok_or_else(|| WireError::Schema("missing batch_id".into()))?,
+        samples: samples.ok_or_else(|| WireError::Schema("missing samples".into()))?,
+    }))
+}
+
+fn decode_sample(
+    d: &mut Decoder<'_>,
+    frame: &Bytes,
+    idx: usize,
+) -> Result<RawSample, WireError> {
+    let n = d.read_map_len()?;
+    if n != 3 {
+        return Err(WireError::Schema(format!("sample {idx}: expected 3 fields")));
+    }
+    let mut id = None;
+    let mut label = None;
+    let mut data: Option<Bytes> = None;
+    for _ in 0..3 {
+        match d.read_str()? {
+            "id" => id = Some(d.read_u64()?),
+            "label" => label = Some(d.read_u64()? as u32),
+            "data" => {
+                let slice = d.read_bin()?;
+                // Zero-copy: the sample aliases the frame's allocation.
+                data = Some(frame.slice_ref(slice));
+            }
+            other => {
+                return Err(WireError::Schema(format!(
+                    "sample {idx}: unknown field {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(RawSample {
+        bytes: data.ok_or_else(|| WireError::Schema(format!("sample {idx}: no data")))?,
+        label: label.ok_or_else(|| WireError::Schema(format!("sample {idx}: no label")))?,
+        sample_id: id.ok_or_else(|| WireError::Schema(format!("sample {idx}: no id")))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrip_zero_copy() {
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 100]).collect();
+        let samples: Vec<(u64, u32, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64 + 10, (i % 3) as u32, p.as_slice()))
+            .collect();
+        let frame = Bytes::from(encode_batch(2, 77, "daemon-0/t1", &samples));
+        let msg = decode(&frame).unwrap();
+        let WireMsg::Batch(batch) = msg else {
+            panic!("expected batch");
+        };
+        assert_eq!(batch.epoch, 2);
+        assert_eq!(batch.batch_id, 77);
+        assert_eq!(batch.samples.len(), 5);
+        for (i, s) in batch.samples.iter().enumerate() {
+            assert_eq!(s.sample_id, i as u64 + 10);
+            assert_eq!(s.label, (i % 3) as u32);
+            assert_eq!(s.bytes.as_ref(), payloads[i].as_slice());
+            // Zero-copy: the sample's buffer lies within the frame.
+            let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+            assert!(frame_range.contains(&(s.bytes.as_ptr() as usize)));
+        }
+    }
+
+    #[test]
+    fn end_stream_roundtrip() {
+        let frame = Bytes::from(encode_end_stream("daemon-1/t0", 42));
+        match decode(&frame).unwrap() {
+            WireMsg::EndStream { origin, batches_sent } => {
+                assert_eq!(origin, "daemon-1/t0");
+                assert_eq!(batches_sent, 42);
+            }
+            other => panic!("expected end_stream, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_allowed() {
+        let frame = Bytes::from(encode_batch(0, 0, "d", &[]));
+        let WireMsg::Batch(b) = decode(&frame).unwrap() else {
+            panic!()
+        };
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(decode(&Bytes::from_static(b"")).is_err());
+        assert!(decode(&Bytes::from_static(b"\xc0")).is_err(), "nil is not a map");
+        // Map with unknown field.
+        let mut buf = Vec::new();
+        let mut e = Encoder::new(&mut buf);
+        e.write_map_len(1);
+        e.write_str("bogus");
+        e.write_uint(1);
+        assert!(matches!(
+            decode(&Bytes::from(buf)),
+            Err(WireError::Schema(_))
+        ));
+        // Batch missing samples.
+        let mut buf = Vec::new();
+        let mut e = Encoder::new(&mut buf);
+        e.write_map_len(2);
+        e.write_str("epoch");
+        e.write_uint(0);
+        e.write_str("batch_id");
+        e.write_uint(0);
+        assert!(decode(&Bytes::from(buf)).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let frame = encode_batch(1, 1, "d", &[(0, 0, &[1, 2, 3])]);
+        for cut in 0..frame.len() {
+            assert!(
+                decode(&Bytes::from(frame[..cut].to_vec())).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+}

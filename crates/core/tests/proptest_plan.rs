@@ -1,0 +1,120 @@
+//! Property tests for the Planner (Algorithm 2): for *any* dataset shape,
+//! node count, batch size, and thread split, the plan must cover the
+//! dataset exactly once per epoch (partition mode), keep every batch within
+//! bounds, and balance thread splits.
+
+use emlio_core::plan::Plan;
+use emlio_core::{Coverage, EmlioConfig};
+use emlio_tfrecord::{GlobalIndex, ShardSpec, ShardWriter};
+use emlio_util::testutil::TempDir;
+use proptest::prelude::*;
+
+fn build_index(shards: u32, samples: usize) -> (TempDir, GlobalIndex) {
+    let dir = TempDir::new("proptest-plan");
+    let mut w = ShardWriter::create(dir.path(), ShardSpec::Count(shards)).unwrap();
+    for i in 0..samples {
+        w.append(&vec![0u8; 10 + i % 30], (i % 7) as u32).unwrap();
+    }
+    let idx = w.finish().unwrap();
+    (dir, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_plan_invariants(
+        shards in 1u32..8,
+        samples in 1usize..400,
+        n_nodes in 1usize..5,
+        batch in 1usize..40,
+        threads in 1usize..6,
+        epochs in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let (_d, idx) = build_index(shards, samples);
+        let nodes: Vec<String> = (0..n_nodes).map(|i| format!("n{i}")).collect();
+        let config = EmlioConfig::default()
+            .with_batch_size(batch)
+            .with_threads(threads)
+            .with_epochs(epochs)
+            .with_seed(seed);
+        let plan = Plan::build(&idx, &nodes, &config);
+
+        for epoch in 0..epochs {
+            // Union coverage is the exact dataset, disjoint across nodes.
+            let mut all: Vec<(u32, usize)> = Vec::new();
+            for n in &nodes {
+                all.extend(plan.coverage(epoch, n));
+            }
+            let before = all.len();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(before, all.len(), "no overlaps across nodes");
+            prop_assert_eq!(all.len(), samples, "exact coverage");
+
+            for n in &nodes {
+                let np = &plan.epochs[epoch as usize].nodes[n];
+                // Batch bounds & ids.
+                let mut ids: Vec<u64> = Vec::new();
+                for b in np.all_batches() {
+                    prop_assert!(!b.is_empty());
+                    prop_assert!(b.len() <= batch, "batch ≤ B");
+                    prop_assert!((b.shard_id as usize) < idx.shards.len());
+                    prop_assert!(b.end <= idx.shards[b.shard_id as usize].records.len());
+                    ids.push(b.batch_id);
+                }
+                ids.sort_unstable();
+                let m = ids.len() as u64;
+                prop_assert_eq!(ids, (0..m).collect::<Vec<_>>(), "dense batch ids");
+                // Thread balance within 1.
+                let sizes: Vec<usize> = np.thread_splits.iter().map(Vec::len).collect();
+                let (min, max) = (
+                    *sizes.iter().min().unwrap(),
+                    *sizes.iter().max().unwrap(),
+                );
+                prop_assert!(max - min <= 1, "round-robin balance {:?}", sizes);
+            }
+        }
+    }
+
+    #[test]
+    fn full_per_node_covers_everywhere(
+        shards in 1u32..5,
+        samples in 1usize..150,
+        n_nodes in 1usize..4,
+        batch in 1usize..20,
+    ) {
+        let (_d, idx) = build_index(shards, samples);
+        let nodes: Vec<String> = (0..n_nodes).map(|i| format!("n{i}")).collect();
+        let config = EmlioConfig::default()
+            .with_batch_size(batch)
+            .with_coverage(Coverage::FullPerNode);
+        let plan = Plan::build(&idx, &nodes, &config);
+        for n in &nodes {
+            let mut cov = plan.coverage(0, n);
+            cov.sort_unstable();
+            cov.dedup();
+            prop_assert_eq!(cov.len(), samples, "node {} sees everything", n);
+        }
+    }
+
+    #[test]
+    fn spans_are_readable(
+        shards in 1u32..4,
+        samples in 1usize..200,
+        batch in 1usize..32,
+    ) {
+        // Every planned range must map to a valid contiguous byte span.
+        let (_d, idx) = build_index(shards, samples);
+        let config = EmlioConfig::default().with_batch_size(batch);
+        let plan = Plan::build(&idx, &["n".to_string()], &config);
+        for b in plan.epochs[0].nodes["n"].all_batches() {
+            let shard = &idx.shards[b.shard_id as usize];
+            let (off, size) = shard.span(b.start, b.end).unwrap();
+            let expected: u64 = shard.records[b.start..b.end].iter().map(|r| r.length).sum();
+            prop_assert_eq!(size, expected, "span size equals sum of records");
+            prop_assert_eq!(off, shard.records[b.start].offset);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Workload specifications matching the paper's three datasets.
+
+use crate::image::{synth_image, Image};
+use crate::sif::encode_padded;
+
+/// A synthetic dataset description. `sample_bytes` is the exact on-disk
+/// payload size per sample (SIF stream padded to the target, as real
+/// datasets are matched by their mean sample size in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name for reports.
+    pub name: String,
+    /// Number of samples.
+    pub num_samples: u64,
+    /// Exact payload bytes per sample.
+    pub sample_bytes: u64,
+    /// Number of classes for labels.
+    pub num_classes: u32,
+    /// Image dimensions (width, height, channels).
+    pub dims: (u16, u16, u8),
+    /// SIF quality (quantization shift).
+    pub quality: u8,
+    /// Seed mixed into every sample id.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// ImageNet-like: 0.1 MB/sample, 1000 classes, 176×176×3 images. The
+    /// paper's "10 GB subset" is `imagenet_like().with_total_bytes(10 GiB)`.
+    pub fn imagenet_like() -> DatasetSpec {
+        DatasetSpec {
+            name: "imagenet".into(),
+            num_samples: 0,
+            sample_bytes: 100 << 10, // 0.1 MB
+            num_classes: 1000,
+            dims: (176, 176, 3),
+            quality: 2,
+            seed: 1,
+        }
+        .with_total_bytes(10 << 30)
+    }
+
+    /// COCO-like: 0.2 MB/sample, 80 classes, 256×256×3.
+    pub fn coco_like() -> DatasetSpec {
+        DatasetSpec {
+            name: "coco".into(),
+            num_samples: 0,
+            sample_bytes: 200 << 10, // 0.2 MB
+            num_classes: 80,
+            dims: (256, 256, 3),
+            quality: 2,
+            seed: 2,
+        }
+        .with_total_bytes(10 << 30)
+    }
+
+    /// Synthetic 2 MB records (the paper's large-sample stress workload).
+    pub fn synthetic_2mb() -> DatasetSpec {
+        DatasetSpec {
+            name: "synthetic-2mb".into(),
+            num_samples: 0,
+            sample_bytes: 2 << 20,
+            num_classes: 10,
+            dims: (832, 832, 3),
+            quality: 1,
+            seed: 3,
+        }
+        .with_total_bytes(10 << 30)
+    }
+
+    /// Set `num_samples` so the dataset totals `bytes`.
+    pub fn with_total_bytes(mut self, bytes: u64) -> DatasetSpec {
+        self.num_samples = (bytes / self.sample_bytes).max(1);
+        self
+    }
+
+    /// Keep per-sample size but cap the sample count (for tests/examples).
+    pub fn with_samples(mut self, n: u64) -> DatasetSpec {
+        self.num_samples = n.max(1);
+        self
+    }
+
+    /// A tiny variant for tests: small images, few samples, same structure.
+    /// The seed derives from the name, so differently-named tiny datasets
+    /// hold different bytes.
+    pub fn tiny(name: &str, n: u64) -> DatasetSpec {
+        let seed = name
+            .bytes()
+            .fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+        DatasetSpec {
+            name: name.into(),
+            num_samples: n,
+            sample_bytes: 8 << 10,
+            num_classes: 10,
+            dims: (48, 48, 3),
+            quality: 2,
+            seed,
+        }
+    }
+
+    /// Total dataset bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.num_samples * self.sample_bytes
+    }
+
+    /// The label of sample `id` (deterministic, class-balanced).
+    pub fn label_of(&self, id: u64) -> u32 {
+        (id % self.num_classes as u64) as u32
+    }
+
+    /// Synthesize the image for sample `id`.
+    pub fn image_of(&self, id: u64) -> Image {
+        let (w, h, c) = self.dims;
+        synth_image(w, h, c, self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(id))
+    }
+
+    /// The exact on-disk payload of sample `id`: SIF stream padded to
+    /// `sample_bytes` (or longer if the image doesn't fit — callers may
+    /// assert on this in tests; the presets are sized to fit).
+    pub fn payload_of(&self, id: u64) -> Vec<u8> {
+        encode_padded(&self.image_of(id), self.quality, self.sample_bytes as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sif::decode;
+
+    #[test]
+    fn paper_presets_sized_correctly() {
+        let inet = DatasetSpec::imagenet_like();
+        assert_eq!(inet.sample_bytes, 100 << 10);
+        assert_eq!(inet.num_samples, (10u64 << 30) / (100 << 10));
+        let coco = DatasetSpec::coco_like();
+        assert_eq!(coco.sample_bytes, 200 << 10);
+        let syn = DatasetSpec::synthetic_2mb();
+        assert_eq!(syn.sample_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn payloads_hit_exact_target_size() {
+        // Representative (small) checks that the preset dims fit the target.
+        for spec in [
+            DatasetSpec::tiny("t", 4),
+            DatasetSpec::imagenet_like().with_samples(2),
+        ] {
+            for id in 0..spec.num_samples {
+                let p = spec.payload_of(id);
+                assert_eq!(
+                    p.len() as u64,
+                    spec.sample_bytes,
+                    "sample {id} of {} padded to target",
+                    spec.name
+                );
+                let img = decode(&p).expect("payload decodes");
+                assert_eq!(img.width, spec.dims.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let spec = DatasetSpec::tiny("det", 3);
+        assert_eq!(spec.payload_of(1), spec.payload_of(1));
+        assert_ne!(spec.payload_of(1), spec.payload_of(2));
+    }
+
+    #[test]
+    fn labels_balanced() {
+        let spec = DatasetSpec::tiny("lab", 100);
+        let mut counts = vec![0u32; spec.num_classes as usize];
+        for id in 0..spec.num_samples {
+            counts[spec.label_of(id) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn total_bytes_math() {
+        let spec = DatasetSpec::tiny("tb", 5);
+        assert_eq!(spec.total_bytes(), 5 * (8 << 10));
+        let scaled = spec.with_total_bytes(1 << 20);
+        assert_eq!(scaled.num_samples, 128);
+    }
+}

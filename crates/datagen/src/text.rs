@@ -1,0 +1,161 @@
+//! Tokenized-text records — the paper's §6 future-work direction
+//! ("extending EMLIO beyond TFRecord to support … text for LLM training").
+//!
+//! TFRecord payloads are opaque bytes, so the container needs no changes;
+//! what a text workload changes is the *shape*: thousands of small (~4 KiB)
+//! variable-length samples instead of 0.1–2 MB images, which stresses
+//! per-sample metadata costs even harder. Records are Zipf-distributed token
+//! sequences in a tiny binary format:
+//!
+//! ```text
+//! magic "TXT1" | seq_len u32 LE | token u16 LE × seq_len
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAGIC: &[u8; 4] = b"TXT1";
+
+/// A synthetic LLM-pretraining text dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextSpec {
+    /// Vocabulary size.
+    pub vocab: u16,
+    /// Tokens per sample: uniform in `[min_len, max_len]`.
+    pub min_len: u32,
+    /// Maximum sequence length.
+    pub max_len: u32,
+    /// Number of samples.
+    pub num_samples: u64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl TextSpec {
+    /// A GPT-style pretraining shard: 2 Ki-token sequences over a 32 Ki
+    /// vocabulary (≈4 KiB/sample on the wire).
+    pub fn llm_pretrain(num_samples: u64) -> TextSpec {
+        TextSpec {
+            vocab: 32_000,
+            min_len: 1_900,
+            max_len: 2_048,
+            num_samples,
+            seed: 0x7E97,
+        }
+    }
+
+    /// Mean encoded bytes per sample.
+    pub fn mean_sample_bytes(&self) -> u64 {
+        8 + (self.min_len + self.max_len) as u64
+    }
+
+    /// Generate sample `id`'s token sequence (deterministic, Zipf-skewed:
+    /// small token ids are much more frequent, like real BPE vocabularies).
+    pub fn tokens_of(&self, id: u64) -> Vec<u16> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9));
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len)
+            .map(|_| {
+                // Zipf-ish via power transform of a uniform draw.
+                let u: f64 = rng.gen::<f64>();
+                ((self.vocab as f64 - 1.0) * u.powi(3)) as u16
+            })
+            .collect()
+    }
+
+    /// Encode sample `id` as a TXT1 record.
+    pub fn payload_of(&self, id: u64) -> Vec<u8> {
+        encode_tokens(&self.tokens_of(id))
+    }
+
+    /// Label: a coarse topic bucket derived from the id.
+    pub fn label_of(&self, id: u64) -> u32 {
+        (id % 16) as u32
+    }
+}
+
+/// Encode a token sequence.
+pub fn encode_tokens(tokens: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + tokens.len() * 2);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+    for t in tokens {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a TXT1 record; trailing padding is tolerated (as with SIF).
+pub fn decode_tokens(bytes: &[u8]) -> Result<Vec<u16>, &'static str> {
+    if bytes.len() < 8 {
+        return Err("truncated header");
+    }
+    if &bytes[..4] != MAGIC {
+        return Err("bad magic");
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    if bytes.len() < 8 + len * 2 {
+        return Err("truncated tokens");
+    }
+    Ok(bytes[8..8 + len * 2]
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let spec = TextSpec::llm_pretrain(4);
+        for id in 0..4 {
+            let tokens = spec.tokens_of(id);
+            let bytes = encode_tokens(&tokens);
+            assert_eq!(decode_tokens(&bytes).unwrap(), tokens);
+            assert_eq!(bytes, spec.payload_of(id));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let spec = TextSpec::llm_pretrain(2);
+        assert_eq!(spec.tokens_of(0), spec.tokens_of(0));
+        assert_ne!(spec.tokens_of(0), spec.tokens_of(1));
+    }
+
+    #[test]
+    fn lengths_in_range_and_vocab_respected() {
+        let spec = TextSpec::llm_pretrain(8);
+        for id in 0..8 {
+            let t = spec.tokens_of(id);
+            assert!((spec.min_len..=spec.max_len).contains(&(t.len() as u32)));
+            assert!(t.iter().all(|&tok| tok < spec.vocab));
+        }
+    }
+
+    #[test]
+    fn zipf_skew_present() {
+        let spec = TextSpec::llm_pretrain(1);
+        let tokens = spec.tokens_of(0);
+        let low = tokens.iter().filter(|&&t| t < spec.vocab / 8).count();
+        assert!(
+            low * 2 > tokens.len(),
+            "low ids should dominate: {low}/{}",
+            tokens.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_tokens(b"").is_err());
+        assert!(decode_tokens(b"NOPE\x01\x00\x00\x00\x00\x00").is_err());
+        let good = encode_tokens(&[1, 2, 3]);
+        assert!(decode_tokens(&good[..good.len() - 1]).is_err());
+        // Padding tolerated.
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0; 32]);
+        assert_eq!(decode_tokens(&padded).unwrap(), vec![1, 2, 3]);
+    }
+}

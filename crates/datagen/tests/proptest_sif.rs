@@ -1,0 +1,71 @@
+//! Property tests for the SIF codec: arbitrary images roundtrip losslessly
+//! at quality 0, quantization error is bounded at every quality, and the
+//! decoder never panics on arbitrary bytes.
+
+use emlio_datagen::image::Image;
+use emlio_datagen::sif::{decode, encode, encode_padded};
+use proptest::prelude::*;
+
+fn image_strategy() -> impl Strategy<Value = Image> {
+    (1u16..48, 1u16..48, 1u8..4).prop_flat_map(|(w, h, c)| {
+        let n = w as usize * h as usize;
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), n..=n), c as usize..=c as usize)
+            .prop_map(move |planes| Image {
+                width: w,
+                height: h,
+                planes,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lossless_at_quality_zero(img in image_strategy()) {
+        let bytes = encode(&img, 0);
+        let back = decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn quantization_error_bounded(img in image_strategy(), q in 1u8..=4) {
+        let bytes = encode(&img, q);
+        let back = decode(&bytes).unwrap();
+        let bound = (1i16 << q) as i16;
+        for (p0, p1) in img.planes.iter().zip(&back.planes) {
+            for (&a, &b) in p0.iter().zip(p1) {
+                prop_assert!((a as i16 - b as i16).abs() < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_size_bounded(img in image_strategy(), q in 0u8..=4) {
+        // Header 10 + per-plane (5 + ≤ n) worst case.
+        let bytes = encode(&img, q);
+        let bound = 10 + img.planes.len() * 5 + img.raw_bytes();
+        prop_assert!(bytes.len() <= bound, "{} > {}", bytes.len(), bound);
+    }
+
+    #[test]
+    fn padding_transparent(img in image_strategy(), extra in 0usize..2000) {
+        let exact = encode(&img, 1);
+        let padded = encode_padded(&img, 1, exact.len() + extra);
+        prop_assert_eq!(padded.len(), exact.len() + extra);
+        prop_assert_eq!(decode(&padded).unwrap(), decode(&exact).unwrap());
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutations(img in image_strategy(), idx in any::<usize>(), b in any::<u8>()) {
+        let mut bytes = encode(&img, 2);
+        let i = idx % bytes.len();
+        bytes[i] = b;
+        let _ = decode(&bytes); // may error, must not panic
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the Accumulator's stream merger: whatever pattern of
+//! missed samples and jitter the samplers produce, the merged output is a
+//! gapless, monotone grid whose sampled (non-interpolated) values are exact.
+
+use emlio_energymon::StreamMerger;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const D: u64 = 100;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gapless_monotone_grid(
+        // Random subsets of the grid per component (with endpoints pinned so
+        // output bounds are predictable), random jitter under δ/2.
+        misses_a in proptest::collection::btree_set(1u64..40, 0..10),
+        misses_b in proptest::collection::btree_set(1u64..40, 0..10),
+        jitter in proptest::collection::vec(0u64..40, 41),
+    ) {
+        let mut m = StreamMerger::new(2, D);
+        let present = |misses: &BTreeSet<u64>, k: u64| k == 0 || k == 40 || !misses.contains(&k);
+        for k in 0..=40u64 {
+            // Jitter stays under δ/2 so snapping lands on the right grid.
+            let ts = k * D + (jitter[k as usize] % 40);
+            if present(&misses_a, k) {
+                m.push(0, ts, vec![("cpu".into(), k as f64)]);
+            }
+            if present(&misses_b, k) {
+                m.push(1, ts, vec![("gpu".into(), 2.0 * k as f64)]);
+            }
+        }
+        let rows = m.drain_ready();
+        // Gapless: exactly 41 rows, at consecutive grid points 0..=40.
+        prop_assert_eq!(rows.len(), 41);
+        for (k, row) in rows.iter().enumerate() {
+            prop_assert_eq!(row.t_nanos, k as u64 * D, "grid is contiguous");
+            let cpu = row.fields.iter().find(|(n, _)| n == "cpu").unwrap().1;
+            let gpu = row.fields.iter().find(|(n, _)| n == "gpu").unwrap().1;
+            // Sampled values exact; interpolated values bracketed.
+            if present(&misses_a, k as u64) {
+                prop_assert!((cpu - k as f64).abs() < 1e-9);
+            } else {
+                prop_assert!(cpu > (k as f64) - 40.0 && cpu < (k as f64) + 40.0);
+                prop_assert!(row.interpolated);
+            }
+            if present(&misses_b, k as u64) {
+                prop_assert!((gpu - 2.0 * k as f64).abs() < 1e-9);
+            }
+        }
+        // Linear series stay monotone even through interpolated holes.
+        for w in rows.windows(2) {
+            let a = w[0].fields.iter().find(|(n, _)| n == "cpu").unwrap().1;
+            let b = w[1].fields.iter().find(|(n, _)| n == "cpu").unwrap().1;
+            prop_assert!(b >= a - 1e-9, "monotone through holes");
+        }
+    }
+
+    #[test]
+    fn single_component_any_gaps(points in proptest::collection::btree_set(0u64..60, 2..20)) {
+        let mut m = StreamMerger::new(1, D);
+        for &k in &points {
+            m.push(0, k * D, vec![("x".into(), k as f64)]);
+        }
+        let rows = m.drain_ready();
+        let lo = *points.iter().next().unwrap();
+        let hi = *points.iter().last().unwrap();
+        prop_assert_eq!(rows.len() as u64, hi - lo + 1, "covers [first, last]");
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(row.t_nanos, (lo + i as u64) * D);
+        }
+    }
+}

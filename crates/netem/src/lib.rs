@@ -1,0 +1,28 @@
+//! `emlio-netem` — userspace network emulation.
+//!
+//! The paper injects 1/10/30 ms RTTs with Linux `tc`/qdisc netem and mounts
+//! remote datasets over NFSv4 (§5.1). Neither root qdiscs nor an NFS server
+//! are available here, so this crate provides faithful userspace stand-ins:
+//!
+//! * [`profile::NetProfile`] — named (RTT, bandwidth) regimes including the
+//!   paper's four distance classes;
+//! * [`shaper::Proxy`] — a TCP relay that imposes one-way propagation delay
+//!   and token-bucket bandwidth pacing on unmodified sockets, with in-flight
+//!   bytes bounded by the link's bandwidth-delay product (so end-to-end
+//!   backpressure still works, exactly like a real pipe that can only hold
+//!   BDP bytes);
+//! * [`nfs::NfsMount`] — an NFSv4-like remote filesystem client over a local
+//!   directory that charges per-operation round trips (lookup/open/read
+//!   chunks/getattr) and shared link bandwidth, reproducing the
+//!   many-small-reads cost that makes baseline loaders collapse at high RTT.
+//!
+//! All delays run on an [`emlio_util::Clock`], so the same code paths work
+//! under wall time (examples) and manual time (tests).
+
+pub mod nfs;
+pub mod profile;
+pub mod shaper;
+
+pub use nfs::{NfsConfig, NfsMount};
+pub use profile::NetProfile;
+pub use shaper::Proxy;

@@ -1,0 +1,61 @@
+//! Property tests for the NFS cost model shared between the real-runtime
+//! mount and the DES testbed.
+
+use emlio_netem::{NetProfile, NfsConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn read_cost_monotone_in_size(a in 1u64..100_000_000, b in 1u64..100_000_000) {
+        let cfg = NfsConfig::default();
+        let p = NetProfile::lan_10ms();
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(cfg.read_cost(small, &p) <= cfg.read_cost(large, &p));
+    }
+
+    #[test]
+    fn read_cost_monotone_in_rtt(bytes in 1u64..10_000_000, rtt_a in 0u64..100, rtt_b in 0u64..100) {
+        let cfg = NfsConfig::default();
+        let (lo, hi) = (rtt_a.min(rtt_b), rtt_a.max(rtt_b));
+        let p_lo = NetProfile::new("lo", Duration::from_millis(lo), 1.25e9);
+        let p_hi = NetProfile::new("hi", Duration::from_millis(hi), 1.25e9);
+        prop_assert!(cfg.read_cost(bytes, &p_lo) <= cfg.read_cost(bytes, &p_hi));
+    }
+
+    #[test]
+    fn read_cost_lower_bounds(bytes in 1u64..100_000_000, rtt_ms in 1u64..50) {
+        // Never cheaper than pure transfer, never cheaper than the minimum
+        // op count × RTT.
+        let cfg = NfsConfig::default();
+        let p = NetProfile::new("t", Duration::from_millis(rtt_ms), 1.25e9);
+        let cost = cfg.read_cost(bytes, &p).as_secs_f64();
+        let transfer = bytes as f64 / p.bandwidth_bps;
+        let min_ops = (cfg.open_rtts + 1.0 + cfg.close_rtts) * p.rtt.as_secs_f64();
+        prop_assert!(cost >= transfer);
+        prop_assert!(cost + 1e-12 >= min_ops);
+    }
+
+    #[test]
+    fn readahead_helps_or_is_neutral(bytes in 1u64..200_000_000) {
+        let p = NetProfile::wan_30ms();
+        let shallow = NfsConfig { readahead: 1, ..NfsConfig::default() };
+        let deep = NfsConfig { readahead: 8, ..NfsConfig::default() };
+        prop_assert!(deep.read_cost(bytes, &p) <= shallow.read_cost(bytes, &p));
+    }
+
+    #[test]
+    fn bdp_and_transfer_consistent(rtt_ms in 0u64..200, mbps in 1u64..10_000) {
+        let bw = mbps as f64 * 125_000.0;
+        let p = NetProfile::new("t", Duration::from_millis(rtt_ms), bw);
+        // Transferring exactly one BDP takes exactly one RTT.
+        let bdp = p.bdp_bytes();
+        if bdp > 0 {
+            let t = p.transfer_time(bdp).as_secs_f64();
+            prop_assert!((t - p.rtt.as_secs_f64()).abs() < 2e-3,
+                "transfer(BDP) ≈ RTT: {t} vs {}", p.rtt.as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The pipeline runtime: `exec_async` + `exec_pipelined` semantics.
+//!
+//! A pool of worker threads pulls raw batches from the external source,
+//! runs decode → resize → crop → normalize per sample (on the accelerator
+//! wrapper when GPU placement is selected), and pushes processed batches
+//! into a bounded prefetch queue of depth `Q`. The training loop consumes
+//! via [`Pipeline::next_batch`]; `warm_up` pre-fills the queue exactly like
+//! Algorithm 3's "manually run Q iterations".
+
+use crate::external_source::ExternalSource;
+use crate::gpu::Accelerator;
+use crate::ops::{self, Tensor};
+use crate::RawBatch;
+use crossbeam::channel::{bounded, Receiver};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A fully preprocessed batch ready for the training step.
+#[derive(Debug, Clone)]
+pub struct ProcessedBatch {
+    /// Epoch this batch belongs to.
+    pub epoch: u32,
+    /// Batch id (from the loader).
+    pub batch_id: u64,
+    /// One tensor per sample (uniform shapes after crop/resize).
+    pub tensors: Vec<Tensor>,
+    /// Labels aligned with `tensors`.
+    pub labels: Vec<u32>,
+    /// Sample ids aligned with `tensors` (coverage accounting).
+    pub sample_ids: Vec<u64>,
+}
+
+/// Where preprocessing runs.
+#[derive(Clone)]
+pub enum Device {
+    /// Plain CPU threads.
+    Cpu,
+    /// The simulated accelerator (busy-time accounting + energy probe).
+    Gpu(Arc<Accelerator>),
+}
+
+/// Builder mirroring DALI's pipeline definition.
+pub struct PipelineBuilder {
+    threads: usize,
+    prefetch: usize,
+    resize_to: Option<(u16, u16)>,
+    crop_to: Option<(u16, u16)>,
+    random_crop: bool,
+    normalize: Option<(Vec<f32>, Vec<f32>)>,
+    device: Device,
+    seed: u64,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        PipelineBuilder {
+            threads: 2,
+            prefetch: 2,
+            resize_to: None,
+            crop_to: None,
+            random_crop: true,
+            normalize: Some((ops::IMAGENET_MEAN.to_vec(), ops::IMAGENET_STD.to_vec())),
+            device: Device::Cpu,
+            seed: 0,
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Fresh builder with defaults (2 threads, prefetch 2, normalize on).
+    pub fn new() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// Worker thread count (`exec_async` parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        self.threads = n;
+        self
+    }
+
+    /// Prefetch queue depth `Q`.
+    pub fn prefetch(mut self, q: usize) -> Self {
+        assert!(q > 0, "prefetch depth must be positive");
+        self.prefetch = q;
+        self
+    }
+
+    /// Resize every decoded image to `(w, h)`.
+    pub fn resize(mut self, w: u16, h: u16) -> Self {
+        self.resize_to = Some((w, h));
+        self
+    }
+
+    /// Crop to `(w, h)` (random during training, centred if
+    /// [`deterministic_crop`](Self::deterministic_crop) is chosen).
+    pub fn crop(mut self, w: u16, h: u16) -> Self {
+        self.crop_to = Some((w, h));
+        self
+    }
+
+    /// Use centre crops instead of random crops.
+    pub fn deterministic_crop(mut self) -> Self {
+        self.random_crop = false;
+        self
+    }
+
+    /// Override normalization constants (`None` disables).
+    pub fn normalize(mut self, constants: Option<(Vec<f32>, Vec<f32>)>) -> Self {
+        self.normalize = constants;
+        self
+    }
+
+    /// Place the operator graph on a device.
+    pub fn device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Seed for augmentation RNGs (each worker derives its own stream).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Launch the pipeline over `source`.
+    pub fn build(self, source: Box<dyn ExternalSource>) -> Pipeline {
+        Pipeline::launch(self, source)
+    }
+}
+
+/// Counters shared with callers.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    /// Batches fully processed.
+    pub batches: AtomicU64,
+    /// Samples fully processed.
+    pub samples: AtomicU64,
+    /// Samples that failed to decode (skipped, never delivered).
+    pub decode_errors: AtomicU64,
+}
+
+/// A running pipeline. Consume with [`next_batch`](Pipeline::next_batch);
+/// drop (or [`join`](Pipeline::join)) to tear down.
+pub struct Pipeline {
+    rx: Receiver<ProcessedBatch>,
+    feeder: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<PipelineStats>,
+}
+
+impl Pipeline {
+    fn launch(cfg: PipelineBuilder, source: Box<dyn ExternalSource>) -> Pipeline {
+        let stats = Arc::new(PipelineStats::default());
+        // Feeder: pulls from the external source, distributes to workers.
+        // Bounded at 1 so raw batches stay with the source (and thus with
+        // the transport's own HWM) rather than piling up here.
+        let (raw_tx, raw_rx) = bounded::<RawBatch>(1);
+        // Processed queue: the prefetch depth Q.
+        let (out_tx, out_rx) = bounded::<ProcessedBatch>(cfg.prefetch);
+
+        let feeder = {
+            let mut source = source;
+            std::thread::Builder::new()
+                .name("pipeline-feeder".into())
+                .spawn(move || {
+                    while let Some(batch) = source.next_batch() {
+                        if raw_tx.send(batch).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn pipeline feeder")
+        };
+
+        let mut workers = Vec::with_capacity(cfg.threads);
+        for w in 0..cfg.threads {
+            let raw_rx = raw_rx.clone();
+            let out_tx = out_tx.clone();
+            let stats = stats.clone();
+            let device = cfg.device.clone();
+            let resize_to = cfg.resize_to;
+            let crop_to = cfg.crop_to;
+            let random = cfg.random_crop;
+            let norm = cfg.normalize.clone();
+            let rng = Mutex::new(StdRng::seed_from_u64(
+                cfg.seed ^ (0xABCD_EF00 + w as u64),
+            ));
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pipeline-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(raw) = raw_rx.recv() {
+                            let processed = process_batch(
+                                raw, &device, resize_to, crop_to, random, &norm, &rng, &stats,
+                            );
+                            if out_tx.send(processed).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn pipeline worker"),
+            );
+        }
+
+        Pipeline {
+            rx: out_rx,
+            feeder: Some(feeder),
+            workers,
+            stats,
+        }
+    }
+
+    /// Block until the prefetch queue holds `q` batches or the source ends
+    /// (Algorithm 3 line 4's warm-up).
+    pub fn warm_up(&self, q: usize) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while self.rx.len() < q && std::time::Instant::now() < deadline {
+            if self.feeder.is_none() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            // If the producers already finished, stop waiting.
+            if self.rx.is_empty() && self.all_workers_done() {
+                break;
+            }
+        }
+    }
+
+    fn all_workers_done(&self) -> bool {
+        self.workers.iter().all(|h| h.is_finished())
+    }
+
+    /// Next processed batch, in arrival order; `None` once the source is
+    /// exhausted and every in-flight batch has been delivered.
+    pub fn next_batch(&self) -> Option<ProcessedBatch> {
+        self.rx.recv().ok()
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> Arc<PipelineStats> {
+        self.stats.clone()
+    }
+
+    /// Join all threads (after the source has ended and output drained).
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.feeder.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        // Disconnect the consumer side so blocked workers unblock.
+        // (rx is dropped by the field drop; joining afterwards is safe
+        // because send() errors return the workers.)
+        let rx = std::mem::replace(&mut self.rx, crossbeam::channel::never());
+        drop(rx);
+        self.join_inner();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_batch(
+    raw: RawBatch,
+    device: &Device,
+    resize_to: Option<(u16, u16)>,
+    crop_to: Option<(u16, u16)>,
+    random: bool,
+    norm: &Option<(Vec<f32>, Vec<f32>)>,
+    rng: &Mutex<StdRng>,
+    stats: &PipelineStats,
+) -> ProcessedBatch {
+    let mut tensors = Vec::with_capacity(raw.samples.len());
+    let mut labels = Vec::with_capacity(raw.samples.len());
+    let mut sample_ids = Vec::with_capacity(raw.samples.len());
+    let work = |sample_bytes: &[u8]| -> Option<Tensor> {
+        let mut img = match ops::decode(sample_bytes) {
+            Ok(i) => i,
+            Err(_) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if let Some((w, h)) = resize_to {
+            img = ops::resize(&img, w, h);
+        }
+        if let Some((w, h)) = crop_to {
+            img = if random {
+                let mut r = rng.lock();
+                ops::random_crop(&img, w, h, &mut *r)
+            } else {
+                ops::center_crop(&img, w, h)
+            };
+        }
+        Some(match norm {
+            Some((mean, std)) => ops::normalize(&img, mean, std),
+            None => ops::normalize(&img, &vec![0.0; img.channels() as usize], &vec![
+                1.0;
+                img.channels()
+                    as usize
+            ]),
+        })
+    };
+    for sample in &raw.samples {
+        let tensor = match device {
+            Device::Cpu => work(&sample.bytes),
+            Device::Gpu(accel) => accel.run(|| work(&sample.bytes)),
+        };
+        if let Some(t) = tensor {
+            tensors.push(t);
+            labels.push(sample.label);
+            sample_ids.push(sample.sample_id);
+        }
+    }
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats
+        .samples
+        .fetch_add(tensors.len() as u64, Ordering::Relaxed);
+    ProcessedBatch {
+        epoch: raw.epoch,
+        batch_id: raw.batch_id,
+        tensors,
+        labels,
+        sample_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::external_source::VecSource;
+    use crate::RawSample;
+    use bytes::Bytes;
+    use emlio_datagen::DatasetSpec;
+
+    fn batches(spec: &DatasetSpec, batch_size: usize) -> Vec<RawBatch> {
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        let mut batch_id = 0u64;
+        while id < spec.num_samples {
+            let mut samples = Vec::new();
+            for _ in 0..batch_size {
+                if id >= spec.num_samples {
+                    break;
+                }
+                samples.push(RawSample {
+                    bytes: Bytes::from(spec.payload_of(id)),
+                    label: spec.label_of(id),
+                    sample_id: id,
+                });
+                id += 1;
+            }
+            out.push(RawBatch {
+                epoch: 0,
+                batch_id,
+                samples,
+            });
+            batch_id += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn end_to_end_processes_every_sample_once() {
+        let spec = DatasetSpec::tiny("exec", 23);
+        let raw = batches(&spec, 4);
+        let n_batches = raw.len();
+        let pipe = PipelineBuilder::new()
+            .threads(3)
+            .prefetch(2)
+            .resize(32, 32)
+            .crop(24, 24)
+            .build(Box::new(VecSource::new(raw)));
+        let mut seen = std::collections::HashSet::new();
+        let mut got_batches = 0;
+        while let Some(b) = pipe.next_batch() {
+            got_batches += 1;
+            for (t, sid) in b.tensors.iter().zip(&b.sample_ids) {
+                assert_eq!((t.channels, t.height, t.width), (3, 24, 24));
+                assert!(seen.insert(*sid), "sample {sid} delivered twice");
+            }
+        }
+        assert_eq!(got_batches, n_batches);
+        assert_eq!(seen.len(), 23, "exactly-once coverage");
+        let stats = pipe.stats();
+        assert_eq!(stats.samples.load(Ordering::Relaxed), 23);
+        assert_eq!(stats.decode_errors.load(Ordering::Relaxed), 0);
+        pipe.join();
+    }
+
+    #[test]
+    fn corrupt_samples_skipped_not_fatal() {
+        let spec = DatasetSpec::tiny("corrupt", 4);
+        let mut raw = batches(&spec, 4);
+        raw[0].samples[1].bytes = Bytes::from_static(b"not a sif stream");
+        let pipe = PipelineBuilder::new()
+            .threads(1)
+            .build(Box::new(VecSource::new(raw)));
+        let b = pipe.next_batch().unwrap();
+        assert_eq!(b.tensors.len(), 3, "bad sample dropped");
+        assert!(pipe.next_batch().is_none());
+        assert_eq!(pipe.stats().decode_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn labels_track_tensors() {
+        let spec = DatasetSpec::tiny("labels", 10);
+        let raw = batches(&spec, 5);
+        let pipe = PipelineBuilder::new()
+            .threads(2)
+            .build(Box::new(VecSource::new(raw)));
+        while let Some(b) = pipe.next_batch() {
+            for (label, sid) in b.labels.iter().zip(&b.sample_ids) {
+                assert_eq!(*label, spec.label_of(*sid));
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_device_accounts_busy_time() {
+        let spec = DatasetSpec::tiny("gpu", 8);
+        let raw = batches(&spec, 4);
+        let accel = Accelerator::new("test", 10.0);
+        let pipe = PipelineBuilder::new()
+            .threads(2)
+            .device(Device::Gpu(accel.clone()))
+            .resize(32, 32)
+            .build(Box::new(VecSource::new(raw)));
+        while pipe.next_batch().is_some() {}
+        assert!(accel.busy_nanos() > 0, "device time accounted");
+    }
+
+    #[test]
+    fn warm_up_fills_prefetch_queue() {
+        let spec = DatasetSpec::tiny("warm", 40);
+        let raw = batches(&spec, 4);
+        let pipe = PipelineBuilder::new()
+            .threads(2)
+            .prefetch(3)
+            .build(Box::new(VecSource::new(raw)));
+        pipe.warm_up(3);
+        assert!(pipe.rx.len() >= 3, "queue pre-filled to Q");
+        while pipe.next_batch().is_some() {}
+    }
+
+    #[test]
+    fn drop_mid_stream_does_not_hang() {
+        let spec = DatasetSpec::tiny("drop", 60);
+        let raw = batches(&spec, 4);
+        let pipe = PipelineBuilder::new()
+            .threads(2)
+            .prefetch(1)
+            .build(Box::new(VecSource::new(raw)));
+        let _first = pipe.next_batch().unwrap();
+        drop(pipe); // must tear down workers blocked on a full queue
+    }
+}

@@ -1,0 +1,161 @@
+//! The simulated accelerator.
+//!
+//! There is no physical GPU here, so "GPU placement" of an operator means:
+//! run the real CPU implementation, but account the device's busy time as
+//! `cpu_time / speedup` — the calibrated factor by which an RTX 6000-class
+//! part outruns one CPU core on decode/augment work. The accounting feeds
+//! a [`emlio_energymon::UtilProbe`] so GPU power in the examples reflects
+//! (simulated) device activity, and the same `speedup` constant calibrates
+//! the GPU stage's service times in the DES testbed — one number, two
+//! execution modes.
+
+use emlio_energymon::{UtilProbe, Utilization};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A simulated accelerator device shared by pipeline workers.
+pub struct Accelerator {
+    name: String,
+    speedup: f64,
+    /// Accumulated device-busy nanoseconds (already divided by speedup).
+    busy_nanos: AtomicU64,
+    epoch: Instant,
+}
+
+impl Accelerator {
+    /// An accelerator `speedup`× faster than one CPU core.
+    pub fn new(name: &str, speedup: f64) -> Arc<Accelerator> {
+        assert!(speedup > 0.0, "speedup must be positive");
+        Arc::new(Accelerator {
+            name: name.to_string(),
+            speedup,
+            busy_nanos: AtomicU64::new(0),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// The calibration used for the paper's Quadro RTX 6000 on image decode
+    /// and augmentation (DALI reports roughly an order of magnitude over a
+    /// single core).
+    pub fn rtx6000() -> Arc<Accelerator> {
+        Accelerator::new("rtx6000", 12.0)
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Calibrated speedup over one CPU core.
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// Execute `f` "on the device": runs on the calling CPU thread, accounts
+    /// `elapsed / speedup` of device busy time.
+    pub fn run<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let device_nanos = (t0.elapsed().as_nanos() as f64 / self.speedup) as u64;
+        self.busy_nanos.fetch_add(device_nanos, Ordering::Relaxed);
+        out
+    }
+
+    /// Total accounted device-busy time in nanoseconds.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Wall nanoseconds since the device was created.
+    pub fn wall_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Utilization probe over an accelerator: busy fraction since the previous
+/// probe call (suitable for the energy monitor's 100 ms sampling).
+pub struct AcceleratorProbe {
+    device: Arc<Accelerator>,
+    last: Mutex<(u64, u64)>, // (busy_nanos, wall_nanos)
+    /// CPU utilization reported alongside (pipelines also burn CPU); set by
+    /// the owner, defaults to 0.
+    cpu_util: Mutex<f64>,
+}
+
+impl AcceleratorProbe {
+    /// Probe over `device`.
+    pub fn new(device: Arc<Accelerator>) -> AcceleratorProbe {
+        AcceleratorProbe {
+            device,
+            last: Mutex::new((0, 0)),
+            cpu_util: Mutex::new(0.0),
+        }
+    }
+
+    /// Report a CPU utilization value alongside the GPU figure.
+    pub fn set_cpu_util(&self, util: f64) {
+        *self.cpu_util.lock() = util.clamp(0.0, 1.0);
+    }
+}
+
+impl UtilProbe for AcceleratorProbe {
+    fn utilization(&self) -> Utilization {
+        let busy = self.device.busy_nanos();
+        let wall = self.device.wall_nanos();
+        let mut last = self.last.lock();
+        let (busy0, wall0) = *last;
+        *last = (busy, wall);
+        let gpu = if wall > wall0 {
+            ((busy - busy0) as f64 / (wall - wall0) as f64).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let cpu = *self.cpu_util.lock();
+        Utilization {
+            cpu,
+            dram: cpu * 0.5,
+            gpu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_accounts_scaled_time() {
+        let dev = Accelerator::new("test", 10.0);
+        let out = dev.run(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            42
+        });
+        assert_eq!(out, 42);
+        let busy = dev.busy_nanos();
+        // ~20ms / 10 = ~2ms of device time.
+        assert!(busy >= 1_500_000 && busy < 10_000_000, "busy = {busy}");
+    }
+
+    #[test]
+    fn probe_reports_interval_utilization() {
+        let dev = Accelerator::new("test", 1.0);
+        let probe = AcceleratorProbe::new(dev.clone());
+        let _ = probe.utilization(); // reset window
+        dev.run(|| std::thread::sleep(std::time::Duration::from_millis(30)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let u = probe.utilization();
+        assert!(u.gpu > 0.4, "expected busy window, got {}", u.gpu);
+        // Next window with no work: utilization drops.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let u2 = probe.utilization();
+        assert!(u2.gpu < 0.2, "idle window should read low, got {}", u2.gpu);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speedup_rejected() {
+        let _ = Accelerator::new("bad", 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Preprocessing operators: decode, resize, crop, normalize.
+
+use emlio_datagen::image::Image;
+use emlio_datagen::sif;
+use rand::Rng;
+
+/// A CHW float tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Channels.
+    pub channels: usize,
+    /// Height.
+    pub height: usize,
+    /// Width.
+    pub width: usize,
+    /// Row-major CHW data, length `channels * height * width`.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at (c, y, x).
+    pub fn at(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.height + y) * self.width + x]
+    }
+}
+
+/// Decode a SIF payload (the pipeline's "JPEG decode" stage).
+pub fn decode(bytes: &[u8]) -> Result<Image, sif::SifError> {
+    sif::decode(bytes)
+}
+
+/// Bilinear resize to `(out_w, out_h)`.
+pub fn resize(img: &Image, out_w: u16, out_h: u16) -> Image {
+    assert!(out_w > 0 && out_h > 0, "resize target must be non-empty");
+    let mut out = Image::zeroed(out_w, out_h, img.channels());
+    let sx = img.width as f64 / out_w as f64;
+    let sy = img.height as f64 / out_h as f64;
+    for c in 0..img.channels() as usize {
+        for y in 0..out_h as usize {
+            // Sample at the pixel centre of the source grid.
+            let fy = ((y as f64 + 0.5) * sy - 0.5).max(0.0);
+            let y0 = fy.floor() as usize;
+            let y1 = (y0 + 1).min(img.height as usize - 1);
+            let wy = fy - y0 as f64;
+            for x in 0..out_w as usize {
+                let fx = ((x as f64 + 0.5) * sx - 0.5).max(0.0);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(img.width as usize - 1);
+                let wx = fx - x0 as f64;
+                let v00 = img.get(c, x0, y0) as f64;
+                let v01 = img.get(c, x1, y0) as f64;
+                let v10 = img.get(c, x0, y1) as f64;
+                let v11 = img.get(c, x1, y1) as f64;
+                let v = v00 * (1.0 - wx) * (1.0 - wy)
+                    + v01 * wx * (1.0 - wy)
+                    + v10 * (1.0 - wx) * wy
+                    + v11 * wx * wy;
+                out.set(c, x, y, v.round().clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Crop a `(w, h)` window at offset `(ox, oy)`.
+///
+/// # Panics
+/// Panics if the window exceeds the image bounds.
+pub fn crop(img: &Image, ox: u16, oy: u16, w: u16, h: u16) -> Image {
+    assert!(
+        ox + w <= img.width && oy + h <= img.height,
+        "crop window out of bounds"
+    );
+    let mut out = Image::zeroed(w, h, img.channels());
+    for c in 0..img.channels() as usize {
+        for y in 0..h as usize {
+            for x in 0..w as usize {
+                out.set(c, x, y, img.get(c, x + ox as usize, y + oy as usize));
+            }
+        }
+    }
+    out
+}
+
+/// Random crop using the caller's RNG (training augmentation).
+pub fn random_crop<R: Rng>(img: &Image, w: u16, h: u16, rng: &mut R) -> Image {
+    assert!(w <= img.width && h <= img.height, "crop larger than image");
+    let ox = if img.width > w {
+        rng.gen_range(0..=(img.width - w))
+    } else {
+        0
+    };
+    let oy = if img.height > h {
+        rng.gen_range(0..=(img.height - h))
+    } else {
+        0
+    };
+    crop(img, ox, oy, w, h)
+}
+
+/// Centre crop (validation path).
+pub fn center_crop(img: &Image, w: u16, h: u16) -> Image {
+    assert!(w <= img.width && h <= img.height, "crop larger than image");
+    crop(img, (img.width - w) / 2, (img.height - h) / 2, w, h)
+}
+
+/// Normalize to a CHW float tensor: `(v/255 - mean[c]) / std[c]`.
+pub fn normalize(img: &Image, mean: &[f32], std: &[f32]) -> Tensor {
+    let c = img.channels() as usize;
+    assert_eq!(mean.len(), c, "mean length must match channels");
+    assert_eq!(std.len(), c, "std length must match channels");
+    assert!(std.iter().all(|&s| s > 0.0), "std must be positive");
+    let (w, h) = (img.width as usize, img.height as usize);
+    let mut data = Vec::with_capacity(c * w * h);
+    for (ci, plane) in img.planes.iter().enumerate() {
+        let m = mean[ci];
+        let s = std[ci];
+        for &v in plane {
+            data.push((v as f32 / 255.0 - m) / s);
+        }
+    }
+    Tensor {
+        channels: c,
+        height: h,
+        width: w,
+        data,
+    }
+}
+
+/// The ImageNet normalization constants used throughout the examples.
+pub const IMAGENET_MEAN: [f32; 3] = [0.485, 0.456, 0.406];
+/// ImageNet per-channel standard deviations.
+pub const IMAGENET_STD: [f32; 3] = [0.229, 0.224, 0.225];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emlio_datagen::image::synth_image;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decode_real_payload() {
+        let img = synth_image(32, 24, 3, 1);
+        let bytes = sif::encode(&img, 0);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, img);
+        assert!(decode(b"garbage").is_err());
+    }
+
+    #[test]
+    fn resize_dimensions_and_identity() {
+        let img = synth_image(64, 48, 3, 2);
+        let out = resize(&img, 32, 16);
+        assert_eq!((out.width, out.height, out.channels()), (32, 16, 3));
+        // Identity resize returns (approximately) the same pixels.
+        let same = resize(&img, 64, 48);
+        let max_diff = img.planes[0]
+            .iter()
+            .zip(&same.planes[0])
+            .map(|(a, b)| (*a as i16 - *b as i16).abs())
+            .max()
+            .unwrap();
+        assert!(max_diff <= 1, "identity resize should be lossless-ish");
+    }
+
+    #[test]
+    fn resize_preserves_constant_images() {
+        let mut img = Image::zeroed(40, 40, 1);
+        for v in &mut img.planes[0] {
+            *v = 177;
+        }
+        let out = resize(&img, 13, 27);
+        assert!(out.planes[0].iter().all(|&v| v == 177));
+    }
+
+    #[test]
+    fn crop_window_contents() {
+        let img = synth_image(32, 32, 1, 3);
+        let out = crop(&img, 5, 7, 10, 12);
+        assert_eq!((out.width, out.height), (10, 12));
+        assert_eq!(out.get(0, 0, 0), img.get(0, 5, 7));
+        assert_eq!(out.get(0, 9, 11), img.get(0, 14, 18));
+    }
+
+    #[test]
+    #[should_panic]
+    fn crop_out_of_bounds_panics() {
+        let img = synth_image(16, 16, 1, 4);
+        let _ = crop(&img, 10, 10, 10, 10);
+    }
+
+    #[test]
+    fn random_crop_within_bounds() {
+        let img = synth_image(33, 47, 3, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let out = random_crop(&img, 16, 16, &mut rng);
+            assert_eq!((out.width, out.height), (16, 16));
+        }
+        // Full-size crop is the identity.
+        let full = random_crop(&img, 33, 47, &mut rng);
+        assert_eq!(full, img);
+    }
+
+    #[test]
+    fn center_crop_is_centered() {
+        let img = synth_image(30, 30, 1, 6);
+        let out = center_crop(&img, 10, 10);
+        assert_eq!(out.get(0, 0, 0), img.get(0, 10, 10));
+    }
+
+    #[test]
+    fn normalize_values() {
+        let mut img = Image::zeroed(2, 2, 3);
+        for c in 0..3 {
+            for v in &mut img.planes[c] {
+                *v = 255;
+            }
+        }
+        let t = normalize(&img, &IMAGENET_MEAN, &IMAGENET_STD);
+        assert_eq!(t.len(), 12);
+        // (1.0 - 0.485) / 0.229 for channel 0.
+        assert!((t.at(0, 0, 0) - (1.0 - 0.485) / 0.229).abs() < 1e-5);
+        assert!((t.at(2, 1, 1) - (1.0 - 0.406) / 0.225).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn normalize_rejects_bad_std() {
+        let img = Image::zeroed(2, 2, 1);
+        let _ = normalize(&img, &[0.5], &[0.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Generic event-heap engine for free-form models (DDP sync, samplers).
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type Action = Box<dyn FnOnce(&mut Engine)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Heap pops smallest (time, seq) via Reverse at the call sites.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A minimal discrete-event engine: schedule closures, run in time order.
+/// Events scheduled at equal times run in scheduling (FIFO) order.
+#[derive(Default)]
+pub struct Engine {
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    executed: u64,
+}
+
+impl Engine {
+    /// Fresh engine at time zero.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `action` at absolute time `at` (clamped to `now` if earlier).
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    /// Schedule `action` after `nanos` of simulated time.
+    pub fn schedule_in(&mut self, nanos: u64, action: impl FnOnce(&mut Engine) + 'static) {
+        self.schedule_at(self.now + nanos, action);
+    }
+
+    /// Run until the event heap is empty. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(self);
+        }
+        self.now
+    }
+
+    /// Run events with `at ≤ horizon`; later events stay pending. The clock
+    /// advances to `horizon` even if no event lands exactly there.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > horizon {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().unwrap();
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(self);
+        }
+        self.now = self.now.max(horizon);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for &(t, tag) in &[(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            eng.schedule_at(SimTime(t), move |e| {
+                log.borrow_mut().push((e.now().nanos(), tag));
+            });
+        }
+        let end = eng.run();
+        assert_eq!(end, SimTime(30));
+        assert_eq!(&*log.borrow(), &[(10, 'a'), (20, 'b'), (30, 'c')]);
+        assert_eq!(eng.executed(), 3);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for i in 0..5 {
+            let log = log.clone();
+            eng.schedule_at(SimTime(100), move |_| log.borrow_mut().push(i));
+        }
+        eng.run();
+        assert_eq!(&*log.borrow(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut eng = Engine::new();
+        fn tick(e: &mut Engine, hits: Rc<RefCell<u32>>, remaining: u32) {
+            *hits.borrow_mut() += 1;
+            if remaining > 0 {
+                e.schedule_in(5, move |e| tick(e, hits, remaining - 1));
+            }
+        }
+        let h = hits.clone();
+        eng.schedule_at(SimTime::ZERO, move |e| tick(e, h, 9));
+        let end = eng.run();
+        assert_eq!(*hits.borrow(), 10);
+        assert_eq!(end, SimTime(45));
+    }
+
+    #[test]
+    fn run_until_pauses() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut eng = Engine::new();
+        for t in [10u64, 20, 30, 40] {
+            let h = hits.clone();
+            eng.schedule_at(SimTime(t), move |_| *h.borrow_mut() += 1);
+        }
+        eng.run_until(SimTime(25));
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(eng.now(), SimTime(25));
+        assert_eq!(eng.pending(), 2);
+        eng.run();
+        assert_eq!(*hits.borrow(), 4);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut eng = Engine::new();
+        let fired_at = Rc::new(RefCell::new(SimTime::ZERO));
+        let f = fired_at.clone();
+        eng.schedule_at(SimTime(100), move |e| {
+            let f = f.clone();
+            e.schedule_at(SimTime(50), move |e| *f.borrow_mut() = e.now());
+        });
+        eng.run();
+        assert_eq!(*fired_at.borrow(), SimTime(100), "clamped to now");
+    }
+}

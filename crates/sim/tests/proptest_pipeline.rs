@@ -1,0 +1,125 @@
+//! Property tests for the DES pipeline: conservation, bottleneck bounds,
+//! and deadlock freedom under arbitrary stage configurations.
+
+use emlio_sim::{PipelineSim, StageKind, StageSpec, Token};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct StageCfg {
+    servers: u32,
+    service: u64,
+    in_capacity: usize,
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageCfg> {
+    (1u32..5, 1u64..200, 1usize..6).prop_map(|(servers, service, in_capacity)| StageCfg {
+        servers,
+        service,
+        in_capacity,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conservation_and_bounds(
+        stages in proptest::collection::vec(stage_strategy(), 1..6),
+        n_tokens in 1u64..120,
+    ) {
+        let mut sim = PipelineSim::new(1_000_000);
+        for (i, cfg) in stages.iter().enumerate() {
+            let svc = cfg.service;
+            sim.add_stage(StageSpec::servers(
+                &format!("s{i}"),
+                cfg.servers,
+                if i == 0 { usize::MAX } else { cfg.in_capacity },
+                move |_: &Token| svc,
+            ));
+        }
+        for i in 0..n_tokens {
+            sim.push_initial(Token::new(i, 100));
+        }
+        let result = sim.run();
+
+        // Conservation: every token exits, every stage served every token.
+        prop_assert_eq!(result.completions.len() as u64, n_tokens);
+        for st in &result.stages {
+            prop_assert_eq!(st.completed, n_tokens);
+        }
+        let mut ids: Vec<u64> = result.completions.iter().map(|c| c.token.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n_tokens).collect::<Vec<_>>());
+
+        // Bottleneck lower bound: makespan ≥ max over stages of
+        // (n · service / servers); upper bound: serial sum of everything.
+        let lower = stages
+            .iter()
+            .map(|c| (n_tokens * c.service).div_ceil(c.servers as u64))
+            .max()
+            .unwrap();
+        prop_assert!(
+            result.makespan.nanos() >= lower,
+            "makespan {} < bottleneck bound {lower}",
+            result.makespan.nanos()
+        );
+        let serial: u64 = stages.iter().map(|c| c.service * n_tokens).sum();
+        prop_assert!(result.makespan.nanos() <= serial + 1);
+
+        // Busy accounting: each stage's busy time is exactly n · service.
+        for (st, cfg) in result.stages.iter().zip(&stages) {
+            let expect = (n_tokens * cfg.service) as f64 / 1e9;
+            prop_assert!((st.busy_secs - expect).abs() < 1e-9,
+                "stage busy {} != {}", st.busy_secs, expect);
+        }
+    }
+
+    #[test]
+    fn delay_stages_preserve_conservation(
+        service in 1u64..100,
+        delay in 1u64..10_000,
+        n_tokens in 1u64..100,
+        cap in 1usize..8,
+    ) {
+        let mut sim = PipelineSim::new(1_000_000);
+        sim.add_stage(StageSpec::servers("emit", 1, usize::MAX, move |_: &Token| service));
+        sim.add_stage(StageSpec::delay("wire", cap, move |_: &Token| delay));
+        sim.add_stage(StageSpec::servers("drain", 1, 2, move |_: &Token| service));
+        for i in 0..n_tokens {
+            sim.push_initial(Token::new(i, 0));
+        }
+        let result = sim.run();
+        prop_assert_eq!(result.completions.len() as u64, n_tokens);
+        prop_assert!(matches!(StageKind::Infinite, StageKind::Infinite));
+        // Everything exits no earlier than service + delay + service.
+        for c in &result.completions {
+            prop_assert!(c.exited.nanos() >= 2 * service + delay);
+        }
+    }
+
+    #[test]
+    fn exit_times_monotone_for_single_server_chains(
+        services in proptest::collection::vec(1u64..50, 1..4),
+        n_tokens in 1u64..60,
+    ) {
+        // With one server per stage, FIFO order and monotone exits hold.
+        let mut sim = PipelineSim::new(1_000_000);
+        for (i, &svc) in services.iter().enumerate() {
+            sim.add_stage(StageSpec::servers(
+                &format!("s{i}"),
+                1,
+                if i == 0 { usize::MAX } else { 2 },
+                move |_: &Token| svc,
+            ));
+        }
+        for i in 0..n_tokens {
+            sim.push_initial(Token::new(i, 0));
+        }
+        let result = sim.run();
+        let ids: Vec<u64> = result.completions.iter().map(|c| c.token.id).collect();
+        prop_assert_eq!(ids, (0..n_tokens).collect::<Vec<_>>(), "FIFO preserved");
+        for w in result.completions.windows(2) {
+            prop_assert!(w[0].exited <= w[1].exited);
+        }
+    }
+}

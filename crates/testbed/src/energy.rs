@@ -1,0 +1,237 @@
+//! Busy-trace → joules integration.
+//!
+//! Uses the same linear idle→peak component power model as the live
+//! `emlio-energymon`: every component draws its idle power for the whole
+//! makespan, and each pipeline stage adds a calibrated number of watts per
+//! busy server, attributed to (node role, component). DRAM draw follows CPU
+//! activity at a fixed fraction. Scenario extras (DDP spin-wait) come in as
+//! explicit `(role, comp, watts, secs)` terms.
+
+use crate::nodes::NodeSpec;
+use emlio_energymon::EnergyBreakdown;
+use emlio_sim::pipeline::PipelineResult;
+
+/// Which physical node a stage runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The GPU training node.
+    Compute,
+    /// The storage server.
+    Storage,
+}
+
+/// Energy-relevant component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comp {
+    /// CPU packages.
+    Cpu,
+    /// DRAM.
+    Dram,
+    /// GPU.
+    Gpu,
+}
+
+/// Watts-per-busy-server assignments for one pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageEnergy {
+    /// `(role, component, extra watts while one server is busy)`.
+    pub assignments: Vec<(Role, Comp, f64)>,
+}
+
+impl StageEnergy {
+    /// Stage with the given assignments.
+    pub fn new(assignments: &[(Role, Comp, f64)]) -> StageEnergy {
+        StageEnergy {
+            assignments: assignments.to_vec(),
+        }
+    }
+
+    /// Stage that draws nothing beyond idle (pure propagation).
+    pub fn none() -> StageEnergy {
+        StageEnergy::default()
+    }
+}
+
+/// Additional energy term outside the pipeline traces (e.g. DDP spin).
+#[derive(Debug, Clone, Copy)]
+pub struct ExtraDraw {
+    /// Node the draw occurs on.
+    pub role: Role,
+    /// Component.
+    pub comp: Comp,
+    /// Watts above idle.
+    pub watts: f64,
+    /// Active seconds.
+    pub secs: f64,
+}
+
+/// Per-node energy results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterEnergy {
+    /// The compute node.
+    pub compute: EnergyBreakdown,
+    /// The storage node (zero when the scenario folds storage into compute).
+    pub storage: EnergyBreakdown,
+}
+
+impl ClusterEnergy {
+    /// Sum across nodes.
+    pub fn total_j(&self) -> f64 {
+        self.compute.total_j() + self.storage.total_j()
+    }
+}
+
+/// DRAM activity as a fraction of CPU activity (DDR4 under streaming).
+const DRAM_TRACKS_CPU: f64 = 0.15;
+
+/// Integrate a pipeline run into per-node joules.
+///
+/// `fold_storage_into_compute`: the sharded scenario has no dedicated
+/// storage node — daemon/NFS-server work lands on the compute node.
+pub fn integrate(
+    result: &PipelineResult,
+    energy_map: &[StageEnergy],
+    compute: &NodeSpec,
+    storage: Option<&NodeSpec>,
+    extras: &[ExtraDraw],
+    fold_storage_into_compute: bool,
+) -> ClusterEnergy {
+    assert_eq!(
+        result.stages.len(),
+        energy_map.len(),
+        "energy map must align with stages"
+    );
+    let makespan = result.makespan_secs();
+
+    // Idle floors.
+    let mut out = ClusterEnergy::default();
+    out.compute = idle_floor(compute, makespan);
+    if let (Some(s), false) = (storage, fold_storage_into_compute) {
+        out.storage = idle_floor(s, makespan);
+    }
+
+    // Stage activity.
+    for (stage, se) in result.stages.iter().zip(energy_map) {
+        for &(role, comp, watts) in &se.assignments {
+            let role = effective_role(role, fold_storage_into_compute);
+            let joules = watts * stage.busy_secs;
+            add(&mut out, role, comp, joules);
+            if comp == Comp::Cpu {
+                add(&mut out, role, Comp::Dram, joules * DRAM_TRACKS_CPU);
+            }
+        }
+    }
+
+    // Scenario extras.
+    for e in extras {
+        let role = effective_role(e.role, fold_storage_into_compute);
+        add(&mut out, role, e.comp, e.watts * e.secs);
+    }
+    out
+}
+
+fn effective_role(role: Role, fold: bool) -> Role {
+    if fold {
+        Role::Compute
+    } else {
+        role
+    }
+}
+
+fn idle_floor(node: &NodeSpec, makespan: f64) -> EnergyBreakdown {
+    EnergyBreakdown {
+        cpu_j: node.power.cpu.idle_watts * makespan,
+        dram_j: node.power.dram.idle_watts * makespan,
+        gpu_j: node.power.gpu.map_or(0.0, |g| g.idle_watts * makespan),
+        duration_secs: makespan,
+    }
+}
+
+fn add(out: &mut ClusterEnergy, role: Role, comp: Comp, joules: f64) {
+    let target = match role {
+        Role::Compute => &mut out.compute,
+        Role::Storage => &mut out.storage,
+    };
+    match comp {
+        Comp::Cpu => target.cpu_j += joules,
+        Comp::Dram => target.dram_j += joules,
+        Comp::Gpu => target.gpu_j += joules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emlio_sim::{PipelineSim, StageSpec, Token};
+
+    fn tiny_result() -> PipelineResult {
+        let mut sim = PipelineSim::new(1_000_000);
+        sim.add_stage(StageSpec::servers("a", 1, usize::MAX, |_| 1_000_000_000)); // 1 s each
+        sim.add_stage(StageSpec::servers("b", 1, 2, |_| 500_000_000));
+        for i in 0..4 {
+            sim.push_initial(Token::new(i, 0));
+        }
+        sim.run()
+    }
+
+    #[test]
+    fn idle_plus_activity() {
+        let result = tiny_result();
+        // Stage a busy 4 s; stage b busy 2 s; makespan 4.5 s.
+        let map = vec![
+            StageEnergy::new(&[(Role::Storage, Comp::Cpu, 100.0)]),
+            StageEnergy::new(&[(Role::Compute, Comp::Gpu, 200.0)]),
+        ];
+        let compute = NodeSpec::uc_compute();
+        let storage = NodeSpec::uc_storage();
+        let e = integrate(&result, &map, &compute, Some(&storage), &[], false);
+        let makespan = result.makespan_secs();
+        assert!((makespan - 4.5).abs() < 1e-9);
+
+        // Storage CPU: idle 40 W × 4.5 + 100 W × 4 s = 580 J.
+        assert!((e.storage.cpu_j - (40.0 * 4.5 + 400.0)).abs() < 1e-6);
+        // Storage DRAM: idle 6 × 4.5 + 0.15 × 400 = 87 J.
+        assert!((e.storage.dram_j - (6.0 * 4.5 + 60.0)).abs() < 1e-6);
+        // Compute GPU: idle 25 × 4.5 + 200 × 2 = 512.5 J.
+        assert!((e.compute.gpu_j - (25.0 * 4.5 + 400.0)).abs() < 1e-6);
+        // Storage node has no GPU.
+        assert_eq!(e.storage.gpu_j, 0.0);
+    }
+
+    #[test]
+    fn folding_moves_storage_onto_compute() {
+        let result = tiny_result();
+        let map = vec![
+            StageEnergy::new(&[(Role::Storage, Comp::Cpu, 100.0)]),
+            StageEnergy::none(),
+        ];
+        let compute = NodeSpec::uc_compute();
+        let e = integrate(&result, &map, &compute, None, &[], true);
+        assert_eq!(e.storage.total_j(), 0.0);
+        // Compute CPU gets idle + the folded storage work.
+        assert!((e.compute.cpu_j - (40.0 * 4.5 + 400.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extras_added() {
+        let result = tiny_result();
+        let map = vec![StageEnergy::none(), StageEnergy::none()];
+        let compute = NodeSpec::uc_compute();
+        let extras = [ExtraDraw {
+            role: Role::Compute,
+            comp: Comp::Gpu,
+            watts: 100.0,
+            secs: 3.0,
+        }];
+        let e = integrate(&result, &map, &compute, None, &extras, true);
+        assert!((e.compute.gpu_j - (25.0 * 4.5 + 300.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_map_panics() {
+        let result = tiny_result();
+        let compute = NodeSpec::uc_compute();
+        let _ = integrate(&result, &[], &compute, None, &[], true);
+    }
+}

@@ -1,0 +1,100 @@
+//! Network distance regimes used across the figures.
+
+use emlio_netem::NetProfile;
+use std::time::Duration;
+
+/// A named regime: a link profile plus whether data is local to the compute
+/// node (the "Local Storage" columns bypass NFS entirely).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regime {
+    /// Display name as used in figure captions.
+    pub name: String,
+    /// Link characteristics (RTT meaningful only when `remote`).
+    pub profile: NetProfile,
+    /// Whether the dataset is across the network.
+    pub remote: bool,
+}
+
+impl Regime {
+    /// Local disk.
+    pub fn local() -> Regime {
+        Regime {
+            name: "local".into(),
+            profile: NetProfile::local(),
+            remote: false,
+        }
+    }
+
+    /// Remote at the given RTT over 10 Gbps.
+    pub fn remote_ms(rtt_ms: f64) -> Regime {
+        let rtt = Duration::from_secs_f64(rtt_ms / 1e3);
+        Regime {
+            name: format!("{rtt_ms}ms"),
+            profile: NetProfile::new(&format!("lan-{rtt_ms}ms"), rtt, 1.25e9),
+            remote: true,
+        }
+    }
+
+    /// Figure 1 / Figure 5 set: local, 0.1 ms, 10 ms, 30 ms.
+    pub fn fig5_set() -> Vec<Regime> {
+        vec![
+            Regime::local(),
+            Regime::remote_ms(0.1),
+            Regime::remote_ms(10.0),
+            Regime::remote_ms(30.0),
+        ]
+    }
+
+    /// Figure 6 / 9 / 10 set: 0.1, 10, 30 ms.
+    pub fn fig6_set() -> Vec<Regime> {
+        vec![
+            Regime::remote_ms(0.1),
+            Regime::remote_ms(10.0),
+            Regime::remote_ms(30.0),
+        ]
+    }
+
+    /// Figure 7 set: 0.1, 1, 10, 30 ms.
+    pub fn fig7_set() -> Vec<Regime> {
+        vec![
+            Regime::remote_ms(0.1),
+            Regime::remote_ms(1.0),
+            Regime::remote_ms(10.0),
+            Regime::remote_ms(30.0),
+        ]
+    }
+
+    /// Figure 8 set: 0.1, 1 ms.
+    pub fn fig8_set() -> Vec<Regime> {
+        vec![Regime::remote_ms(0.1), Regime::remote_ms(1.0)]
+    }
+
+    /// RTT in seconds (0 for local).
+    pub fn rtt_secs(&self) -> f64 {
+        if self.remote {
+            self.profile.rtt.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_have_expected_shapes() {
+        assert_eq!(Regime::fig5_set().len(), 4);
+        assert!(!Regime::fig5_set()[0].remote);
+        assert_eq!(Regime::fig6_set().len(), 3);
+        assert_eq!(Regime::fig7_set().len(), 4);
+        assert_eq!(Regime::fig8_set().len(), 2);
+    }
+
+    #[test]
+    fn rtt_accessor() {
+        assert_eq!(Regime::local().rtt_secs(), 0.0);
+        assert!((Regime::remote_ms(10.0).rtt_secs() - 0.010).abs() < 1e-12);
+    }
+}

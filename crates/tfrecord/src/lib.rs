@@ -1,0 +1,36 @@
+//! `emlio-tfrecord` — the TFRecord container format and sharded datasets.
+//!
+//! EMLIO stores training data in large TFRecord files and assembles batches
+//! by slicing contiguous byte ranges out of each shard (§2 technique (i),
+//! §4.3). This crate implements:
+//!
+//! * the exact on-disk TFRecord framing used by TensorFlow — little-endian
+//!   `u64` length, masked CRC32C of the length, payload, masked CRC32C of the
+//!   payload ([`record`], [`crc32c`]);
+//! * sequential writing/reading ([`writer`], [`reader`]) plus **positioned
+//!   range reads** (`read_at`) so a daemon thread can pull one contiguous
+//!   block of `B` records with a single syscall and zero seeks — the paper's
+//!   substitute for per-record small reads (we use `pread` instead of `mmap`;
+//!   same single-contiguous-read behaviour without `unsafe`);
+//! * sharded dataset layout with per-shard `mapping_shard_*.json` index files
+//!   recording `(offset, length, label)` per record ([`shard`], [`index`]) —
+//!   exactly what Algorithm 2 line 1 parses.
+//!
+//! Corruption is always detected: both CRCs are verified on read unless the
+//! caller explicitly opts out for trusted local replay.
+
+pub mod crc32c;
+pub mod index;
+pub mod reader;
+pub mod record;
+pub mod shard;
+pub mod writer;
+
+pub use index::{GlobalIndex, RecordMeta, ShardIndex};
+pub use reader::{RangeReader, RecordReader};
+pub use record::{RecordError, FRAME_OVERHEAD};
+pub use shard::{ShardSpec, ShardWriter};
+pub use writer::RecordWriter;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RecordError>;

@@ -1,0 +1,35 @@
+//! `emlio-trainsim` — the training-side substrate.
+//!
+//! The paper trains ResNet-50 and VGG-19 with PyTorch DDP on a Quadro
+//! RTX 6000. Neither the models nor the GPU exist in this environment, so
+//! this crate supplies the pieces the experiments actually depend on:
+//!
+//! * [`model`] — calibrated **cost profiles** (per-sample step time on the
+//!   reference GPU, parameter counts, per-component utilization during a
+//!   step) for both backbones, tuned so the simulated *local* ResNet-50
+//!   epoch on the 10 GB ImageNet subset lands near the paper's ≈152 s;
+//! * [`ddp`] — a ring-allreduce model for DistributedDataParallel: step-time
+//!   inflation when gradient sync outruns the overlap budget, plus the
+//!   **spin-wait energy** term that reproduces Figure 10's "time flat,
+//!   energy grows with RTT" effect;
+//! * [`loss`] — an SGD loss-curve model `L(s) = L∞ + (L₀−L∞)(1+s/τ)^{−α}`
+//!   with seeded noise: loss as a function of *samples consumed*, which the
+//!   loaders then stretch over wall-clock time differently (Figure 11);
+//! * [`mlp`] — a *real* trainable multilayer perceptron (manual
+//!   backpropagation, softmax cross-entropy, SGD) that consumes the
+//!   pipeline's `ProcessedBatch`es in the examples — actual learning on the
+//!   actual data path;
+//! * [`trainer`] — the training-loop driver tying a pipeline to a step cost
+//!   and recording per-iteration timestamps.
+
+pub mod ddp;
+pub mod loss;
+pub mod mlp;
+pub mod model;
+pub mod trainer;
+
+pub use ddp::{allreduce_time, DdpConfig, SyncCost};
+pub use loss::LossCurve;
+pub use mlp::Mlp;
+pub use model::ModelProfile;
+pub use trainer::{TrainLog, Trainer};

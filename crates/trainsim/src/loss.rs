@@ -1,0 +1,120 @@
+//! SGD loss-curve model.
+//!
+//! Training loss is modelled as a function of *samples consumed*:
+//! `L(s) = L∞ + (L₀ − L∞) · (1 + s/τ)^(−α)` plus seeded noise whose
+//! amplitude decays with progress. Both loaders see the same curve in
+//! sample space; the loader's iteration times stretch it over wall-clock
+//! differently — which is all of Figure 11.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A parameterized loss trajectory.
+#[derive(Debug, Clone)]
+pub struct LossCurve {
+    /// Initial loss `L₀`.
+    pub l0: f64,
+    /// Asymptotic loss `L∞`.
+    pub l_inf: f64,
+    /// Progress scale τ (samples).
+    pub tau: f64,
+    /// Decay exponent α.
+    pub alpha: f64,
+    /// Noise amplitude at s = 0 (decays with the loss gap).
+    pub noise: f64,
+    /// Seed for reproducible noise.
+    pub seed: u64,
+}
+
+impl LossCurve {
+    /// The Figure 11 setting: ResNet-50 on COCO, loss 5.0 → ≈3.2 over one
+    /// epoch (≈51 200 samples of the 10 GB subset at 0.2 MB/sample).
+    pub fn fig11_coco() -> LossCurve {
+        LossCurve {
+            l0: 5.0,
+            l_inf: 3.05,
+            tau: 6_000.0,
+            alpha: 0.9,
+            noise: 0.10,
+            seed: 11,
+        }
+    }
+
+    /// Noise-free mean loss after `samples` samples.
+    pub fn mean_loss_at(&self, samples: u64) -> f64 {
+        self.l_inf + (self.l0 - self.l_inf) * (1.0 + samples as f64 / self.tau).powf(-self.alpha)
+    }
+
+    /// Per-iteration observed loss: mean + decaying seeded noise. The same
+    /// `(samples, iteration)` pair always yields the same value.
+    pub fn loss_at(&self, samples: u64, iteration: u64) -> f64 {
+        let mean = self.mean_loss_at(samples);
+        let gap = (mean - self.l_inf) / (self.l0 - self.l_inf).max(1e-9);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ iteration.wrapping_mul(0x9E37_79B9));
+        let noise = (rng.gen::<f64>() - 0.5) * 2.0 * self.noise * (0.3 + 0.7 * gap);
+        mean + noise
+    }
+
+    /// Generate the `(samples_seen, loss)` series for a run of `iters`
+    /// iterations at `batch` samples each.
+    pub fn series(&self, iters: u64, batch: u64) -> Vec<(u64, f64)> {
+        (0..iters)
+            .map(|i| {
+                let s = (i + 1) * batch;
+                (s, self.loss_at(s, i))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_decreasing_mean() {
+        let c = LossCurve::fig11_coco();
+        let mut prev = f64::INFINITY;
+        for s in (0..100_000).step_by(5_000) {
+            let l = c.mean_loss_at(s);
+            assert!(l < prev, "mean loss must decrease");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn fig11_anchors() {
+        let c = LossCurve::fig11_coco();
+        assert!((c.mean_loss_at(0) - 5.0).abs() < 1e-9);
+        // After ~10k samples (≈200 s of EMLIO at fig11 rates): ≈3.8.
+        let early = c.mean_loss_at(10_000);
+        assert!((3.6..4.0).contains(&early), "early loss ≈3.8, got {early}");
+        // End of epoch (51 200 samples): ≈3.2–3.3.
+        let end = c.mean_loss_at(51_200);
+        assert!((3.1..3.4).contains(&end), "end loss ≈3.2, got {end}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_decaying() {
+        let c = LossCurve::fig11_coco();
+        assert_eq!(c.loss_at(1000, 5), c.loss_at(1000, 5));
+        // Noise amplitude near start vs near end.
+        let spread = |s: u64| {
+            (0..200)
+                .map(|i| (c.loss_at(s, i) - c.mean_loss_at(s)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(spread(100) > spread(50_000), "noise decays with progress");
+    }
+
+    #[test]
+    fn series_shape() {
+        let c = LossCurve::fig11_coco();
+        let s = c.series(100, 64);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0].0, 64);
+        assert_eq!(s[99].0, 6400);
+        assert!(s[99].1 < s[0].1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Training-loop driver: pipeline → (real or simulated) step → timestamps.
+
+use crate::mlp::Mlp;
+use crate::model::ModelProfile;
+use emlio_pipeline::{Pipeline, ProcessedBatch};
+use emlio_util::clock::SharedClock;
+use std::time::Duration;
+
+/// One iteration record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterLog {
+    /// Wall timestamp (clock nanos) when the step finished.
+    pub t_nanos: u64,
+    /// Epoch.
+    pub epoch: u32,
+    /// Samples in the batch.
+    pub samples: usize,
+    /// Loss if a real model was trained.
+    pub loss: Option<f32>,
+}
+
+/// Full run log.
+#[derive(Debug, Clone, Default)]
+pub struct TrainLog {
+    /// Per-iteration records in completion order.
+    pub iters: Vec<IterLog>,
+}
+
+impl TrainLog {
+    /// Total samples consumed.
+    pub fn total_samples(&self) -> u64 {
+        self.iters.iter().map(|i| i.samples as u64).sum()
+    }
+
+    /// Duration between first and last step, seconds.
+    pub fn span_secs(&self) -> f64 {
+        match (self.iters.first(), self.iters.last()) {
+            (Some(a), Some(b)) => (b.t_nanos.saturating_sub(a.t_nanos)) as f64 / 1e9,
+            _ => 0.0,
+        }
+    }
+
+    /// Final loss, if any.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.iters.iter().rev().find_map(|i| i.loss)
+    }
+}
+
+/// Drives a training loop over a preprocessing pipeline.
+pub struct Trainer {
+    clock: SharedClock,
+    /// Simulated per-sample step cost (None = consume at full speed).
+    profile: Option<ModelProfile>,
+    /// Optional real model trained on the arriving tensors.
+    mlp: Option<Mlp>,
+}
+
+impl Trainer {
+    /// A trainer that simulates step time from `profile`.
+    pub fn simulated(clock: SharedClock, profile: ModelProfile) -> Trainer {
+        Trainer {
+            clock,
+            profile: Some(profile),
+            mlp: None,
+        }
+    }
+
+    /// A trainer that really trains `mlp` (step time = actual compute).
+    pub fn real(clock: SharedClock, mlp: Mlp) -> Trainer {
+        Trainer {
+            clock,
+            profile: None,
+            mlp: Some(mlp),
+        }
+    }
+
+    /// A trainer that both trains `mlp` and pads to `profile` step time.
+    pub fn real_with_profile(clock: SharedClock, mlp: Mlp, profile: ModelProfile) -> Trainer {
+        Trainer {
+            clock,
+            profile: Some(profile),
+            mlp: Some(mlp),
+        }
+    }
+
+    /// Consume the pipeline to exhaustion, stepping per batch.
+    pub fn run(&mut self, pipeline: &Pipeline) -> TrainLog {
+        let mut log = TrainLog::default();
+        while let Some(batch) = pipeline.next_batch() {
+            log.iters.push(self.step(&batch));
+        }
+        log
+    }
+
+    /// One training step.
+    pub fn step(&mut self, batch: &ProcessedBatch) -> IterLog {
+        let loss = self.mlp.as_mut().map(|mlp| {
+            let pairs: Vec<(&emlio_pipeline::Tensor, u32)> = batch
+                .tensors
+                .iter()
+                .zip(batch.labels.iter().copied())
+                .collect();
+            if pairs.is_empty() {
+                0.0
+            } else {
+                mlp.train_batch(&pairs)
+            }
+        });
+        if let Some(profile) = &self.profile {
+            let cost: Duration = profile.step_time(batch.tensors.len());
+            self.clock.sleep_nanos(cost.as_nanos() as u64);
+        }
+        IterLog {
+            t_nanos: self.clock.now_nanos(),
+            epoch: batch.epoch,
+            samples: batch.tensors.len(),
+            loss,
+        }
+    }
+
+    /// Access the trained model (if any).
+    pub fn model(&self) -> Option<&Mlp> {
+        self.mlp.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use emlio_datagen::DatasetSpec;
+    use emlio_pipeline::{PipelineBuilder, RawBatch, RawSample, VecSource};
+    use emlio_util::clock::RealClock;
+
+    fn raw_batches(spec: &DatasetSpec, bs: usize) -> Vec<RawBatch> {
+        let mut out = Vec::new();
+        let mut id = 0;
+        let mut bid = 0;
+        while id < spec.num_samples {
+            let samples = (0..bs)
+                .filter_map(|_| {
+                    if id < spec.num_samples {
+                        let s = RawSample {
+                            bytes: Bytes::from(spec.payload_of(id)),
+                            label: spec.label_of(id),
+                            sample_id: id,
+                        };
+                        id += 1;
+                        Some(s)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            out.push(RawBatch {
+                epoch: 0,
+                batch_id: bid,
+                samples,
+            });
+            bid += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn simulated_trainer_paces_by_profile() {
+        let spec = DatasetSpec::tiny("trn", 8);
+        let pipe = PipelineBuilder::new()
+            .threads(2)
+            .build(Box::new(VecSource::new(raw_batches(&spec, 4))));
+        let mut profile = ModelProfile::resnet50();
+        profile.step_secs_per_sample = 0.002; // 2 ms/sample for the test
+        let mut trainer = Trainer::simulated(RealClock::shared(), profile);
+        let t0 = std::time::Instant::now();
+        let log = trainer.run(&pipe);
+        let elapsed = t0.elapsed();
+        assert_eq!(log.total_samples(), 8);
+        assert!(
+            elapsed >= Duration::from_millis(14),
+            "8 samples × 2 ms ≈ 16 ms of step time, got {elapsed:?}"
+        );
+        assert!(log.final_loss().is_none());
+    }
+
+    #[test]
+    fn real_trainer_reports_loss() {
+        let spec = DatasetSpec::tiny("trn2", 12);
+        let pipe = PipelineBuilder::new()
+            .threads(2)
+            .resize(16, 16)
+            .build(Box::new(VecSource::new(raw_batches(&spec, 4))));
+        let mlp = Mlp::new(48, 16, spec.num_classes as usize, 0.1, 3);
+        let mut trainer = Trainer::real(RealClock::shared(), mlp);
+        let log = trainer.run(&pipe);
+        assert_eq!(log.iters.len(), 3);
+        assert!(log.final_loss().unwrap() > 0.0);
+        assert!(trainer.model().is_some());
+    }
+}

@@ -1,0 +1,27 @@
+//! `emlio-tsdb` — an embedded time-series database in the InfluxDB mold.
+//!
+//! EMLIO's energy-monitoring framework (§3) writes barrier-aligned energy
+//! tuples, tagged by node id, to InfluxDB, and later answers queries like
+//! *"total CPU energy of node A between epoch start and epoch end"*. This
+//! crate supplies that substrate:
+//!
+//! * tagged, multi-field [`point::Point`]s with nanosecond timestamps;
+//! * per-series columnar storage with time-sorted insertion ([`storage`]);
+//! * range + tag-filter queries with aggregations — `Sum`, `Mean`, `Min`,
+//!   `Max`, `Count`, `Last`, and `Integral` (trapezoidal ∫ P dt, which turns
+//!   a power series into energy) ([`query`]);
+//! * Influx line-protocol serialization for durability and diffing
+//!   ([`line`]);
+//! * a thread-safe [`client::TsdbClient`] with the `write_points` / `query`
+//!   shape of the InfluxDB Python client used in Algorithm 1.
+
+pub mod client;
+pub mod line;
+pub mod point;
+pub mod query;
+pub mod storage;
+
+pub use client::TsdbClient;
+pub use point::Point;
+pub use query::{Agg, Query};
+pub use storage::Db;

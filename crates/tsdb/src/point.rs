@@ -1,0 +1,88 @@
+//! Data points: measurement + tags + numeric fields + timestamp.
+
+use std::collections::BTreeMap;
+
+/// One observation. Tags are indexed dimensions (node id, component);
+/// fields are the measured values (energy in joules, power in watts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Measurement name, e.g. `"energy"`.
+    pub measurement: String,
+    /// Sorted tag set.
+    pub tags: BTreeMap<String, String>,
+    /// Sorted field set.
+    pub fields: BTreeMap<String, f64>,
+    /// Nanoseconds since the epoch (or simulation start).
+    pub timestamp: u64,
+}
+
+impl Point {
+    /// Start building a point for `measurement`.
+    pub fn new(measurement: &str) -> Point {
+        Point {
+            measurement: measurement.to_string(),
+            tags: BTreeMap::new(),
+            fields: BTreeMap::new(),
+            timestamp: 0,
+        }
+    }
+
+    /// Add a tag.
+    pub fn tag(mut self, key: &str, value: &str) -> Point {
+        self.tags.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Add a field.
+    pub fn field(mut self, key: &str, value: f64) -> Point {
+        self.fields.insert(key.to_string(), value);
+        self
+    }
+
+    /// Set the timestamp (nanoseconds).
+    pub fn at(mut self, timestamp: u64) -> Point {
+        self.timestamp = timestamp;
+        self
+    }
+
+    /// The canonical series key: measurement plus sorted `tag=value` pairs.
+    pub fn series_key(&self) -> String {
+        series_key(&self.measurement, &self.tags)
+    }
+}
+
+/// Series key shared by storage and queries.
+pub fn series_key(measurement: &str, tags: &BTreeMap<String, String>) -> String {
+    let mut key = measurement.to_string();
+    for (k, v) in tags {
+        key.push(',');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_series_key() {
+        let p = Point::new("energy")
+            .tag("node_id", "compute-0")
+            .tag("component", "gpu")
+            .field("joules", 2.5)
+            .at(1_000);
+        assert_eq!(p.series_key(), "energy,component=gpu,node_id=compute-0");
+        assert_eq!(p.fields["joules"], 2.5);
+        assert_eq!(p.timestamp, 1_000);
+    }
+
+    #[test]
+    fn tag_order_canonical() {
+        let a = Point::new("m").tag("b", "2").tag("a", "1");
+        let b = Point::new("m").tag("a", "1").tag("b", "2");
+        assert_eq!(a.series_key(), b.series_key());
+    }
+}

@@ -1,0 +1,207 @@
+//! Range queries and aggregations.
+
+use crate::storage::{Db, Series};
+
+/// Aggregation functions over a field within a time range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum of values — turns per-interval energy tuples into total joules.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Number of (non-NaN) points.
+    Count,
+    /// Last value in the range.
+    Last,
+    /// Trapezoidal ∫ value dt with dt in **seconds** — turns a power series
+    /// (watts) into energy (joules).
+    Integral,
+}
+
+/// A query: measurement, tag filters, inclusive time range, field.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Measurement to search.
+    pub measurement: String,
+    /// Tags that must match exactly.
+    pub tag_filters: Vec<(String, String)>,
+    /// Inclusive range `[start, end]` in nanoseconds.
+    pub start: u64,
+    /// End of range (inclusive).
+    pub end: u64,
+    /// Field to read.
+    pub field: String,
+}
+
+impl Query {
+    /// Query everything in a measurement/field over `[start, end]`.
+    pub fn new(measurement: &str, field: &str) -> Query {
+        Query {
+            measurement: measurement.to_string(),
+            tag_filters: Vec::new(),
+            start: 0,
+            end: u64::MAX,
+            field: field.to_string(),
+        }
+    }
+
+    /// Require a tag value.
+    pub fn tag(mut self, key: &str, value: &str) -> Query {
+        self.tag_filters.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Restrict the time range (inclusive).
+    pub fn range(mut self, start: u64, end: u64) -> Query {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Collect matching `(timestamp, value)` pairs, merged across series in
+    /// time order, NaN (missing) values skipped.
+    pub fn points(&self, db: &Db) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        for series in db.matching(&self.measurement, &self.tag_filters) {
+            collect_series(series, self, &mut out);
+        }
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+
+    /// Aggregate the matching points.
+    pub fn aggregate(&self, db: &Db, agg: Agg) -> Option<f64> {
+        let pts = self.points(db);
+        if pts.is_empty() {
+            return None;
+        }
+        Some(match agg {
+            Agg::Sum => pts.iter().map(|&(_, v)| v).sum(),
+            Agg::Mean => pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64,
+            Agg::Min => pts.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min),
+            Agg::Max => pts
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::NEG_INFINITY, f64::max),
+            Agg::Count => pts.len() as f64,
+            Agg::Last => pts.last().unwrap().1,
+            Agg::Integral => {
+                let mut acc = 0.0;
+                for w in pts.windows(2) {
+                    let dt = (w[1].0 - w[0].0) as f64 / 1e9;
+                    acc += 0.5 * (w[0].1 + w[1].1) * dt;
+                }
+                acc
+            }
+        })
+    }
+}
+
+fn collect_series(series: &Series, q: &Query, out: &mut Vec<(u64, f64)>) {
+    let col = match series.fields.get(&q.field) {
+        Some(c) => c,
+        None => return,
+    };
+    let lo = series.timestamps.partition_point(|&t| t < q.start);
+    let hi = series.timestamps.partition_point(|&t| t <= q.end);
+    for i in lo..hi {
+        let v = col[i];
+        if !v.is_nan() {
+            out.push((series.timestamps[i], v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn db_with_power_series() -> Db {
+        let mut db = Db::new();
+        // Constant 100 W for 10 samples at 1-second spacing on node n0,
+        // 50 W on n1.
+        for i in 0..10u64 {
+            db.insert(
+                &Point::new("power")
+                    .tag("node_id", "n0")
+                    .field("watts", 100.0)
+                    .at(i * 1_000_000_000),
+            );
+            db.insert(
+                &Point::new("power")
+                    .tag("node_id", "n1")
+                    .field("watts", 50.0)
+                    .at(i * 1_000_000_000),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn range_selection_inclusive() {
+        let db = db_with_power_series();
+        let q = Query::new("power", "watts")
+            .tag("node_id", "n0")
+            .range(2_000_000_000, 5_000_000_000);
+        let pts = q.points(&db);
+        assert_eq!(pts.len(), 4, "samples at t=2,3,4,5 s");
+        assert_eq!(pts[0].0, 2_000_000_000);
+        assert_eq!(pts[3].0, 5_000_000_000);
+    }
+
+    #[test]
+    fn aggregations() {
+        let db = db_with_power_series();
+        let q = Query::new("power", "watts").tag("node_id", "n0");
+        assert_eq!(q.aggregate(&db, Agg::Sum), Some(1000.0));
+        assert_eq!(q.aggregate(&db, Agg::Mean), Some(100.0));
+        assert_eq!(q.aggregate(&db, Agg::Min), Some(100.0));
+        assert_eq!(q.aggregate(&db, Agg::Max), Some(100.0));
+        assert_eq!(q.aggregate(&db, Agg::Count), Some(10.0));
+        assert_eq!(q.aggregate(&db, Agg::Last), Some(100.0));
+    }
+
+    #[test]
+    fn integral_turns_power_into_energy() {
+        let db = db_with_power_series();
+        // 100 W over 9 seconds (10 samples, trapezoid) = 900 J.
+        let q = Query::new("power", "watts").tag("node_id", "n0");
+        let joules = q.aggregate(&db, Agg::Integral).unwrap();
+        assert!((joules - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_series_without_filter() {
+        let db = db_with_power_series();
+        let q = Query::new("power", "watts");
+        // Both nodes: mean of 100 and 50.
+        assert_eq!(q.aggregate(&db, Agg::Mean), Some(75.0));
+        assert_eq!(q.aggregate(&db, Agg::Count), Some(20.0));
+    }
+
+    #[test]
+    fn missing_field_and_empty_results() {
+        let db = db_with_power_series();
+        let q = Query::new("power", "amps");
+        assert!(q.points(&db).is_empty());
+        assert_eq!(q.aggregate(&db, Agg::Sum), None);
+        let q2 = Query::new("power", "watts").range(100, 200);
+        assert_eq!(q2.aggregate(&db, Agg::Sum), None);
+    }
+
+    #[test]
+    fn nan_gaps_skipped() {
+        let mut db = Db::new();
+        db.insert(&Point::new("m").field("a", 1.0).at(0));
+        db.insert(&Point::new("m").field("b", 9.0).at(10)); // `a` is NaN here
+        db.insert(&Point::new("m").field("a", 3.0).at(20));
+        let q = Query::new("m", "a");
+        let pts = q.points(&db);
+        assert_eq!(pts, vec![(0, 1.0), (20, 3.0)]);
+    }
+}

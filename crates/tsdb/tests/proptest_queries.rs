@@ -1,0 +1,93 @@
+//! Property tests for the TSDB: range-splitting consistency, aggregation
+//! identities, and line-protocol roundtrips of arbitrary points.
+
+use emlio_tsdb::{line, Agg, Db, Point, Query};
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (
+        "[a-z]{1,6}",
+        proptest::collection::btree_map("[a-z]{1,4}", "[a-zA-Z0-9 =,_-]{1,8}", 0..3),
+        proptest::collection::btree_map("[a-z]{1,4}", -1.0e6f64..1.0e6, 1..3),
+        0u64..1_000_000,
+    )
+        .prop_map(|(m, tags, fields, ts)| {
+            let mut p = Point::new(&m).at(ts);
+            for (k, v) in tags {
+                p = p.tag(&k, &v);
+            }
+            for (k, v) in fields {
+                p = p.field(&k, v);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn line_protocol_roundtrip(p in point_strategy()) {
+        let line = line::to_line(&p);
+        let back = line::from_line(&line).expect("own output parses");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn split_range_sums_compose(
+        values in proptest::collection::vec(-1000.0f64..1000.0, 1..60),
+        split_at in any::<u64>(),
+    ) {
+        let mut db = Db::new();
+        for (i, &v) in values.iter().enumerate() {
+            db.insert(&Point::new("m").field("x", v).at(i as u64 * 10));
+        }
+        let end = (values.len() as u64 - 1) * 10;
+        let mid = split_at % (end + 1);
+        let full = Query::new("m", "x").range(0, end).aggregate(&db, Agg::Sum).unwrap();
+        let left = Query::new("m", "x").range(0, mid).aggregate(&db, Agg::Sum).unwrap_or(0.0);
+        let right = Query::new("m", "x")
+            .range(mid + 1, end)
+            .aggregate(&db, Agg::Sum)
+            .unwrap_or(0.0);
+        prop_assert!((full - (left + right)).abs() < 1e-6,
+            "sum must split: {full} vs {left}+{right}");
+        // Count composes identically.
+        let c_full = Query::new("m", "x").range(0, end).aggregate(&db, Agg::Count).unwrap();
+        prop_assert_eq!(c_full as usize, values.len());
+    }
+
+    #[test]
+    fn aggregate_identities(values in proptest::collection::vec(0.1f64..100.0, 1..40)) {
+        let mut db = Db::new();
+        for (i, &v) in values.iter().enumerate() {
+            db.insert(&Point::new("m").field("x", v).at(i as u64 * 1_000_000_000));
+        }
+        let q = Query::new("m", "x");
+        let sum = q.aggregate(&db, Agg::Sum).unwrap();
+        let mean = q.aggregate(&db, Agg::Mean).unwrap();
+        let count = q.aggregate(&db, Agg::Count).unwrap();
+        let min = q.aggregate(&db, Agg::Min).unwrap();
+        let max = q.aggregate(&db, Agg::Max).unwrap();
+        prop_assert!((mean * count - sum).abs() < 1e-6);
+        prop_assert!(min <= mean + 1e-12 && mean <= max + 1e-12);
+        // Integral of a positive series over [t0, tN] is within [min, max]
+        // times the span.
+        if values.len() > 1 {
+            let span = (values.len() - 1) as f64;
+            let integral = q.aggregate(&db, Agg::Integral).unwrap();
+            prop_assert!(integral >= min * span - 1e-6);
+            prop_assert!(integral <= max * span + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dump_load_preserves_queries(points in proptest::collection::vec(point_strategy(), 1..30)) {
+        let mut db = Db::new();
+        for p in &points {
+            db.insert(p);
+        }
+        let restored = line::load(&line::dump(&db)).unwrap();
+        prop_assert_eq!(restored.point_count(), db.point_count());
+    }
+}

@@ -1,0 +1,97 @@
+//! Human-readable byte sizes for reports and configuration.
+
+/// Format a byte count with binary-ish decimal units (KB = 1000 B style is
+/// avoided; we use IEC multiples but the familiar suffixes the paper uses:
+/// "10 GB subset", "0.1 MB/sample").
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    if bytes < 1024 {
+        return format!("{} B", bytes);
+    }
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if value >= 100.0 {
+        format!("{:.0} {}", value, UNITS[unit])
+    } else if value >= 10.0 {
+        format!("{:.1} {}", value, UNITS[unit])
+    } else {
+        format!("{:.2} {}", value, UNITS[unit])
+    }
+}
+
+/// Parse sizes like `"64"`, `"10GiB"`, `"0.1 MiB"`, `"2MB"` (decimal MB/GB
+/// accepted as their IEC equivalents for convenience). Returns `None` on
+/// malformed input.
+pub fn parse_bytes(text: &str) -> Option<u64> {
+    let t = text.trim();
+    let split = t
+        .char_indices()
+        .find(|(_, c)| c.is_ascii_alphabetic())
+        .map(|(i, _)| i)
+        .unwrap_or(t.len());
+    let (num, unit) = t.split_at(split);
+    let num: f64 = num.trim().parse().ok()?;
+    if num < 0.0 {
+        return None;
+    }
+    let mult: u64 = match unit.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kb" | "kib" => 1 << 10,
+        "m" | "mb" | "mib" => 1 << 20,
+        "g" | "gb" | "gib" => 1 << 30,
+        "t" | "tb" | "tib" => 1u64 << 40,
+        _ => return None,
+    };
+    Some((num * mult as f64).round() as u64)
+}
+
+/// Megabytes (MiB) → bytes, for the paper's per-sample sizes.
+pub const fn mib(n: u64) -> u64 {
+    n << 20
+}
+
+/// Gibibytes → bytes.
+pub const fn gib(n: u64) -> u64 {
+    n << 30
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(10 * 1024 * 1024), "10.0 MiB");
+        assert_eq!(format_bytes(gib(10)), "10.0 GiB");
+        assert_eq!(format_bytes(u64::MAX).contains("PiB"), true);
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!(parse_bytes("64"), Some(64));
+        assert_eq!(parse_bytes("1 KiB"), Some(1024));
+        assert_eq!(parse_bytes("2MB"), Some(mib(2)));
+        assert_eq!(parse_bytes("0.5 GiB"), Some(gib(1) / 2));
+        assert_eq!(parse_bytes("10GiB"), Some(gib(10)));
+        assert_eq!(parse_bytes("nonsense"), None);
+        assert_eq!(parse_bytes("-1KB"), None);
+        assert_eq!(parse_bytes("3 XB"), None);
+    }
+
+    #[test]
+    fn roundtrip_common_sizes() {
+        for &b in &[1u64, 1024, mib(1), mib(100), gib(2)] {
+            let parsed = parse_bytes(&format_bytes(b)).unwrap();
+            // Formatting truncates; accept 1% slack.
+            let err = (parsed as f64 - b as f64).abs() / b as f64;
+            assert!(err < 0.01, "{} -> {} -> {}", b, format_bytes(b), parsed);
+        }
+    }
+}

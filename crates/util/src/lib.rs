@@ -1,0 +1,68 @@
+//! `emlio-util` — shared substrate utilities for the EMLIO workspace.
+//!
+//! This crate hosts the small pieces every other crate leans on:
+//!
+//! * [`clock`] — a virtual-clock abstraction so the same code can run against
+//!   wall time (examples, integration tests) or manually-advanced time
+//!   (discrete-event simulation, deterministic unit tests).
+//! * [`json`] — a minimal, dependency-free JSON codec used for TFRecord shard
+//!   indexes (`mapping_shard_*.json`) and experiment reports.
+//! * [`stats`] — streaming statistics (Welford mean/variance, percentiles,
+//!   EWMA) used by metrics and the benchmark harness.
+//! * [`bytesize`] — human-readable byte formatting/parsing.
+//! * [`tslog`] — the shared `TimestampLogger` from §4.5 of the paper, used to
+//!   align sender/receiver events with energy-monitor traces.
+//! * [`rate`] — token-bucket pacing used by the userspace network emulator.
+
+pub mod bytesize;
+pub mod clock;
+pub mod json;
+pub mod rate;
+pub mod stats;
+pub mod testutil;
+pub mod tslog;
+
+pub use clock::{Clock, ManualClock, RealClock, SharedClock};
+pub use json::Json;
+pub use stats::{OnlineStats, Summary};
+pub use tslog::TimestampLogger;
+
+/// Nanoseconds per second, as a `u64`.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// Convert seconds (f64) to nanoseconds (u64), saturating at the bounds.
+///
+/// Negative inputs clamp to zero — callers pass durations, not instants.
+pub fn secs_to_nanos(secs: f64) -> u64 {
+    if secs.is_nan() || secs <= 0.0 {
+        return 0;
+    }
+    let nanos = secs * NANOS_PER_SEC as f64;
+    if nanos >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        nanos as u64
+    }
+}
+
+/// Convert nanoseconds to seconds as `f64`.
+pub fn nanos_to_secs(nanos: u64) -> f64 {
+    nanos as f64 / NANOS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_nanos_roundtrip() {
+        assert_eq!(secs_to_nanos(1.0), NANOS_PER_SEC);
+        assert_eq!(secs_to_nanos(0.5), NANOS_PER_SEC / 2);
+        assert_eq!(secs_to_nanos(0.0), 0);
+        assert_eq!(secs_to_nanos(-3.0), 0);
+        assert_eq!(secs_to_nanos(f64::NAN), 0);
+        assert_eq!(secs_to_nanos(f64::INFINITY), u64::MAX);
+        let x = 123.456;
+        assert!((nanos_to_secs(secs_to_nanos(x)) - x).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,63 @@
+//! Test support shared across the workspace (temp directories without
+//! external crates). Compiled unconditionally so downstream crates can use it
+//! from their own `#[cfg(test)]` modules and integration tests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `TMPDIR/<prefix>-<pid>-<n>`.
+    pub fn new(prefix: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Join a file name onto the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept;
+        {
+            let d = TempDir::new("emlio-testutil");
+            kept = d.path().to_path_buf();
+            std::fs::write(d.file("x.txt"), b"hi").unwrap();
+            assert!(kept.exists());
+        }
+        assert!(!kept.exists(), "dir removed on drop");
+    }
+
+    #[test]
+    fn unique_names() {
+        let a = TempDir::new("emlio-uniq");
+        let b = TempDir::new("emlio-uniq");
+        assert_ne!(a.path(), b.path());
+    }
+}

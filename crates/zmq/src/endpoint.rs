@@ -1,0 +1,105 @@
+//! Endpoint addressing: `tcp://host:port` and `inproc://name`.
+
+use crate::ZmqError;
+use std::fmt;
+
+/// A parsed socket endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// TCP address, e.g. `tcp://127.0.0.1:5555`.
+    Tcp(String),
+    /// In-process channel identified by name, e.g. `inproc://planner`.
+    Inproc(String),
+}
+
+impl Endpoint {
+    /// Parse an endpoint URI.
+    pub fn parse(s: &str) -> crate::Result<Endpoint> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            if addr.rsplit_once(':').map_or(true, |(h, p)| {
+                h.is_empty() || p.parse::<u16>().is_err()
+            }) {
+                return Err(ZmqError::BadEndpoint(format!(
+                    "tcp endpoint needs host:port, got {s:?}"
+                )));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(name) = s.strip_prefix("inproc://") {
+            if name.is_empty() {
+                return Err(ZmqError::BadEndpoint("inproc endpoint needs a name".into()));
+            }
+            Ok(Endpoint::Inproc(name.to_string()))
+        } else {
+            Err(ZmqError::BadEndpoint(format!(
+                "unknown scheme in {s:?} (expected tcp:// or inproc://)"
+            )))
+        }
+    }
+
+    /// Build a TCP endpoint from host and port.
+    pub fn tcp(host: &str, port: u16) -> Endpoint {
+        Endpoint::Tcp(format!("{host}:{port}"))
+    }
+
+    /// Build an inproc endpoint.
+    pub fn inproc(name: &str) -> Endpoint {
+        Endpoint::Inproc(name.to_string())
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp://{a}"),
+            Endpoint::Inproc(n) => write!(f, "inproc://{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tcp() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:5555").unwrap(),
+            Endpoint::Tcp("127.0.0.1:5555".into())
+        );
+        assert_eq!(
+            Endpoint::parse("tcp://storage-node:80").unwrap(),
+            Endpoint::tcp("storage-node", 80)
+        );
+    }
+
+    #[test]
+    fn parse_inproc() {
+        assert_eq!(
+            Endpoint::parse("inproc://receiver-0").unwrap(),
+            Endpoint::inproc("receiver-0")
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "127.0.0.1:5555",
+            "tcp://",
+            "tcp://nohost",
+            "tcp://host:notaport",
+            "tcp://:5555",
+            "inproc://",
+            "udp://host:1",
+        ] {
+            assert!(Endpoint::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["tcp://1.2.3.4:9", "inproc://abc"] {
+            assert_eq!(Endpoint::parse(s).unwrap().to_string(), s);
+        }
+    }
+}

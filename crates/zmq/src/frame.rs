@@ -1,0 +1,111 @@
+//! Wire framing: each message is a big-endian `u32` length followed by the
+//! payload. A length guard rejects oversized frames before allocating.
+
+use crate::{Result, ZmqError};
+use bytes::Bytes;
+use std::io::{Read, Write};
+
+/// Write one frame. The caller batches flushes (the sender thread flushes
+/// after draining its queue, not per message).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
+    let len: u32 = payload
+        .len()
+        .try_into()
+        .map_err(|_| ZmqError::FrameTooLarge {
+            size: payload.len(),
+            limit: u32::MAX as usize,
+        })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF *before* the length
+/// prefix (peer closed between messages); mid-frame EOF is an error.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => {
+            return Err(ZmqError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "EOF inside frame header",
+            )))
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(ZmqError::FrameTooLarge {
+            size: len,
+            limit: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(ZmqError::Io)?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ZmqError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor, 1 << 20).unwrap().unwrap().as_ref(),
+            b"first"
+        );
+        assert_eq!(read_frame(&mut cursor, 1 << 20).unwrap().unwrap().len(), 0);
+        assert_eq!(
+            read_frame(&mut cursor, 1 << 20).unwrap().unwrap().len(),
+            1000
+        );
+        assert!(read_frame(&mut cursor, 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_alloc() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(ZmqError::FrameTooLarge { limit: 1024, .. })
+        ));
+    }
+
+    #[test]
+    fn eof_mid_header_is_error() {
+        let buf = [0u8, 0];
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor, 1024).is_err());
+    }
+
+    #[test]
+    fn eof_mid_payload_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"complete").unwrap();
+        let cut = buf.len() - 2;
+        let mut cursor = &buf[..cut];
+        assert!(read_frame(&mut cursor, 1024).is_err());
+    }
+}

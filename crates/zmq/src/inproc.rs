@@ -1,0 +1,93 @@
+//! In-process transport: a global registry of named bounded channels.
+//!
+//! `inproc://name` endpoints let tests and single-process examples run the
+//! whole PUSH→PULL data path without touching the network stack, with the
+//! same HWM-backpressure semantics (the channel is bounded by the *pull*
+//! side's HWM; push-side HWM is enforced by the socket's own queue).
+
+use crate::{Result, ZmqError};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+struct Registry {
+    channels: Mutex<HashMap<String, (Sender<Bytes>, Receiver<Bytes>)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        channels: Mutex::new(HashMap::new()),
+    })
+}
+
+/// Bind the pull side of `name` with a queue of `capacity` messages.
+/// Returns the receiver. Re-binding an existing name replaces the channel
+/// (old senders see `Closed` when the old receiver is dropped).
+pub fn bind(name: &str, capacity: usize) -> Receiver<Bytes> {
+    let (tx, rx) = bounded(capacity.max(1));
+    registry()
+        .channels
+        .lock()
+        .insert(name.to_string(), (tx, rx.clone()));
+    rx
+}
+
+/// Connect the push side to `name`.
+pub fn connect(name: &str) -> Result<Sender<Bytes>> {
+    registry()
+        .channels
+        .lock()
+        .get(name)
+        .map(|(tx, _)| tx.clone())
+        .ok_or_else(|| ZmqError::BadEndpoint(format!("inproc://{name} is not bound")))
+}
+
+/// Remove a binding (future `connect`s fail; existing senders see `Closed`
+/// once the registry's receiver clone is dropped and the pull side is gone).
+pub fn unbind(name: &str) {
+    registry().channels.lock().remove(name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_connect_transfer() {
+        let rx = bind("test-inproc-a", 4);
+        let tx = connect("test-inproc-a").unwrap();
+        tx.send(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(rx.recv().unwrap().as_ref(), b"hello");
+        unbind("test-inproc-a");
+    }
+
+    #[test]
+    fn connect_unbound_fails() {
+        assert!(connect("test-inproc-missing").is_err());
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let rx = bind("test-inproc-bp", 2);
+        let tx = connect("test-inproc-bp").unwrap();
+        tx.try_send(Bytes::from_static(b"1")).unwrap();
+        tx.try_send(Bytes::from_static(b"2")).unwrap();
+        assert!(tx.try_send(Bytes::from_static(b"3")).is_err(), "queue full");
+        rx.recv().unwrap();
+        tx.try_send(Bytes::from_static(b"3")).unwrap();
+        unbind("test-inproc-bp");
+    }
+
+    #[test]
+    fn rebinding_replaces_channel() {
+        let _rx1 = bind("test-inproc-rebind", 1);
+        let rx2 = bind("test-inproc-rebind", 1);
+        let tx = connect("test-inproc-rebind").unwrap();
+        tx.send(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(rx2.recv().unwrap().as_ref(), b"x");
+        unbind("test-inproc-rebind");
+    }
+}

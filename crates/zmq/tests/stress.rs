@@ -1,0 +1,92 @@
+//! Transport stress and property tests: heavy fan-in, mixed message sizes,
+//! arbitrary payload sequences over real TCP.
+
+use bytes::Bytes;
+use emlio_zmq::{Endpoint, PullSocket, PushSocket, SocketOptions};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[test]
+fn heavy_fan_in_exactly_once() {
+    const STREAMS: usize = 8;
+    const PER_STREAM: u32 = 250;
+    let pull = PullSocket::bind(
+        &Endpoint::tcp("127.0.0.1", 0),
+        SocketOptions::default().with_hwm(8),
+    )
+    .unwrap();
+    let ep = pull.local_endpoint().unwrap();
+    let senders: Vec<_> = (0..STREAMS)
+        .map(|s| {
+            let ep = ep.clone();
+            std::thread::spawn(move || {
+                let push =
+                    PushSocket::connect(&ep, SocketOptions::default().with_hwm(4)).unwrap();
+                for i in 0..PER_STREAM {
+                    // Mixed sizes from 1 byte to 256 KiB.
+                    let size = 1usize << (i % 19);
+                    let mut payload = vec![(s as u8) ^ (i as u8); size.max(9)];
+                    payload[..4].copy_from_slice(&(s as u32).to_be_bytes());
+                    payload[4..8].copy_from_slice(&i.to_be_bytes());
+                    push.send(Bytes::from(payload)).unwrap();
+                }
+                push.close().unwrap();
+            })
+        })
+        .collect();
+
+    let mut seen: HashMap<u32, Vec<u32>> = HashMap::new();
+    for _ in 0..STREAMS as u32 * PER_STREAM {
+        let m = pull.recv().unwrap();
+        let s = u32::from_be_bytes(m[..4].try_into().unwrap());
+        let i = u32::from_be_bytes(m[4..8].try_into().unwrap());
+        seen.entry(s).or_default().push(i);
+    }
+    for h in senders {
+        h.join().unwrap();
+    }
+    assert_eq!(seen.len(), STREAMS);
+    for (s, mut ids) in seen {
+        // Per-stream FIFO: each TCP stream preserves its own order.
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "stream {s} order violated"
+        );
+        ids.sort_unstable();
+        assert_eq!(ids, (0..PER_STREAM).collect::<Vec<_>>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn arbitrary_payload_sequences_roundtrip(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..4096), 1..40),
+        hwm in 1usize..8,
+    ) {
+        let pull = PullSocket::bind(
+            &Endpoint::tcp("127.0.0.1", 0),
+            SocketOptions::default().with_hwm(hwm),
+        ).unwrap();
+        let push = PushSocket::connect(
+            &pull.local_endpoint().unwrap(),
+            SocketOptions::default().with_hwm(hwm),
+        ).unwrap();
+        let expect = payloads.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..expect.len() {
+                got.push(pull.recv().unwrap().to_vec());
+            }
+            got
+        });
+        for p in &payloads {
+            push.send(Bytes::from(p.clone())).unwrap();
+        }
+        push.close().unwrap();
+        let got = consumer.join().unwrap();
+        prop_assert_eq!(got, payloads);
+    }
+}

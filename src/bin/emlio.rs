@@ -1,0 +1,297 @@
+//! `emlio` — command-line front end for the EMLIO service.
+//!
+//! ```text
+//! emlio convert  --out DIR [--dataset tiny|imagenet|coco|synthetic] [--samples N] [--shards K]
+//! emlio daemon   --data DIR --connect tcp://HOST:PORT [--threads T] [--batch B] [--epochs E] [--node NAME]
+//! emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
+//! emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS]
+//! emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]
+//! ```
+//!
+//! `daemon` and `receive` run in separate processes (or separate machines);
+//! they agree on the batch plan because the planner is deterministic in the
+//! shared seed. `bench-io` is the one-process loopback measurement, with an
+//! optional netem-shaped RTT.
+
+use emlio::core::plan::Plan;
+use emlio::core::receiver::{EmlioReceiver, ReceiverConfig};
+use emlio::core::service::StorageSpec;
+use emlio::core::{EmlioConfig, EmlioDaemon, EmlioService};
+use emlio::datagen::convert::build_tfrecord_dataset;
+use emlio::datagen::DatasetSpec;
+use emlio::netem::{NetProfile, Proxy};
+use emlio::pipeline::{ExternalSource, PipelineBuilder};
+use emlio::tfrecord::ShardSpec;
+use emlio::util::bytesize::format_bytes;
+use emlio::util::clock::RealClock;
+use emlio::zmq::Endpoint;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "convert" => cmd_convert(parse_flags(rest)),
+        "daemon" => cmd_daemon(parse_flags(rest)),
+        "receive" => cmd_receive(parse_flags(rest)),
+        "bench-io" => cmd_bench_io(parse_flags(rest)),
+        "figures" => cmd_figures(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+emlio — energy- and latency-minimizing training I/O (SC'25 reproduction)
+
+USAGE:
+  emlio convert  --out DIR [--dataset tiny|imagenet|coco|synthetic] [--samples N] [--shards K]
+  emlio daemon   --data DIR --connect tcp://HOST:PORT [--threads T] [--batch B] [--epochs E] [--node NAME]
+  emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
+  emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS]
+  emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]";
+
+/// Parse `--key value` pairs (`--flag` with no value stores "true").
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_string()
+            };
+            map.insert(key.to_string(), value);
+        }
+        i += 1;
+    }
+    map
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v:?}")),
+    }
+}
+
+fn cmd_convert(flags: HashMap<String, String>) -> Result<(), String> {
+    let out = get(&flags, "out")?;
+    let dataset = flags.get("dataset").map(String::as_str).unwrap_or("tiny");
+    let samples: u64 = get_num(&flags, "samples", 256)?;
+    let shards: u32 = get_num(&flags, "shards", 4)?;
+    let spec = match dataset {
+        "tiny" => DatasetSpec::tiny("cli", samples),
+        "imagenet" => DatasetSpec::imagenet_like().with_samples(samples),
+        "coco" => DatasetSpec::coco_like().with_samples(samples),
+        "synthetic" => DatasetSpec::synthetic_2mb().with_samples(samples),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    let t0 = std::time::Instant::now();
+    let index = build_tfrecord_dataset(std::path::Path::new(out), &spec, ShardSpec::Count(shards))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "converted {} samples ({}) into {} shards in {:.2?} at {}",
+        index.total_records(),
+        format_bytes(index.total_bytes()),
+        index.shards.len(),
+        t0.elapsed(),
+        out,
+    );
+    Ok(())
+}
+
+fn config_from(flags: &HashMap<String, String>) -> Result<EmlioConfig, String> {
+    Ok(EmlioConfig::default()
+        .with_batch_size(get_num(flags, "batch", 64usize)?)
+        .with_threads(get_num(flags, "threads", 2usize)?)
+        .with_epochs(get_num(flags, "epochs", 1u32)?)
+        .with_seed(get_num(flags, "seed", 0x0E41_10u64)?))
+}
+
+fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
+    let data = get(&flags, "data")?;
+    let connect = Endpoint::parse(get(&flags, "connect")?).map_err(|e| e.to_string())?;
+    let node = flags
+        .get("node")
+        .cloned()
+        .unwrap_or_else(|| "compute-0".to_string());
+    let config = config_from(&flags)?;
+    let daemon = EmlioDaemon::open("daemon-0", std::path::Path::new(data), config.clone())
+        .map_err(|e| e.to_string())?;
+    let plan = Plan::build(daemon.index(), &[node.clone()], &config);
+    let total: u64 = (0..config.epochs).map(|e| plan.batches_for(e, &node)).sum();
+    println!(
+        "daemon: serving {} batches × {} epochs to {node} at {connect} with T={}",
+        total / config.epochs as u64,
+        config.epochs,
+        config.threads_per_node,
+    );
+    let t0 = std::time::Instant::now();
+    daemon
+        .serve(&plan, &node, &connect)
+        .map_err(|e| e.to_string())?;
+    let (batches, samples, bytes) = daemon.metrics().snapshot();
+    println!(
+        "done in {:.2?}: {batches} batches / {samples} samples / {} read+serialized",
+        t0.elapsed(),
+        format_bytes(bytes),
+    );
+    Ok(())
+}
+
+fn cmd_receive(flags: HashMap<String, String>) -> Result<(), String> {
+    let bind = Endpoint::parse(get(&flags, "bind")?).map_err(|e| e.to_string())?;
+    let streams: u32 = get_num(&flags, "streams", 2)?;
+    let resize: u16 = get_num(&flags, "resize", 0)?;
+    let quiet = flags.contains_key("quiet");
+    let receiver = EmlioReceiver::bind(ReceiverConfig {
+        bind,
+        expected_streams: streams,
+        ..ReceiverConfig::loopback(streams)
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "receiver: bound {} expecting {streams} streams",
+        receiver.endpoint()
+    );
+    let t0 = std::time::Instant::now();
+    let (batches, samples) = if resize > 0 {
+        let pipe = PipelineBuilder::new()
+            .threads(2)
+            .resize(resize, resize)
+            .build(Box::new(receiver.source()));
+        let mut b = 0u64;
+        let mut s = 0u64;
+        while let Some(batch) = pipe.next_batch() {
+            b += 1;
+            s += batch.tensors.len() as u64;
+            if !quiet && b % 50 == 0 {
+                println!("  {b} batches…");
+            }
+        }
+        pipe.join();
+        (b, s)
+    } else {
+        let mut src = receiver.source();
+        let mut b = 0u64;
+        let mut s = 0u64;
+        while let Some(batch) = src.next_batch() {
+            b += 1;
+            s += batch.samples.len() as u64;
+            if !quiet && b % 50 == 0 {
+                println!("  {b} batches…");
+            }
+        }
+        (b, s)
+    };
+    let elapsed = t0.elapsed();
+    println!(
+        "received {batches} batches / {samples} samples in {elapsed:.2?} ({:.0} samples/s)",
+        samples as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    Ok(())
+}
+
+fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
+    let data = get(&flags, "data")?.to_string();
+    let rtt_ms: f64 = get_num(&flags, "rtt-ms", 0.0)?;
+    let config = config_from(&flags)?;
+    let storage = vec![StorageSpec {
+        id: "bench-storage".into(),
+        dataset_dir: data.clone().into(),
+    }];
+    let profile = NetProfile::new(
+        &format!("{rtt_ms}ms"),
+        Duration::from_secs_f64(rtt_ms / 1e3),
+        1.25e9,
+    );
+    let mut dep = if rtt_ms > 0.0 {
+        EmlioService::launch_with(&storage, &config, "bench-node", move |ep| {
+            let Endpoint::Tcp(addr) = ep else {
+                panic!("tcp endpoint expected")
+            };
+            let proxy =
+                Proxy::spawn("127.0.0.1:0", addr, profile.clone(), RealClock::shared())
+                    .expect("spawn netem proxy");
+            let ep = Endpoint::Tcp(proxy.local_addr().to_string());
+            (ep, Box::new(proxy) as Box<dyn std::any::Any + Send>)
+        })
+    } else {
+        EmlioService::launch(&storage, &config, "bench-node", None)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let t0 = std::time::Instant::now();
+    let mut src = dep.receiver.source();
+    let mut samples = 0u64;
+    while let Some(b) = src.next_batch() {
+        samples += b.samples.len() as u64;
+    }
+    dep.join_daemons().map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    let (_, _, bytes) = dep.receiver.metrics().snapshot();
+    println!(
+        "epoch over {} at {rtt_ms} ms RTT: {samples} samples / {} in {elapsed:.2?} ({}/s)",
+        data,
+        format_bytes(bytes),
+        format_bytes((bytes as f64 / elapsed.as_secs_f64().max(1e-9)) as u64),
+    );
+    Ok(())
+}
+
+fn cmd_figures(args: &[String]) -> Result<(), String> {
+    use emlio::testbed::{experiment, report, NodeSpec};
+    let all = [
+        "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations",
+    ];
+    let selected: Vec<&str> = if args.is_empty() {
+        all.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("{}", NodeSpec::table1_text());
+    for name in selected {
+        let rows = match name {
+            "fig1" => experiment::fig1(),
+            "fig5" => experiment::fig5(),
+            "fig6" => experiment::fig6(),
+            "fig7" => experiment::fig7(),
+            "fig8" => experiment::fig8(),
+            "fig9" => experiment::fig9(),
+            "fig10" => experiment::fig10(),
+            "ablations" => experiment::ablations(),
+            other => return Err(format!("unknown figure {other:?} (try: {all:?})")),
+        };
+        println!("{}", report::render_table(name, &rows));
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Cross-validation: the discrete-event models must agree *directionally*
+//! with real small-scale runs over actual sockets and the emulated NFS
+//! mount. Absolute times differ (miniature datasets, dev-profile CPUs); what
+//! must match is the mechanism — EMLIO's epoch time is flat in RTT while
+//! per-file loaders degrade linearly.
+
+use emlio::baselines::pytorch::PytorchConfig;
+use emlio::baselines::PytorchLoader;
+use emlio::core::service::StorageSpec;
+use emlio::core::{EmlioConfig, EmlioService};
+use emlio::datagen::convert::{build_file_dataset, build_tfrecord_dataset, load_file_dataset};
+use emlio::datagen::DatasetSpec;
+use emlio::netem::{NetProfile, NfsConfig, NfsMount, Proxy};
+use emlio::pipeline::ExternalSource;
+use emlio::testbed::loaders::{self, LoaderKind, ModelConstants, StageSet};
+use emlio::testbed::{NodeSpec, Regime, Workload};
+use emlio::util::clock::RealClock;
+use emlio::util::testutil::TempDir;
+use emlio::zmq::Endpoint;
+use std::time::Duration;
+
+const SAMPLES: u64 = 48;
+
+fn real_pytorch_secs(dir: &std::path::Path, rtt_ms: u64) -> f64 {
+    let mount = NfsMount::mount(
+        dir,
+        NetProfile::new("t", Duration::from_millis(rtt_ms), 1.25e9),
+        RealClock::shared(),
+        NfsConfig::default(),
+    );
+    let samples = load_file_dataset(dir).unwrap();
+    let mut loader = PytorchLoader::new(
+        mount,
+        samples,
+        PytorchConfig {
+            batch_size: 8,
+            num_workers: 2,
+            epochs: 1,
+            ..Default::default()
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let mut n = 0;
+    while let Some(b) = loader.next_batch() {
+        n += b.samples.len() as u64;
+    }
+    assert_eq!(n, SAMPLES);
+    t0.elapsed().as_secs_f64()
+}
+
+fn real_emlio_secs(tf_dir: &std::path::Path, rtt_ms: u64) -> f64 {
+    let config = EmlioConfig::default().with_batch_size(8).with_threads(2);
+    let storage = vec![StorageSpec {
+        id: "s".into(),
+        dataset_dir: tf_dir.to_path_buf(),
+    }];
+    let profile = NetProfile::new("t", Duration::from_millis(rtt_ms), 1.25e9);
+    let mut dep = EmlioService::launch_with(&storage, &config, "c", |ep| {
+        let Endpoint::Tcp(addr) = ep else { panic!("tcp") };
+        let proxy =
+            Proxy::spawn("127.0.0.1:0", addr, profile.clone(), RealClock::shared()).unwrap();
+        let ep = Endpoint::Tcp(proxy.local_addr().to_string());
+        (ep, Box::new(proxy) as Box<dyn std::any::Any + Send>)
+    })
+    .unwrap();
+    let t0 = std::time::Instant::now();
+    let mut src = dep.receiver.source();
+    let mut n = 0;
+    while let Some(b) = src.next_batch() {
+        n += b.samples.len() as u64;
+    }
+    assert_eq!(n, SAMPLES);
+    dep.join_daemons().unwrap();
+    t0.elapsed().as_secs_f64()
+}
+
+#[test]
+fn real_runtime_matches_des_direction() {
+    let dir = TempDir::new("des-vs-real");
+    let spec = DatasetSpec::tiny("dvr", SAMPLES);
+    let tf_dir = dir.path().join("tf");
+    let file_dir = dir.path().join("files");
+    build_tfrecord_dataset(&tf_dir, &spec, emlio::tfrecord::ShardSpec::Count(2)).unwrap();
+    build_file_dataset(&file_dir, &spec).unwrap();
+
+    // --- real runtime --------------------------------------------------
+    let py_low = real_pytorch_secs(&file_dir, 0);
+    let py_high = real_pytorch_secs(&file_dir, 10);
+    let em_low = real_emlio_secs(&tf_dir, 0);
+    let em_high = real_emlio_secs(&tf_dir, 10);
+
+    // PyTorch degrades with RTT; EMLIO's absolute penalty is far smaller.
+    assert!(
+        py_high > py_low + 0.5,
+        "pytorch must feel 10 ms RTT: {py_low:.3}s → {py_high:.3}s"
+    );
+    let py_penalty = py_high - py_low;
+    let em_penalty = (em_high - em_low).max(0.0);
+    assert!(
+        em_penalty < py_penalty * 0.35,
+        "EMLIO penalty {em_penalty:.3}s should be ≪ pytorch penalty {py_penalty:.3}s"
+    );
+
+    // --- DES -------------------------------------------------------------
+    let des = |kind: LoaderKind, rtt_ms: f64| {
+        let regime = if rtt_ms == 0.0 {
+            Regime::local()
+        } else {
+            Regime::remote_ms(rtt_ms)
+        };
+        let built = loaders::build(
+            kind,
+            &Workload::imagenet_resnet50(),
+            &regime,
+            StageSet::Full,
+            &ModelConstants::default(),
+            &NodeSpec::uc_storage(),
+            1.0,
+            None,
+        );
+        built.sim.run().makespan_secs()
+    };
+    let des_py_penalty = des(LoaderKind::Pytorch, 10.0) - des(LoaderKind::Pytorch, 0.0);
+    let des_em_penalty =
+        des(LoaderKind::Emlio { concurrency: 2 }, 10.0) - des(LoaderKind::Emlio { concurrency: 2 }, 0.0);
+    assert!(des_py_penalty > 0.0);
+    assert!(
+        des_em_penalty.abs() < des_py_penalty * 0.05,
+        "DES agrees: EMLIO flat ({des_em_penalty:.1}s) vs pytorch (+{des_py_penalty:.1}s)"
+    );
+}

@@ -1,0 +1,154 @@
+//! Failure injection across the data path: corrupt shards, truncated files,
+//! daemons dying mid-stream, and consumers disappearing. The system must
+//! fail *detectably* (errors, never wrong data) and shut down cleanly.
+
+use emlio::core::plan::Plan;
+use emlio::core::receiver::{EmlioReceiver, ReceiverConfig};
+use emlio::core::{EmlioConfig, EmlioDaemon};
+use emlio::datagen::convert::build_tfrecord_dataset;
+use emlio::datagen::DatasetSpec;
+use emlio::pipeline::ExternalSource;
+use emlio::tfrecord::{GlobalIndex, ShardSpec};
+use emlio::util::testutil::TempDir;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+fn build(dir: &TempDir, n: u64) -> GlobalIndex {
+    let spec = DatasetSpec::tiny("fail", n);
+    build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(2)).unwrap()
+}
+
+#[test]
+fn corrupt_payload_detected_when_verification_on() {
+    let dir = TempDir::new("fail-corrupt");
+    let index = build(&dir, 20);
+    // Flip a byte in the middle of shard 0's payload region.
+    let path = index.shard_path(0);
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    f.seek(SeekFrom::Start(40)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    f.seek(SeekFrom::Start(40)).unwrap();
+    f.write_all(&[b[0] ^ 0xFF]).unwrap();
+    drop(f);
+
+    let config = EmlioConfig {
+        verify_crc: true,
+        ..EmlioConfig::default().with_batch_size(4).with_threads(1)
+    };
+    let daemon = EmlioDaemon::open("d", dir.path(), config.clone()).unwrap();
+    let plan = Plan::build(daemon.index(), &["n".to_string()], &config);
+    let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+    let ep = receiver.endpoint().clone();
+    let result = daemon.serve(&plan, "n", &ep);
+    assert!(result.is_err(), "corruption must surface as a daemon error");
+}
+
+#[test]
+fn truncated_shard_file_detected() {
+    let dir = TempDir::new("fail-truncate");
+    let index = build(&dir, 16);
+    let path = index.shard_path(1);
+    let len = std::fs::metadata(&path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - 10).unwrap();
+    drop(f);
+
+    let config = EmlioConfig::default().with_batch_size(4).with_threads(1);
+    let daemon = EmlioDaemon::open("d", dir.path(), config.clone()).unwrap();
+    let plan = Plan::build(daemon.index(), &["n".to_string()], &config);
+    let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+    let result = daemon.serve(&plan, "n", receiver.endpoint());
+    assert!(result.is_err(), "truncated shard must error");
+}
+
+#[test]
+fn missing_index_field_rejected_at_open() {
+    let dir = TempDir::new("fail-badindex");
+    build(&dir, 8);
+    // Vandalize one index file.
+    let idx_path = dir.path().join("mapping_shard_00000.json");
+    std::fs::write(&idx_path, "{\"shard_id\": 0}").unwrap();
+    assert!(EmlioDaemon::open("d", dir.path(), EmlioConfig::default()).is_err());
+}
+
+#[test]
+fn receiver_survives_consumer_disappearing() {
+    // The consumer drops the queue mid-stream; daemon + receiver must not
+    // deadlock or panic.
+    let dir = TempDir::new("fail-consumer");
+    build(&dir, 60);
+    let config = EmlioConfig::default().with_batch_size(4).with_threads(2);
+    let daemon = EmlioDaemon::open("d", dir.path(), config.clone()).unwrap();
+    let plan = Plan::build(daemon.index(), &["n".to_string()], &config);
+    let receiver = EmlioReceiver::bind(ReceiverConfig {
+        queue_capacity: 2,
+        ..ReceiverConfig::loopback(2)
+    })
+    .unwrap();
+    let ep = receiver.endpoint().clone();
+    let server = std::thread::spawn(move || daemon.serve(&plan, "n", &ep));
+
+    {
+        let mut src = receiver.source();
+        // Take a few batches, then walk away.
+        for _ in 0..3 {
+            src.next_batch().unwrap();
+        }
+    }
+    drop(receiver); // closes the PULL socket and the shared queue
+
+    // The daemon either finishes (drained into kernel buffers) or reports a
+    // transport error — both acceptable; hanging or panicking is not.
+    match server.join().unwrap() {
+        Ok(()) => {}
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("transport") || msg.contains("closed"), "{msg}");
+        }
+    }
+}
+
+#[test]
+fn daemon_crash_mid_stream_leaves_receiver_consistent() {
+    // Simulate a crash by sending a valid prefix of batches and dropping the
+    // socket without an end-of-stream marker; a second, healthy stream
+    // completes. The receiver delivers everything it got and terminates once
+    // the expected number of *markers* arrives from the healthy stream.
+    use bytes::Bytes;
+    use emlio::core::wire;
+    use emlio::zmq::{PushSocket, SocketOptions};
+
+    let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+    let ep = receiver.endpoint().clone();
+
+    // Crashing sender: two batches, no end marker.
+    let crash = PushSocket::connect(&ep, SocketOptions::default()).unwrap();
+    for id in 0..2u64 {
+        let frame = wire::encode_batch(0, id, "crashy", &[(id, 0, &[1, 2, 3])]);
+        crash.send(Bytes::from(frame)).unwrap();
+    }
+    crash.close().unwrap(); // socket closes without end_stream
+
+    // Healthy sender.
+    let ok = PushSocket::connect(&ep, SocketOptions::default()).unwrap();
+    for id in 100..103u64 {
+        let frame = wire::encode_batch(0, id, "healthy", &[(id, 1, &[4, 5])]);
+        ok.send(Bytes::from(frame)).unwrap();
+    }
+    ok.send(Bytes::from(wire::encode_end_stream("healthy", 3)))
+        .unwrap();
+    ok.close().unwrap();
+
+    let mut src = receiver.source();
+    let mut ids = Vec::new();
+    while let Some(b) = src.next_batch() {
+        ids.push(b.batch_id);
+    }
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 100, 101, 102], "everything sent was delivered");
+    receiver.join().unwrap();
+}
