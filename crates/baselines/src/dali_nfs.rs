@@ -75,9 +75,8 @@ impl DaliNfsLoader {
                     .spawn(move || {
                         for epoch in 0..cfg.epochs {
                             let mut order: Vec<u64> = (0..n_samples).collect();
-                            let mut rng = StdRng::seed_from_u64(
-                                cfg.seed ^ ((epoch as u64 + 1) * 0x51_7CC1),
-                            );
+                            let mut rng =
+                                StdRng::seed_from_u64(cfg.seed ^ ((epoch as u64 + 1) * 0x51_7CC1));
                             order.shuffle(&mut rng);
                             for batch_id in 0..n_batches {
                                 let start = batch_id as usize * cfg.batch_size;

@@ -23,5 +23,5 @@ pub mod loader;
 pub mod pytorch;
 
 pub use dali_nfs::DaliNfsLoader;
-pub use loader::{EpochResult, run_epoch_through};
+pub use loader::{run_epoch_through, EpochResult};
 pub use pytorch::PytorchLoader;

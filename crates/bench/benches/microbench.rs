@@ -90,7 +90,11 @@ fn bench_range_read(c: &mut Criterion) {
     let mut g = c.benchmark_group("range_read");
     g.throughput(Throughput::Bytes(size));
     g.bench_function("batch64_one_pread", |b| {
-        b.iter(|| reader.read_records_in_range(black_box(off), black_box(size)).unwrap())
+        b.iter(|| {
+            reader
+                .read_records_in_range(black_box(off), black_box(size))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -100,7 +104,9 @@ fn bench_sif(c: &mut Criterion) {
     let encoded = sif::encode(&img, 2);
     let mut g = c.benchmark_group("sif");
     g.throughput(Throughput::Bytes(img.raw_bytes() as u64));
-    g.bench_function("encode_176px", |b| b.iter(|| sif::encode(black_box(&img), 2)));
+    g.bench_function("encode_176px", |b| {
+        b.iter(|| sif::encode(black_box(&img), 2))
+    });
     g.bench_function("decode_176px", |b| {
         b.iter(|| sif::decode(black_box(&encoded)).unwrap())
     });

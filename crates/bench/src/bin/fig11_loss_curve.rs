@@ -18,7 +18,10 @@ fn main() {
         }
     }
     let dali = traces.iter().find(|t| t.method == "dali").unwrap();
-    let emlio = traces.iter().find(|t| t.method.starts_with("emlio")).unwrap();
+    let emlio = traces
+        .iter()
+        .find(|t| t.method.starts_with("emlio"))
+        .unwrap();
     println!(
         "wall-clock speedup: {:.1}x (paper ~7.5x)",
         dali.epoch_end_secs / emlio.epoch_end_secs

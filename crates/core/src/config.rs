@@ -42,7 +42,7 @@ impl Default for EmlioConfig {
             threads_per_node: 2,
             hwm: emlio_zmq::DEFAULT_HWM,
             coverage: Coverage::Partition,
-            seed: 0x0E41_10,
+            seed: 0x000E_4110,
             verify_crc: false,
         }
     }

@@ -100,9 +100,10 @@ impl EmlioDaemon {
     ) -> Result<(), DaemonError> {
         let t = self.config.threads_per_node;
         for ep in &plan.epochs {
-            let np = ep.nodes.get(node_id).ok_or_else(|| {
-                DaemonError::BadPlan(format!("plan has no node {node_id:?}"))
-            })?;
+            let np = ep
+                .nodes
+                .get(node_id)
+                .ok_or_else(|| DaemonError::BadPlan(format!("plan has no node {node_id:?}")))?;
             if np.thread_splits.len() != t {
                 return Err(DaemonError::BadPlan(format!(
                     "plan built for {} threads, daemon configured with {t}",
@@ -144,10 +145,8 @@ impl EmlioDaemon {
         worker: usize,
     ) -> Result<(), DaemonError> {
         let origin = format!("{}/t{}", self.id, worker);
-        let socket = PushSocket::connect(
-            endpoint,
-            SocketOptions::default().with_hwm(self.config.hwm),
-        )?;
+        let socket =
+            PushSocket::connect(endpoint, SocketOptions::default().with_hwm(self.config.hwm))?;
         let mut readers: HashMap<u32, RangeReader> = HashMap::new();
         let mut sent = 0u64;
 
@@ -177,9 +176,7 @@ impl EmlioDaemon {
             .index
             .shards
             .get(range.shard_id as usize)
-            .ok_or_else(|| {
-                DaemonError::BadPlan(format!("unknown shard {}", range.shard_id))
-            })?;
+            .ok_or_else(|| DaemonError::BadPlan(format!("unknown shard {}", range.shard_id)))?;
         if range.end > shard.records.len() {
             return Err(DaemonError::BadPlan(format!(
                 "range [{}, {}) beyond shard {} ({} records)",
@@ -219,8 +216,7 @@ impl EmlioDaemon {
         let frame = wire::encode_batch(epoch, range.batch_id, origin, &samples);
         self.metrics
             .add_codec_nanos(t_ser.elapsed().as_nanos() as u64);
-        self.metrics
-            .record_batch(samples.len() as u64, size);
+        self.metrics.record_batch(samples.len() as u64, size);
         let _ = self.metrics.bytes.load(Ordering::Relaxed);
         Ok(Bytes::from(frame))
     }

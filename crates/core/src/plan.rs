@@ -216,7 +216,7 @@ mod tests {
         let dir = TempDir::new("plan-test");
         let mut w = ShardWriter::create(dir.path(), ShardSpec::Count(shards)).unwrap();
         for i in 0..samples {
-            w.append(&vec![0u8; 64], (i % 5) as u32).unwrap();
+            w.append(&[0u8; 64], (i % 5) as u32).unwrap();
         }
         let idx = w.finish().unwrap();
         (dir, idx)
@@ -309,10 +309,7 @@ mod tests {
         let plan = Plan::build(&idx, &["n".to_string()], &cfg(10, 4));
         let np = &plan.epochs[0].nodes["n"];
         let sizes: Vec<usize> = np.thread_splits.iter().map(Vec::len).collect();
-        let (min, max) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(max - min <= 1, "round-robin balance: {sizes:?}");
         let mut ids: Vec<u64> = np.all_batches().map(|b| b.batch_id).collect();
         ids.sort_unstable();
@@ -333,10 +330,7 @@ mod tests {
         let (_d, idx) = index_with(2, 50);
         let nodes: Vec<String> = (0..4).map(|i| format!("n{i}")).collect();
         let plan = Plan::build(&idx, &nodes, &cfg(16, 1));
-        let busy = nodes
-            .iter()
-            .filter(|n| plan.batches_for(0, n) > 0)
-            .count();
+        let busy = nodes.iter().filter(|n| plan.batches_for(0, n) > 0).count();
         assert_eq!(busy, 2, "only as many nodes as shards get work");
         let total: u64 = nodes.iter().map(|n| plan.batches_for(0, n)).sum();
         assert_eq!(total, 4, "2 shards × 25 records / 16 → 2 batches each");

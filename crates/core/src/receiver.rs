@@ -11,7 +11,7 @@ use crate::wire::{self, WireMsg};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use emlio_pipeline::{QueueSource, RawBatch};
 use emlio_zmq::{Endpoint, PullSocket, SocketOptions, ZmqError};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -47,29 +47,29 @@ pub struct EmlioReceiver {
     endpoint: Endpoint,
     metrics: Arc<DataPathMetrics>,
     streams_seen: Arc<AtomicU32>,
+    shutdown: Arc<AtomicBool>,
     thread: Option<JoinHandle<Result<(), ZmqError>>>,
 }
 
 impl EmlioReceiver {
     /// Bind and start receiving.
     pub fn bind(config: ReceiverConfig) -> Result<EmlioReceiver, ZmqError> {
-        let pull = PullSocket::bind(
-            &config.bind,
-            SocketOptions::default().with_hwm(config.hwm),
-        )?;
+        let pull = PullSocket::bind(&config.bind, SocketOptions::default().with_hwm(config.hwm))?;
         let endpoint = pull
             .local_endpoint()
             .ok_or_else(|| ZmqError::BadEndpoint("unresolvable local endpoint".into()))?;
         let (tx, rx) = bounded(config.queue_capacity.max(1));
         let metrics = DataPathMetrics::shared();
         let streams_seen = Arc::new(AtomicU32::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
         let thread = {
             let metrics = metrics.clone();
             let streams_seen = streams_seen.clone();
+            let shutdown = shutdown.clone();
             let expected = config.expected_streams;
             std::thread::Builder::new()
                 .name("emlio-receiver".into())
-                .spawn(move || receive_loop(pull, tx, metrics, streams_seen, expected))
+                .spawn(move || receive_loop(pull, tx, metrics, streams_seen, shutdown, expected))
                 .expect("spawn receiver thread")
         };
         Ok(EmlioReceiver {
@@ -77,6 +77,7 @@ impl EmlioReceiver {
             endpoint,
             metrics,
             streams_seen,
+            shutdown,
             thread: Some(thread),
         })
     }
@@ -119,7 +120,11 @@ impl EmlioReceiver {
 
 impl Drop for EmlioReceiver {
     fn drop(&mut self) {
-        // Disconnect the shared queue first: an intake thread blocked on a
+        // Stop the intake thread even if the expected end-of-stream markers
+        // never arrived (e.g. a daemon died mid-stream): it re-checks this
+        // flag on every poll tick.
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Disconnect the shared queue too: an intake thread blocked on a
         // full queue must observe the disconnect, or the join would deadlock
         // (its `tx.send` only errors once every receiver clone is gone).
         let rx = std::mem::replace(&mut self.rx, crossbeam::channel::never());
@@ -135,10 +140,14 @@ fn receive_loop(
     tx: Sender<RawBatch>,
     metrics: Arc<DataPathMetrics>,
     streams_seen: Arc<AtomicU32>,
+    shutdown: Arc<AtomicBool>,
     expected_streams: u32,
 ) -> Result<(), ZmqError> {
     let mut ended = 0u32;
     while ended < expected_streams {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         let frame = match pull.recv_timeout(Duration::from_millis(200))? {
             Some(f) => f,
             None => continue,
@@ -163,7 +172,38 @@ fn receive_loop(
             }
         }
     }
-    Ok(())
+    // Every expected stream has ended, but frames from streams that died
+    // *without* a marker may still be in flight on their own connections.
+    // Drain until the socket is quiet, so nothing that reached this node is
+    // silently dropped. The quiet window is short while pushers are still
+    // connected and immediate once they are all gone — bounded either way,
+    // so a live-but-idle peer cannot hang `join()` forever.
+    let mut quiet_ticks = 0u32;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let all_disconnected = pull.active_connections() == 0;
+        match pull.recv_timeout(Duration::from_millis(20))? {
+            Some(frame) => {
+                quiet_ticks = 0;
+                if let Ok(WireMsg::Batch(batch)) = wire::decode(&frame) {
+                    metrics.record_batch(batch.samples.len() as u64, batch.payload_bytes());
+                    if tx.send(batch).is_err() {
+                        return Ok(());
+                    }
+                }
+            }
+            None if all_disconnected => return Ok(()),
+            None => {
+                quiet_ticks += 1;
+                if quiet_ticks >= 25 {
+                    // ~500 ms of silence with a connection still open.
+                    return Ok(());
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,8 +220,11 @@ mod tests {
             let frame = wire::encode_batch(0, *id, origin, &[(*id, 0, payload.as_slice())]);
             sock.send(Bytes::from(frame)).unwrap();
         }
-        sock.send(Bytes::from(wire::encode_end_stream(origin, ids.len() as u64)))
-            .unwrap();
+        sock.send(Bytes::from(wire::encode_end_stream(
+            origin,
+            ids.len() as u64,
+        )))
+        .unwrap();
         sock.close().unwrap();
     }
 
@@ -237,7 +280,8 @@ mod tests {
         sock.send(Bytes::from_static(b"\xde\xad\xbe\xef")).unwrap();
         let good = wire::encode_batch(0, 9, "x", &[(9, 1, &[1, 2])]);
         sock.send(Bytes::from(good)).unwrap();
-        sock.send(Bytes::from(wire::encode_end_stream("x", 1))).unwrap();
+        sock.send(Bytes::from(wire::encode_end_stream("x", 1)))
+            .unwrap();
         sock.close().unwrap();
         let mut src = receiver.source();
         let b = src.next_batch().unwrap();

@@ -167,7 +167,7 @@ mod tests {
 
         let mut dep = EmlioService::launch(&storage, &config, "compute-0", None).unwrap();
         let mut src = dep.receiver.source();
-        let mut per_epoch_samples = vec![0u64; 2];
+        let mut per_epoch_samples = [0u64; 2];
         let mut batches = 0u64;
         while let Some(b) = src.next_batch() {
             batches += 1;

@@ -157,14 +157,12 @@ pub fn decode(frame: &Bytes) -> Result<WireMsg, WireError> {
     }))
 }
 
-fn decode_sample(
-    d: &mut Decoder<'_>,
-    frame: &Bytes,
-    idx: usize,
-) -> Result<RawSample, WireError> {
+fn decode_sample(d: &mut Decoder<'_>, frame: &Bytes, idx: usize) -> Result<RawSample, WireError> {
     let n = d.read_map_len()?;
     if n != 3 {
-        return Err(WireError::Schema(format!("sample {idx}: expected 3 fields")));
+        return Err(WireError::Schema(format!(
+            "sample {idx}: expected 3 fields"
+        )));
     }
     let mut id = None;
     let mut label = None;
@@ -226,7 +224,10 @@ mod tests {
     fn end_stream_roundtrip() {
         let frame = Bytes::from(encode_end_stream("daemon-1/t0", 42));
         match decode(&frame).unwrap() {
-            WireMsg::EndStream { origin, batches_sent } => {
+            WireMsg::EndStream {
+                origin,
+                batches_sent,
+            } => {
                 assert_eq!(origin, "daemon-1/t0");
                 assert_eq!(batches_sent, 42);
             }
@@ -246,7 +247,10 @@ mod tests {
     #[test]
     fn malformed_frames_rejected() {
         assert!(decode(&Bytes::from_static(b"")).is_err());
-        assert!(decode(&Bytes::from_static(b"\xc0")).is_err(), "nil is not a map");
+        assert!(
+            decode(&Bytes::from_static(b"\xc0")).is_err(),
+            "nil is not a map"
+        );
         // Map with unknown field.
         let mut buf = Vec::new();
         let mut e = Encoder::new(&mut buf);

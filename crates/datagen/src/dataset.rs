@@ -111,7 +111,12 @@ impl DatasetSpec {
     /// Synthesize the image for sample `id`.
     pub fn image_of(&self, id: u64) -> Image {
         let (w, h, c) = self.dims;
-        synth_image(w, h, c, self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(id))
+        synth_image(
+            w,
+            h,
+            c,
+            self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(id),
+        )
     }
 
     /// The exact on-disk payload of sample `id`: SIF stream padded to

@@ -85,7 +85,8 @@ pub fn synth_image(width: u16, height: u16, channels: u8, sample_id: u64) -> Ima
             .collect();
         for y in 0..height as usize {
             for x in 0..width as usize {
-                let mut v = base + gx * (x as f64 - w / 2.0) * 64.0 / w
+                let mut v = base
+                    + gx * (x as f64 - w / 2.0) * 64.0 / w
                     + gy * (y as f64 - h / 2.0) * 64.0 / h;
                 for &(bx, by, r, amp) in &blobs {
                     let d2 = (x as f64 - bx).powi(2) + (y as f64 - by).powi(2);
@@ -128,7 +129,10 @@ mod tests {
         let p = &img.planes[0];
         let min = *p.iter().min().unwrap();
         let max = *p.iter().max().unwrap();
-        assert!(max - min > 30, "expect visible structure, got [{min},{max}]");
+        assert!(
+            max - min > 30,
+            "expect visible structure, got [{min},{max}]"
+        );
     }
 
     #[test]

@@ -117,8 +117,7 @@ pub fn decode(bytes: &[u8]) -> Result<Image, SifError> {
             return Err(SifError::Truncated);
         }
         let mode = bytes[pos];
-        let len =
-            u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
         pos += 5;
         if pos + len > bytes.len() {
             return Err(SifError::Truncated);
@@ -133,7 +132,12 @@ pub fn decode(bytes: &[u8]) -> Result<Image, SifError> {
                 }
                 data.to_vec()
             }
-            m => return Err(SifError::BadMode { plane: plane_idx, mode: m }),
+            m => {
+                return Err(SifError::BadMode {
+                    plane: plane_idx,
+                    mode: m,
+                })
+            }
         };
         planes.push(delta_decode(&deltas, width as usize));
     }
@@ -195,7 +199,7 @@ fn rle_encode(data: &[u8]) -> Vec<u8> {
 }
 
 fn rle_decode(data: &[u8], expected: usize) -> Option<Vec<u8>> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(expected);
@@ -204,7 +208,7 @@ fn rle_decode(data: &[u8], expected: usize) -> Option<Vec<u8>> {
         if run == 0 || out.len() + run > expected {
             return None;
         }
-        out.extend(std::iter::repeat(v).take(run));
+        out.extend(std::iter::repeat_n(v, run));
     }
     if out.len() != expected {
         return None;

@@ -9,12 +9,15 @@ use proptest::prelude::*;
 fn image_strategy() -> impl Strategy<Value = Image> {
     (1u16..48, 1u16..48, 1u8..4).prop_flat_map(|(w, h, c)| {
         let n = w as usize * h as usize;
-        proptest::collection::vec(proptest::collection::vec(any::<u8>(), n..=n), c as usize..=c as usize)
-            .prop_map(move |planes| Image {
-                width: w,
-                height: h,
-                planes,
-            })
+        proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), n..=n),
+            c as usize..=c as usize,
+        )
+        .prop_map(move |planes| Image {
+            width: w,
+            height: h,
+            planes,
+        })
     })
 }
 
@@ -32,7 +35,7 @@ proptest! {
     fn quantization_error_bounded(img in image_strategy(), q in 1u8..=4) {
         let bytes = encode(&img, q);
         let back = decode(&bytes).unwrap();
-        let bound = (1i16 << q) as i16;
+        let bound = 1i16 << q;
         for (p0, p1) in img.planes.iter().zip(&back.planes) {
             for (&a, &b) in p0.iter().zip(p1) {
                 prop_assert!((a as i16 - b as i16).abs() < bound);

@@ -308,7 +308,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         // GPU carried forward at k=1,2.
         assert!(rows[1].interpolated);
-        assert_eq!(rows[1].fields.iter().find(|(n, _)| n == "gpu").unwrap().1, 9.0);
+        assert_eq!(
+            rows[1].fields.iter().find(|(n, _)| n == "gpu").unwrap().1,
+            9.0
+        );
     }
 
     #[test]

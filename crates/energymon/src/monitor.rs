@@ -5,8 +5,8 @@ use crate::accumulator::{MergedRow, StreamMerger};
 use crate::power::PowerSource;
 use crate::{FIELD_CPU, FIELD_GPU, FIELD_MEM, MEASUREMENT};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use emlio_util::clock::SharedClock;
 use emlio_tsdb::{Point, TsdbClient};
+use emlio_util::clock::SharedClock;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -84,6 +84,10 @@ impl PoisonableBarrier {
     }
 }
 
+/// One sampler reading on the way to the accumulator:
+/// `(component index, timestamp nanos, named field values)`.
+type SamplerReading = (usize, u64, Vec<(String, f64)>);
+
 /// A running per-node energy monitor. Create with [`EnergyMonitor::start`],
 /// terminate with [`EnergyMonitor::stop`] (which flushes all pending rows).
 pub struct EnergyMonitor {
@@ -92,7 +96,7 @@ pub struct EnergyMonitor {
     sampler_threads: Vec<JoinHandle<()>>,
     accumulator_thread: Option<JoinHandle<()>>,
     writer_thread: Option<JoinHandle<u64>>,
-    sample_tx: Option<Sender<(usize, u64, Vec<(String, f64)>)>>,
+    sample_tx: Option<Sender<SamplerReading>>,
 }
 
 impl EnergyMonitor {
@@ -101,7 +105,7 @@ impl EnergyMonitor {
         let parties = 1 + config.has_gpu as usize;
         let barrier = Arc::new(PoisonableBarrier::new(parties));
         let stop_flag = Arc::new(AtomicBool::new(false));
-        let (sample_tx, sample_rx) = unbounded::<(usize, u64, Vec<(String, f64)>)>();
+        let (sample_tx, sample_rx) = unbounded::<SamplerReading>();
         let (row_tx, row_rx) = unbounded::<MergedRow>();
 
         let dt_secs = config.interval_nanos as f64 / 1e9;
@@ -220,7 +224,7 @@ impl EnergyMonitor {
 }
 
 fn accumulator_loop(
-    rx: Receiver<(usize, u64, Vec<(String, f64)>)>,
+    rx: Receiver<SamplerReading>,
     row_tx: Sender<MergedRow>,
     parties: usize,
     interval_nanos: u64,
@@ -257,7 +261,9 @@ fn writer_loop(
         }
     };
     while let Ok(row) = rx.recv() {
-        let mut p = Point::new(MEASUREMENT).tag("node_id", &node_id).at(row.t_nanos);
+        let mut p = Point::new(MEASUREMENT)
+            .tag("node_id", &node_id)
+            .at(row.t_nanos);
         for (name, value) in row.fields {
             p = p.field(&name, value);
         }

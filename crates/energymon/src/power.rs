@@ -42,8 +42,14 @@ pub struct ComponentPower {
 impl ComponentPower {
     /// New component power envelope.
     pub fn new(idle_watts: f64, peak_watts: f64) -> ComponentPower {
-        assert!(idle_watts >= 0.0 && peak_watts >= idle_watts, "need 0 ≤ idle ≤ peak");
-        ComponentPower { idle_watts, peak_watts }
+        assert!(
+            idle_watts >= 0.0 && peak_watts >= idle_watts,
+            "need 0 ≤ idle ≤ peak"
+        );
+        ComponentPower {
+            idle_watts,
+            peak_watts,
+        }
     }
 
     /// Power at `util ∈ [0,1]` (clamped): linear idle→peak.
@@ -113,7 +119,9 @@ pub struct ProcStatProbe {
 impl ProcStatProbe {
     /// New probe; the first reading returns 0 (no delta yet).
     pub fn new() -> ProcStatProbe {
-        ProcStatProbe { last: Mutex::new(None) }
+        ProcStatProbe {
+            last: Mutex::new(None),
+        }
     }
 }
 
@@ -192,7 +200,11 @@ mod tests {
 
     #[test]
     fn model_source_integrates_over_dt() {
-        let probe = Arc::new(ConstProbe(Utilization { cpu: 1.0, dram: 0.0, gpu: 0.5 }));
+        let probe = Arc::new(ConstProbe(Utilization {
+            cpu: 1.0,
+            dram: 0.0,
+            gpu: 0.5,
+        }));
         let src = ModelPower::new(node(), probe);
         let (cpu_j, dram_j) = src.sample_cpu_dram(0.1);
         assert!((cpu_j - 25.0).abs() < 1e-9, "250W × 0.1s");

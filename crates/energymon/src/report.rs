@@ -44,12 +44,7 @@ impl EnergyBreakdown {
 }
 
 /// Sum one node's energy tuples over `[start, end]` nanoseconds.
-pub fn energy_between(
-    client: &TsdbClient,
-    node_id: &str,
-    start: u64,
-    end: u64,
-) -> EnergyBreakdown {
+pub fn energy_between(client: &TsdbClient, node_id: &str, start: u64, end: u64) -> EnergyBreakdown {
     let field_sum = |field: &str| {
         client
             .aggregate(

@@ -20,7 +20,11 @@ pub enum DecodeError {
     /// Input ended before the value was complete.
     UnexpectedEof { at: usize, needed: usize },
     /// The marker byte does not start the expected type family.
-    TypeMismatch { at: usize, expected: &'static str, marker: u8 },
+    TypeMismatch {
+        at: usize,
+        expected: &'static str,
+        marker: u8,
+    },
     /// 0xc1 or another byte that is not a valid marker.
     InvalidMarker { at: usize, marker: u8 },
     /// A str payload is not valid UTF-8.
@@ -39,8 +43,15 @@ impl fmt::Display for DecodeError {
             DecodeError::UnexpectedEof { at, needed } => {
                 write!(f, "unexpected EOF at byte {at} (needed {needed} more)")
             }
-            DecodeError::TypeMismatch { at, expected, marker } => {
-                write!(f, "type mismatch at byte {at}: expected {expected}, marker 0x{marker:02x}")
+            DecodeError::TypeMismatch {
+                at,
+                expected,
+                marker,
+            } => {
+                write!(
+                    f,
+                    "type mismatch at byte {at}: expected {expected}, marker 0x{marker:02x}"
+                )
             }
             DecodeError::InvalidMarker { at, marker } => {
                 write!(f, "invalid marker 0x{marker:02x} at byte {at}")
@@ -115,7 +126,10 @@ impl<'a> Decoder<'a> {
         self.buf
             .get(self.pos)
             .copied()
-            .ok_or(DecodeError::UnexpectedEof { at: self.pos, needed: 1 })
+            .ok_or(DecodeError::UnexpectedEof {
+                at: self.pos,
+                needed: 1,
+            })
     }
 
     fn be_u16(&mut self) -> Result<u16, DecodeError> {
@@ -137,7 +151,11 @@ impl<'a> Decoder<'a> {
         let at = self.pos;
         match self.byte()? {
             encode::NIL => Ok(()),
-            m => Err(DecodeError::TypeMismatch { at, expected: "nil", marker: m }),
+            m => Err(DecodeError::TypeMismatch {
+                at,
+                expected: "nil",
+                marker: m,
+            }),
         }
     }
 
@@ -147,7 +165,11 @@ impl<'a> Decoder<'a> {
         match self.byte()? {
             encode::TRUE => Ok(true),
             encode::FALSE => Ok(false),
-            m => Err(DecodeError::TypeMismatch { at, expected: "bool", marker: m }),
+            m => Err(DecodeError::TypeMismatch {
+                at,
+                expected: "bool",
+                marker: m,
+            }),
         }
     }
 
@@ -156,7 +178,11 @@ impl<'a> Decoder<'a> {
         let at = self.pos;
         match self.read_i128()? {
             v if v >= 0 && v <= u64::MAX as i128 => Ok(v as u64),
-            _ => Err(DecodeError::TypeMismatch { at, expected: "uint", marker: self.buf[at] }),
+            _ => Err(DecodeError::TypeMismatch {
+                at,
+                expected: "uint",
+                marker: self.buf[at],
+            }),
         }
     }
 
@@ -165,7 +191,11 @@ impl<'a> Decoder<'a> {
         let at = self.pos;
         match self.read_i128()? {
             v if v >= i64::MIN as i128 && v <= i64::MAX as i128 => Ok(v as i64),
-            _ => Err(DecodeError::TypeMismatch { at, expected: "int", marker: self.buf[at] }),
+            _ => Err(DecodeError::TypeMismatch {
+                at,
+                expected: "int",
+                marker: self.buf[at],
+            }),
         }
     }
 
@@ -183,7 +213,13 @@ impl<'a> Decoder<'a> {
             encode::I16 => (self.be_u16()? as i16) as i128,
             encode::I32 => (self.be_u32()? as i32) as i128,
             encode::I64 => (self.be_u64()? as i64) as i128,
-            _ => return Err(DecodeError::TypeMismatch { at, expected: "integer", marker: m }),
+            _ => {
+                return Err(DecodeError::TypeMismatch {
+                    at,
+                    expected: "integer",
+                    marker: m,
+                })
+            }
         })
     }
 
@@ -193,7 +229,11 @@ impl<'a> Decoder<'a> {
         match self.byte()? {
             encode::F32 => Ok(f32::from_be_bytes(self.take(4)?.try_into().unwrap()) as f64),
             encode::F64 => Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap())),
-            m => Err(DecodeError::TypeMismatch { at, expected: "float", marker: m }),
+            m => Err(DecodeError::TypeMismatch {
+                at,
+                expected: "float",
+                marker: m,
+            }),
         }
     }
 
@@ -206,7 +246,13 @@ impl<'a> Decoder<'a> {
             encode::STR8 => self.byte()? as usize,
             encode::STR16 => self.be_u16()? as usize,
             encode::STR32 => self.be_u32()? as usize,
-            _ => return Err(DecodeError::TypeMismatch { at, expected: "str", marker: m }),
+            _ => {
+                return Err(DecodeError::TypeMismatch {
+                    at,
+                    expected: "str",
+                    marker: m,
+                })
+            }
         };
         let payload_at = self.pos;
         let bytes = self.take(len)?;
@@ -221,7 +267,13 @@ impl<'a> Decoder<'a> {
             encode::BIN8 => self.byte()? as usize,
             encode::BIN16 => self.be_u16()? as usize,
             encode::BIN32 => self.be_u32()? as usize,
-            _ => return Err(DecodeError::TypeMismatch { at, expected: "bin", marker: m }),
+            _ => {
+                return Err(DecodeError::TypeMismatch {
+                    at,
+                    expected: "bin",
+                    marker: m,
+                })
+            }
         };
         self.take(len)
     }
@@ -234,7 +286,11 @@ impl<'a> Decoder<'a> {
             0x90..=0x9f => Ok((m & 0x0f) as usize),
             encode::ARR16 => Ok(self.be_u16()? as usize),
             encode::ARR32 => Ok(self.be_u32()? as usize),
-            _ => Err(DecodeError::TypeMismatch { at, expected: "array", marker: m }),
+            _ => Err(DecodeError::TypeMismatch {
+                at,
+                expected: "array",
+                marker: m,
+            }),
         }
     }
 
@@ -246,7 +302,11 @@ impl<'a> Decoder<'a> {
             0x80..=0x8f => Ok((m & 0x0f) as usize),
             encode::MAP16 => Ok(self.be_u16()? as usize),
             encode::MAP32 => Ok(self.be_u32()? as usize),
-            _ => Err(DecodeError::TypeMismatch { at, expected: "map", marker: m }),
+            _ => Err(DecodeError::TypeMismatch {
+                at,
+                expected: "map",
+                marker: m,
+            }),
         }
     }
 
@@ -263,7 +323,13 @@ impl<'a> Decoder<'a> {
             encode::EXT8 => self.byte()? as usize,
             encode::EXT16 => self.be_u16()? as usize,
             encode::EXT32 => self.be_u32()? as usize,
-            _ => return Err(DecodeError::TypeMismatch { at, expected: "ext", marker: m }),
+            _ => {
+                return Err(DecodeError::TypeMismatch {
+                    at,
+                    expected: "ext",
+                    marker: m,
+                })
+            }
         };
         let tag = self.byte()? as i8;
         Ok((tag, self.take(len)?))
@@ -288,9 +354,16 @@ impl<'a> Decoder<'a> {
         let at = self.pos;
         let m = self.peek()?;
         match m {
-            0x00..=0x7f | 0xe0..=0xff
-            | encode::U8 | encode::U16 | encode::U32 | encode::U64
-            | encode::I8 | encode::I16 | encode::I32 | encode::I64 => {
+            0x00..=0x7f
+            | 0xe0..=0xff
+            | encode::U8
+            | encode::U16
+            | encode::U32
+            | encode::U64
+            | encode::I8
+            | encode::I16
+            | encode::I32
+            | encode::I64 => {
                 let v = self.read_i128()?;
                 Ok(if v >= 0 {
                     Value::UInt(v as u64)
@@ -305,11 +378,15 @@ impl<'a> Decoder<'a> {
             encode::TRUE | encode::FALSE => Ok(Value::Bool(self.read_bool()?)),
             encode::F32 => {
                 self.pos += 1;
-                Ok(Value::F32(f32::from_be_bytes(self.take(4)?.try_into().unwrap())))
+                Ok(Value::F32(f32::from_be_bytes(
+                    self.take(4)?.try_into().unwrap(),
+                )))
             }
             encode::F64 => {
                 self.pos += 1;
-                Ok(Value::F64(f64::from_be_bytes(self.take(8)?.try_into().unwrap())))
+                Ok(Value::F64(f64::from_be_bytes(
+                    self.take(8)?.try_into().unwrap(),
+                )))
             }
             0xa0..=0xbf | encode::STR8 | encode::STR16 | encode::STR32 => {
                 Ok(Value::Str(self.read_str()?.to_string()))
@@ -321,7 +398,10 @@ impl<'a> Decoder<'a> {
                 let len = self.read_array_len()?;
                 // Sanity bound: each element needs at least one byte.
                 if len > self.remaining() {
-                    return Err(DecodeError::UnexpectedEof { at, needed: len - self.remaining() });
+                    return Err(DecodeError::UnexpectedEof {
+                        at,
+                        needed: len - self.remaining(),
+                    });
                 }
                 let mut items = Vec::with_capacity(len.min(4096));
                 for _ in 0..len {
@@ -345,8 +425,14 @@ impl<'a> Decoder<'a> {
                 }
                 Ok(Value::Map(entries))
             }
-            encode::FIXEXT1 | encode::FIXEXT2 | encode::FIXEXT4 | encode::FIXEXT8
-            | encode::FIXEXT16 | encode::EXT8 | encode::EXT16 | encode::EXT32 => {
+            encode::FIXEXT1
+            | encode::FIXEXT2
+            | encode::FIXEXT4
+            | encode::FIXEXT8
+            | encode::FIXEXT16
+            | encode::EXT8
+            | encode::EXT16
+            | encode::EXT32 => {
                 let (tag, data) = self.read_ext()?;
                 if tag == TIMESTAMP_EXT_TYPE {
                     decode_timestamp(at, data)
@@ -430,9 +516,15 @@ mod tests {
             Value::Arr(vec![Value::Nil; 20]),
             Value::Map(vec![(Value::from("k"), Value::from(1u64))]),
             Value::Ext(42, vec![9; 7]),
-            Value::Timestamp { secs: 1_700_000_000, nanos: 123_456_789 },
+            Value::Timestamp {
+                secs: 1_700_000_000,
+                nanos: 123_456_789,
+            },
             Value::Timestamp { secs: -5, nanos: 1 },
-            Value::Timestamp { secs: 100, nanos: 0 },
+            Value::Timestamp {
+                secs: 100,
+                nanos: 0,
+            },
         ];
         for v in cases {
             let bytes = to_vec(&v);
@@ -477,7 +569,13 @@ mod tests {
         let bytes = to_vec(&Value::Str("x".into()));
         let mut d = Decoder::new(&bytes);
         let err = d.read_u64().unwrap_err();
-        assert!(matches!(err, DecodeError::TypeMismatch { expected: "integer", .. }));
+        assert!(matches!(
+            err,
+            DecodeError::TypeMismatch {
+                expected: "integer",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -501,12 +599,34 @@ mod tests {
     #[test]
     fn integer_family_boundaries() {
         for v in [
-            0u64, 1, 127, 128, 255, 256, 65_535, 65_536,
-            u32::MAX as u64, u32::MAX as u64 + 1, u64::MAX,
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            256,
+            65_535,
+            65_536,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX,
         ] {
-            assert_eq!(from_slice(&to_vec(&Value::UInt(v))).unwrap(), Value::UInt(v));
+            assert_eq!(
+                from_slice(&to_vec(&Value::UInt(v))).unwrap(),
+                Value::UInt(v)
+            );
         }
-        for v in [-1i64, -32, -33, -128, -129, -32_768, -32_769, i32::MIN as i64, i64::MIN] {
+        for v in [
+            -1i64,
+            -32,
+            -33,
+            -128,
+            -129,
+            -32_768,
+            -32_769,
+            i32::MIN as i64,
+            i64::MIN,
+        ] {
             assert_eq!(from_slice(&to_vec(&Value::Int(v))).unwrap(), Value::Int(v));
         }
     }

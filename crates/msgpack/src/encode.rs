@@ -218,7 +218,7 @@ impl<'a> Encoder<'a> {
         debug_assert!(nanos < 1_000_000_000, "nanos out of range");
         if nanos == 0 && (0..=u32::MAX as i64).contains(&secs) {
             self.write_ext(TIMESTAMP_EXT_TYPE, &(secs as u32).to_be_bytes());
-        } else if secs >= 0 && secs < (1i64 << 34) {
+        } else if (0..(1i64 << 34)).contains(&secs) {
             let data64 = ((nanos as u64) << 34) | secs as u64;
             self.write_ext(TIMESTAMP_EXT_TYPE, &data64.to_be_bytes());
         } else {
@@ -289,7 +289,11 @@ mod tests {
         assert_eq!(enc(|e| e.write_int(-32)), [0xe0]);
         assert_eq!(enc(|e| e.write_int(-33)), [I8, 0xdf]);
         assert_eq!(enc(|e| e.write_int(-129)), [I16, 0xff, 0x7f]);
-        assert_eq!(enc(|e| e.write_int(5)), [0x05], "non-negative → uint family");
+        assert_eq!(
+            enc(|e| e.write_int(5)),
+            [0x05],
+            "non-negative → uint family"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub enum Value {
     Ext(i8, Vec<u8>),
     /// The msgpack `-1` timestamp extension: seconds since the epoch plus
     /// nanoseconds (`0 ≤ nanos < 1e9`).
-    Timestamp { secs: i64, nanos: u32 },
+    Timestamp {
+        secs: i64,
+        nanos: u32,
+    },
 }
 
 impl Value {

@@ -17,8 +17,10 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<f64>().prop_map(Value::F64),
         ".{0,64}".prop_map(Value::Str),
         proptest::collection::vec(any::<u8>(), 0..256).prop_map(Value::Bin),
-        (any::<i8>().prop_filter("not timestamp tag", |t| *t != -1),
-         proptest::collection::vec(any::<u8>(), 0..64))
+        (
+            any::<i8>().prop_filter("not timestamp tag", |t| *t != -1),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(t, d)| Value::Ext(t, d)),
         (any::<i64>(), 0u32..1_000_000_000)
             .prop_map(|(secs, nanos)| Value::Timestamp { secs, nanos }),

@@ -154,7 +154,10 @@ impl NfsMount {
         let mut cache = self.shared.attr_cache.lock();
         match cache.get(path) {
             Some(&expiry) if expiry > now => {
-                self.shared.stats.attr_cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .attr_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
                 false
             }
             _ => {
@@ -225,7 +228,10 @@ impl NfsMount {
         self.shared.stats.reads.fetch_add(chunks, Ordering::Relaxed);
         self.charge_rtts(waves as f64);
         self.charge_bandwidth(len);
-        self.shared.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.shared
+            .stats
+            .bytes_read
+            .fetch_add(len, Ordering::Relaxed);
         Ok(buf)
     }
 
@@ -267,11 +273,7 @@ mod tests {
         let dir = TempDir::new("netem-nfs");
         std::fs::write(dir.file("a.bin"), vec![1u8; 4096]).unwrap();
         std::fs::write(dir.file("b.bin"), vec![2u8; 3 << 20]).unwrap();
-        let profile = NetProfile::new(
-            "test",
-            Duration::from_millis(rtt_ms),
-            1.25e9,
-        );
+        let profile = NetProfile::new("test", Duration::from_millis(rtt_ms), 1.25e9);
         let mount = NfsMount::mount(
             dir.path(),
             profile,

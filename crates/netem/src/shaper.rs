@@ -292,7 +292,10 @@ mod tests {
             rtt >= Duration::from_millis(19),
             "expected ≥ ~20ms RTT, got {rtt:?}"
         );
-        assert!(rtt < Duration::from_millis(500), "not absurdly slow: {rtt:?}");
+        assert!(
+            rtt < Duration::from_millis(500),
+            "not absurdly slow: {rtt:?}"
+        );
         drop(c);
         drop(proxy);
         server.join().unwrap();

@@ -187,9 +187,7 @@ impl Pipeline {
             let crop_to = cfg.crop_to;
             let random = cfg.random_crop;
             let norm = cfg.normalize.clone();
-            let rng = Mutex::new(StdRng::seed_from_u64(
-                cfg.seed ^ (0xABCD_EF00 + w as u64),
-            ));
+            let rng = Mutex::new(StdRng::seed_from_u64(cfg.seed ^ (0xABCD_EF00 + w as u64)));
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pipeline-worker-{w}"))
@@ -307,11 +305,11 @@ fn process_batch(
         }
         Some(match norm {
             Some((mean, std)) => ops::normalize(&img, mean, std),
-            None => ops::normalize(&img, &vec![0.0; img.channels() as usize], &vec![
-                1.0;
-                img.channels()
-                    as usize
-            ]),
+            None => ops::normalize(
+                &img,
+                &vec![0.0; img.channels() as usize],
+                &vec![1.0; img.channels() as usize],
+            ),
         })
     };
     for sample in &raw.samples {

@@ -135,7 +135,7 @@ mod tests {
         assert_eq!(out, 42);
         let busy = dev.busy_nanos();
         // ~20ms / 10 = ~2ms of device time.
-        assert!(busy >= 1_500_000 && busy < 10_000_000, "busy = {busy}");
+        assert!((1_500_000..10_000_000).contains(&busy), "busy = {busy}");
     }
 
     #[test]

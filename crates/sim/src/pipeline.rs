@@ -321,10 +321,7 @@ impl PipelineSim {
     /// Move a token that finished service at stage `s` onward.
     fn deliver(&mut self, s: usize, token: Token) {
         if s + 1 == self.stages.len() {
-            let entered = self
-                .entry_times
-                .remove(&token.id)
-                .unwrap_or(SimTime::ZERO);
+            let entered = self.entry_times.remove(&token.id).unwrap_or(SimTime::ZERO);
             self.completions.push(TokenResult {
                 token,
                 entered,
@@ -507,7 +504,9 @@ mod tests {
     #[test]
     fn byte_dependent_service() {
         let mut sim = PipelineSim::new(1_000);
-        sim.add_stage(StageSpec::servers("xfer", 1, usize::MAX, |t: &Token| t.bytes));
+        sim.add_stage(StageSpec::servers("xfer", 1, usize::MAX, |t: &Token| {
+            t.bytes
+        }));
         sim.push_initial(Token::new(0, 30));
         sim.push_initial(Token::new(1, 70));
         let r = sim.run();
@@ -520,7 +519,12 @@ mod tests {
         let mut sim = PipelineSim::new(1_000_000);
         for i in 0..8 {
             let svc = 10 + (i as u64 * 13) % 40;
-            sim.add_stage(StageSpec::servers(&format!("st{i}"), 1 + (i as u32 % 3), 1, move |_| svc));
+            sim.add_stage(StageSpec::servers(
+                &format!("st{i}"),
+                1 + (i as u32 % 3),
+                1,
+                move |_| svc,
+            ));
         }
         for t in tokens(200) {
             sim.push_initial(t);

@@ -85,7 +85,10 @@ mod tests {
         let t = SimTime::from_secs_f64(1.5);
         assert_eq!(t.nanos(), 1_500_000_000);
         assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
-        assert_eq!(SimTime::from_duration(Duration::from_millis(3)).nanos(), 3_000_000);
+        assert_eq!(
+            SimTime::from_duration(Duration::from_millis(3)).nanos(),
+            3_000_000
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ mod tests {
     fn bucket_boundary_exact() {
         let mut t = BucketTrace::new(100);
         t.add_interval(SimTime(0), SimTime(100));
-        assert_eq!(t.len(), 1, "interval ending on a boundary stays in bucket 0");
+        assert_eq!(
+            t.len(),
+            1,
+            "interval ending on a boundary stays in bucket 0"
+        );
         assert!((t.utilization(0) - 1.0).abs() < 1e-12);
         t.add_interval(SimTime(100), SimTime(200));
         assert_eq!(t.len(), 2);

@@ -1,8 +1,23 @@
 fn main() {
     for r in emlio_testbed::experiment::fig7() {
-        println!("fig7 {:>6} {:>12} T={:8.1}s cpu={:.1}kJ gpu={:.1}kJ", r.regime, r.method, r.duration_secs, r.compute.cpu_j/1e3, r.compute.gpu_j/1e3);
+        println!(
+            "fig7 {:>6} {:>12} T={:8.1}s cpu={:.1}kJ gpu={:.1}kJ",
+            r.regime,
+            r.method,
+            r.duration_secs,
+            r.compute.cpu_j / 1e3,
+            r.compute.gpu_j / 1e3
+        );
     }
     for r in emlio_testbed::experiment::fig10() {
-        println!("fig10 {:>6} {:>12} T={:8.1}s cpu={:.1}kJ gpu={:.1}kJ total={:.1}kJ", r.regime, r.method, r.duration_secs, r.compute.cpu_j/1e3, r.compute.gpu_j/1e3, r.total_j()/1e3);
+        println!(
+            "fig10 {:>6} {:>12} T={:8.1}s cpu={:.1}kJ gpu={:.1}kJ total={:.1}kJ",
+            r.regime,
+            r.method,
+            r.duration_secs,
+            r.compute.cpu_j / 1e3,
+            r.compute.gpu_j / 1e3,
+            r.total_j() / 1e3
+        );
     }
 }

@@ -104,8 +104,10 @@ pub fn integrate(
     let makespan = result.makespan_secs();
 
     // Idle floors.
-    let mut out = ClusterEnergy::default();
-    out.compute = idle_floor(compute, makespan);
+    let mut out = ClusterEnergy {
+        compute: idle_floor(compute, makespan),
+        ..ClusterEnergy::default()
+    };
     if let (Some(s), false) = (storage, fold_storage_into_compute) {
         out.storage = idle_floor(s, makespan);
     }

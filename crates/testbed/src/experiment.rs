@@ -119,8 +119,10 @@ pub fn run_one(
         stages,
         &consts,
         &storage,
-        remote_fraction,
-        dali_readers,
+        loaders::ScenarioTuning {
+            remote_fraction,
+            dali_readers_override: dali_readers,
+        },
     );
     let result = built.sim.run();
     let cluster = energy::integrate(
@@ -310,8 +312,10 @@ pub fn fig11() -> Vec<LossTrace> {
             StageSet::Full,
             &consts,
             &storage,
-            1.0,
-            readers,
+            loaders::ScenarioTuning {
+                remote_fraction: 1.0,
+                dali_readers_override: readers,
+            },
         );
         let result = built.sim.run();
         // Iteration completion times in exit order.
@@ -339,8 +343,7 @@ pub fn fig11() -> Vec<LossTrace> {
                 .map(|c| c.loss_at(samples, i as u64))
                 .collect();
             let mean = losses.iter().sum::<f64>() / losses.len() as f64;
-            let var = losses.iter().map(|l| (l - mean).powi(2)).sum::<f64>()
-                / losses.len() as f64;
+            let var = losses.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / losses.len() as f64;
             points.push(LossPoint {
                 t_secs: t,
                 mean,
@@ -616,7 +619,10 @@ mod tests {
         // EMLIO: duration roughly flat, energy strictly growing with RTT.
         let t01 = e("0.1ms").duration_secs;
         let t30 = e("30ms").duration_secs;
-        assert!((t30 - t01) / t01 < 0.35, "EMLIO sharded ≈flat: {t01} vs {t30}");
+        assert!(
+            (t30 - t01) / t01 < 0.35,
+            "EMLIO sharded ≈flat: {t01} vs {t30}"
+        );
         assert!(e("30ms").total_j() > e("0.1ms").total_j() * 1.1);
         // DALI balloons.
         assert!(d("30ms").duration_secs > 10.0 * t30);

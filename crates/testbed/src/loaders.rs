@@ -115,10 +115,28 @@ fn nanos(secs: f64) -> u64 {
     emlio_util::secs_to_nanos(secs)
 }
 
-/// Build the DES for `(loader, workload, regime)`. `remote_fraction` scales
-/// how much of each batch crosses the network (1.0 centralized, 0.5 in the
-/// sharded scenario); `dali_readers_override` models cross-mount contention
-/// in the sharded scenario.
+/// Scenario knobs orthogonal to the loader itself (both exercised by the
+/// sharded-cluster scenario of Figure 10).
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioTuning {
+    /// Fraction of each batch that crosses the network (1.0 centralized,
+    /// 0.5 in the sharded scenario).
+    pub remote_fraction: f64,
+    /// Cross-mount contention: overrides the DALI reader pool size.
+    pub dali_readers_override: Option<u32>,
+}
+
+impl Default for ScenarioTuning {
+    fn default() -> Self {
+        ScenarioTuning {
+            remote_fraction: 1.0,
+            dali_readers_override: None,
+        }
+    }
+}
+
+/// Build the DES for `(loader, workload, regime)`; `tuning` carries the
+/// sharded-scenario knobs (see [`ScenarioTuning`]).
 pub fn build(
     kind: LoaderKind,
     w: &Workload,
@@ -126,9 +144,12 @@ pub fn build(
     stages: StageSet,
     consts: &ModelConstants,
     storage: &NodeSpec,
-    remote_fraction: f64,
-    dali_readers_override: Option<u32>,
+    tuning: ScenarioTuning,
 ) -> BuiltModel {
+    let ScenarioTuning {
+        remote_fraction,
+        dali_readers_override,
+    } = tuning;
     let mut sim = PipelineSim::new(BUCKET);
     let mut energy_map = Vec::new();
     let rtt = regime.rtt_secs();
@@ -151,8 +172,7 @@ pub fn build(
             let rtts = w.nfs_rtts_per_sample + 1.0;
             let workers = consts.pytorch_workers as f64;
             let fetch_sample = if regime.remote {
-                remote_fraction * nfs_sample(rtts)
-                    + (1.0 - remote_fraction) * local_sample(workers)
+                remote_fraction * nfs_sample(rtts) + (1.0 - remote_fraction) * local_sample(workers)
             } else {
                 local_sample(workers)
             };
@@ -180,7 +200,14 @@ pub fn build(
                 8.0 + 60.0 * busy_frac,
             )]));
             if stages == StageSet::Full {
-                push_train_stage(&mut sim, &mut energy_map, w, step, consts, 2 * consts.pytorch_workers as usize);
+                push_train_stage(
+                    &mut sim,
+                    &mut energy_map,
+                    w,
+                    step,
+                    consts,
+                    2 * consts.pytorch_workers as usize,
+                );
             }
         }
         LoaderKind::Dali => {
@@ -245,7 +272,9 @@ pub fn build(
             };
             let svc = nanos(batch_bytes / eff_bw);
             let send_cap = (consts.hwm * t as u64) as usize;
-            sim.add_stage(StageSpec::servers("link", 1, send_cap, move |_: &Token| svc));
+            sim.add_stage(StageSpec::servers("link", 1, send_cap, move |_: &Token| {
+                svc
+            }));
             energy_map.push(StageEnergy::new(&[(Role::Storage, Comp::Cpu, 6.0)]));
 
             // Stage 2: propagation, bounded by the pipe's BDP.
@@ -305,9 +334,12 @@ fn push_train_stage(
     in_capacity: usize,
 ) {
     let per_batch = nanos(w.batch_size as f64 * step + consts.ddp_added_step_secs);
-    sim.add_stage(StageSpec::servers("train", 1, in_capacity, move |_: &Token| {
-        per_batch
-    }));
+    sim.add_stage(StageSpec::servers(
+        "train",
+        1,
+        in_capacity,
+        move |_: &Token| per_batch,
+    ));
     let gpu_extra = w.model.gpu_util * 235.0; // (peak − idle) of the RTX 6000
     let cpu_extra = w.model.cpu_util * 80.0;
     energy_map.push(StageEnergy::new(&[
@@ -329,8 +361,7 @@ mod tests {
             StageSet::Full,
             &ModelConstants::default(),
             &NodeSpec::uc_storage(),
-            1.0,
-            None,
+            ScenarioTuning::default(),
         );
         let result = built.sim.run();
         assert_eq!(result.completions.len() as u64, w.batches());
@@ -340,7 +371,10 @@ mod tests {
     #[test]
     fn local_epochs_near_paper() {
         let dali = run(LoaderKind::Dali, Regime::local());
-        assert!((140.0..170.0).contains(&dali), "DALI local ≈152 s, got {dali}");
+        assert!(
+            (140.0..170.0).contains(&dali),
+            "DALI local ≈152 s, got {dali}"
+        );
         let pytorch = run(LoaderKind::Pytorch, Regime::local());
         assert!(
             (145.0..190.0).contains(&pytorch),
@@ -356,7 +390,10 @@ mod tests {
     #[test]
     fn emlio_flat_across_rtt_baselines_degrade() {
         let e01 = run(LoaderKind::Emlio { concurrency: 2 }, Regime::remote_ms(0.1));
-        let e30 = run(LoaderKind::Emlio { concurrency: 2 }, Regime::remote_ms(30.0));
+        let e30 = run(
+            LoaderKind::Emlio { concurrency: 2 },
+            Regime::remote_ms(30.0),
+        );
         assert!(
             (e30 - e01).abs() / e01 < 0.08,
             "EMLIO ±5-8% across RTT: {e01} vs {e30}"
@@ -365,17 +402,31 @@ mod tests {
         let d30 = run(LoaderKind::Dali, Regime::remote_ms(30.0));
         assert!(d30 > d01 * 5.0, "DALI collapses: {d01} → {d30}");
         let p30 = run(LoaderKind::Pytorch, Regime::remote_ms(30.0));
-        assert!(p30 > d30 * 1.5, "PyTorch worse than DALI at WAN: {p30} vs {d30}");
+        assert!(
+            p30 > d30 * 1.5,
+            "PyTorch worse than DALI at WAN: {p30} vs {d30}"
+        );
     }
 
     #[test]
     fn wan_ratios_match_paper_shape() {
         // Paper Fig. 5 @30 ms: PyTorch 4232 s, DALI 1699 s, EMLIO 156 s.
-        let e = run(LoaderKind::Emlio { concurrency: 2 }, Regime::remote_ms(30.0));
+        let e = run(
+            LoaderKind::Emlio { concurrency: 2 },
+            Regime::remote_ms(30.0),
+        );
         let d = run(LoaderKind::Dali, Regime::remote_ms(30.0));
         let p = run(LoaderKind::Pytorch, Regime::remote_ms(30.0));
-        assert!((5.0..20.0).contains(&(d / e)), "DALI/EMLIO ≈ 11×, got {}", d / e);
-        assert!((15.0..40.0).contains(&(p / e)), "PyTorch/EMLIO ≈ 27×, got {}", p / e);
+        assert!(
+            (5.0..20.0).contains(&(d / e)),
+            "DALI/EMLIO ≈ 11×, got {}",
+            d / e
+        );
+        assert!(
+            (15.0..40.0).contains(&(p / e)),
+            "PyTorch/EMLIO ≈ 27×, got {}",
+            p / e
+        );
     }
 
     #[test]
@@ -390,8 +441,7 @@ mod tests {
             StageSet::Full,
             &consts,
             &storage,
-            1.0,
-            None,
+            ScenarioTuning::default(),
         );
         let read = build(
             LoaderKind::Dali,
@@ -400,8 +450,7 @@ mod tests {
             StageSet::ReadOnly,
             &consts,
             &storage,
-            1.0,
-            None,
+            ScenarioTuning::default(),
         );
         let fr = full.sim.run();
         let rr = read.sim.run();
@@ -427,8 +476,7 @@ mod tests {
                 StageSet::Full,
                 &consts,
                 &storage,
-                1.0,
-                None,
+                ScenarioTuning::default(),
             )
             .sim
             .run()

@@ -108,9 +108,7 @@ impl NodeSpec {
 
     /// Render the Table 1 header printed by every bench binary.
     pub fn table1_text() -> String {
-        let mut out = String::from(
-            "Table 1 testbed (Chameleon): \n",
-        );
+        let mut out = String::from("Table 1 testbed (Chameleon): \n");
         for n in [
             Self::uc_compute(),
             Self::uc_storage(),

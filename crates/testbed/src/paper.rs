@@ -102,38 +102,20 @@ pub fn reference(figure: &str, regime: &str, method: &str) -> Option<PaperRef> {
         ("fig8", "1ms", "emlio(c=2)") => PaperRef::approx(40.0),
 
         // ---- Figure 9: VGG-19 (quoted) ------------------------------------
-        ("fig9", "0.1ms", "dali") => {
-            PaperRef::full(142.6, 19_900.0, 1_700.0, 34_600.0)
-        }
-        ("fig9", "0.1ms", "emlio(c=2)") => {
-            PaperRef::full(141.1, 20_000.0, 1_600.0, 34_500.0)
-        }
+        ("fig9", "0.1ms", "dali") => PaperRef::full(142.6, 19_900.0, 1_700.0, 34_600.0),
+        ("fig9", "0.1ms", "emlio(c=2)") => PaperRef::full(141.1, 20_000.0, 1_600.0, 34_500.0),
         ("fig9", "10ms", "dali") => PaperRef::full(660.9, 56_100.0, 4_700.0, 78_000.0),
-        ("fig9", "10ms", "emlio(c=2)") => {
-            PaperRef::full(140.0, 19_800.0, 1_600.0, 34_200.0)
-        }
-        ("fig9", "30ms", "dali") => {
-            PaperRef::full(2096.8, 156_300.0, 11_800.0, 163_600.0)
-        }
-        ("fig9", "30ms", "emlio(c=2)") => {
-            PaperRef::full(140.5, 20_300.0, 1_600.0, 34_400.0)
-        }
+        ("fig9", "10ms", "emlio(c=2)") => PaperRef::full(140.0, 19_800.0, 1_600.0, 34_200.0),
+        ("fig9", "30ms", "dali") => PaperRef::full(2096.8, 156_300.0, 11_800.0, 163_600.0),
+        ("fig9", "30ms", "emlio(c=2)") => PaperRef::full(140.5, 20_300.0, 1_600.0, 34_400.0),
 
         // ---- Figure 10: sharded (quoted) ----------------------------------
         ("fig10", "0.1ms", "dali") => PaperRef::full(230.9, 22_200.0, 2_080.0, 43_800.0),
-        ("fig10", "0.1ms", "emlio(c=2)") => {
-            PaperRef::full(222.5, 19_700.0, 2_030.0, 41_700.0)
-        }
+        ("fig10", "0.1ms", "emlio(c=2)") => PaperRef::full(222.5, 19_700.0, 2_030.0, 41_700.0),
         ("fig10", "10ms", "dali") => PaperRef::full(1422.5, 60_700.0, 5_030.0, 90_800.0),
-        ("fig10", "10ms", "emlio(c=2)") => {
-            PaperRef::full(221.6, 52_500.0, 4_960.0, 72_000.0)
-        }
-        ("fig10", "30ms", "dali") => {
-            PaperRef::full(4154.7, 180_000.0, 14_200.0, 235_000.0)
-        }
-        ("fig10", "30ms", "emlio(c=2)") => {
-            PaperRef::full(221.8, 106_000.0, 9_010.0, 126_000.0)
-        }
+        ("fig10", "10ms", "emlio(c=2)") => PaperRef::full(221.6, 52_500.0, 4_960.0, 72_000.0),
+        ("fig10", "30ms", "dali") => PaperRef::full(4154.7, 180_000.0, 14_200.0, 235_000.0),
+        ("fig10", "30ms", "emlio(c=2)") => PaperRef::full(221.8, 106_000.0, 9_010.0, 126_000.0),
 
         // ---- Figure 11: loss vs wall-clock @10 ms, COCO -------------------
         ("fig11", "10ms", "dali") => PaperRef::approx(7500.0),
@@ -171,7 +153,10 @@ mod tests {
     fn paper_speedup_claims_consistent() {
         // Headline claim: up to 8.6× faster I/O vs state of the art; Fig. 5
         // WAN DALI/EMLIO = 1699.3/156.2 ≈ 10.9×; PyTorch/EMLIO ≈ 27×.
-        let d = reference("fig5", "30ms", "dali").unwrap().duration_secs.unwrap();
+        let d = reference("fig5", "30ms", "dali")
+            .unwrap()
+            .duration_secs
+            .unwrap();
         let e = reference("fig5", "30ms", "emlio(c=2)")
             .unwrap()
             .duration_secs

@@ -133,7 +133,10 @@ mod tests {
         assert_eq!(w.samples, 104_857);
         assert_eq!(w.batches(), 1639);
         let t = w.train_secs();
-        assert!((145.0..160.0).contains(&t), "train-bound epoch ≈152 s, got {t}");
+        assert!(
+            (145.0..160.0).contains(&t),
+            "train-bound epoch ≈152 s, got {t}"
+        );
     }
 
     #[test]
@@ -149,6 +152,9 @@ mod tests {
         assert_eq!(w.samples, 5_120);
         assert_eq!(w.batch_bytes(), 128 << 20);
         let t = w.train_secs();
-        assert!((34.0..42.0).contains(&t), "synthetic consumer ≈38 s, got {t}");
+        assert!(
+            (34.0..42.0).contains(&t),
+            "synthetic consumer ≈38 s, got {t}"
+        );
     }
 }

@@ -90,7 +90,8 @@ impl ShardIndex {
         let shard_id = doc
             .get("shard_id")
             .and_then(Json::as_u64)
-            .ok_or_else(|| RecordError::BadIndex("missing shard_id".into()))? as u32;
+            .ok_or_else(|| RecordError::BadIndex("missing shard_id".into()))?
+            as u32;
         let file_name = doc
             .get("file_name")
             .and_then(Json::as_str)

@@ -39,12 +39,18 @@ impl<R: Read> RecordReader<R> {
         match read_exact_or_eof(&mut self.src, &mut header)? {
             0 => return Ok(None),
             12 => {}
-            _ => return Err(RecordError::Truncated { offset: self.offset }),
+            _ => {
+                return Err(RecordError::Truncated {
+                    offset: self.offset,
+                })
+            }
         }
         let len_bytes: [u8; 8] = header[..8].try_into().unwrap();
         let stored_len_crc = u32::from_le_bytes(header[8..].try_into().unwrap());
         if self.verify_crc && crate::crc32c::masked_crc32c(&len_bytes) != stored_len_crc {
-            return Err(RecordError::CorruptLength { offset: self.offset });
+            return Err(RecordError::CorruptLength {
+                offset: self.offset,
+            });
         }
         let len = u64::from_le_bytes(len_bytes);
         if len > MAX_RECORD_LEN {
@@ -57,15 +63,21 @@ impl<R: Read> RecordReader<R> {
         let mut payload = vec![0u8; len as usize];
         self.src
             .read_exact(&mut payload)
-            .map_err(|_| RecordError::Truncated { offset: self.offset })?;
+            .map_err(|_| RecordError::Truncated {
+                offset: self.offset,
+            })?;
         let mut crc_bytes = [0u8; 4];
         self.src
             .read_exact(&mut crc_bytes)
-            .map_err(|_| RecordError::Truncated { offset: self.offset })?;
+            .map_err(|_| RecordError::Truncated {
+                offset: self.offset,
+            })?;
         if self.verify_crc
             && crate::crc32c::masked_crc32c(&payload) != u32::from_le_bytes(crc_bytes)
         {
-            return Err(RecordError::CorruptPayload { offset: self.offset });
+            return Err(RecordError::CorruptPayload {
+                offset: self.offset,
+            });
         }
         self.offset += crate::record::encoded_len(payload.len());
         Ok(Some(payload))

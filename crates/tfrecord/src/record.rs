@@ -30,7 +30,11 @@ pub enum RecordError {
     /// A shard index file failed to parse or disagreed with the data file.
     BadIndex(String),
     /// A record exceeded the configured sanity limit.
-    OversizedRecord { offset: u64, length: u64, limit: u64 },
+    OversizedRecord {
+        offset: u64,
+        length: u64,
+        limit: u64,
+    },
 }
 
 impl fmt::Display for RecordError {
@@ -45,7 +49,11 @@ impl fmt::Display for RecordError {
             }
             RecordError::Truncated { offset } => write!(f, "truncated record at offset {offset}"),
             RecordError::BadIndex(msg) => write!(f, "bad shard index: {msg}"),
-            RecordError::OversizedRecord { offset, length, limit } => write!(
+            RecordError::OversizedRecord {
+                offset,
+                length,
+                limit,
+            } => write!(
                 f,
                 "record of {length} bytes at offset {offset} exceeds limit {limit}"
             ),
@@ -118,10 +126,7 @@ pub fn decode_at(
             return Err(RecordError::CorruptPayload { offset });
         }
     }
-    Ok((
-        DecodedRecord { offset, payload },
-        (payload_end + 4) as u64,
-    ))
+    Ok((DecodedRecord { offset, payload }, (payload_end + 4) as u64))
 }
 
 /// Iterate every record in `buf` (e.g. one contiguous range read covering a

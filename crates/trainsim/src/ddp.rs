@@ -72,9 +72,8 @@ pub struct SyncCost {
 /// `step_time` under `config`.
 pub fn sync_cost(model: &ModelProfile, step_time: Duration, config: &DdpConfig) -> SyncCost {
     let ar = allreduce_time(model.grad_bytes(), config);
-    let budget = Duration::from_secs_f64(
-        step_time.as_secs_f64() * config.overlap_fraction.clamp(0.0, 1.0),
-    );
+    let budget =
+        Duration::from_secs_f64(step_time.as_secs_f64() * config.overlap_fraction.clamp(0.0, 1.0));
     if ar <= budget {
         SyncCost {
             added_step_time: Duration::ZERO,
@@ -96,11 +95,7 @@ mod tests {
     fn single_node_is_free() {
         let c = DdpConfig::single_node();
         assert_eq!(allreduce_time(1 << 30, &c), Duration::ZERO);
-        let cost = sync_cost(
-            &ModelProfile::resnet50(),
-            Duration::from_millis(90),
-            &c,
-        );
+        let cost = sync_cost(&ModelProfile::resnet50(), Duration::from_millis(90), &c);
         assert_eq!(cost.added_step_time, Duration::ZERO);
         assert_eq!(cost.spin_time, Duration::ZERO);
     }
@@ -117,7 +112,10 @@ mod tests {
     #[test]
     fn latency_term_scales_with_rtt_and_nodes() {
         let base = allreduce_time(0, &DdpConfig::cluster(2, Duration::from_millis(10)));
-        assert!((base.as_secs_f64() - 0.010).abs() < 1e-9, "2(N-1)·rtt/2 = rtt");
+        assert!(
+            (base.as_secs_f64() - 0.010).abs() < 1e-9,
+            "2(N-1)·rtt/2 = rtt"
+        );
         let four = allreduce_time(0, &DdpConfig::cluster(4, Duration::from_millis(10)));
         assert!((four.as_secs_f64() - 0.030).abs() < 1e-9);
     }
@@ -126,10 +124,18 @@ mod tests {
     fn overlap_absorbs_small_sync() {
         let model = ModelProfile::resnet50(); // ~102 MB gradients
         let step = Duration::from_millis(93); // batch 64
-        // 0.1 ms RTT: allreduce ≈ 82 ms ≥ budget 65 ms → some spill.
-        let low = sync_cost(&model, step, &DdpConfig::cluster(2, Duration::from_micros(100)));
+                                              // 0.1 ms RTT: allreduce ≈ 82 ms ≥ budget 65 ms → some spill.
+        let low = sync_cost(
+            &model,
+            step,
+            &DdpConfig::cluster(2, Duration::from_micros(100)),
+        );
         // 30 ms RTT: allreduce ≈ 112 ms → bigger spill, same spin budget.
-        let high = sync_cost(&model, step, &DdpConfig::cluster(2, Duration::from_millis(30)));
+        let high = sync_cost(
+            &model,
+            step,
+            &DdpConfig::cluster(2, Duration::from_millis(30)),
+        );
         assert!(high.added_step_time > low.added_step_time);
         assert_eq!(high.spin_time, low.spin_time.max(high.spin_time));
         // Spin time is capped by the overlap budget.
@@ -143,9 +149,17 @@ mod tests {
         let mut model = ModelProfile::resnet50();
         model.params = 2_000_000; // 8 MB gradients
         let step = Duration::from_millis(90);
-        let low = sync_cost(&model, step, &DdpConfig::cluster(2, Duration::from_micros(100)));
+        let low = sync_cost(
+            &model,
+            step,
+            &DdpConfig::cluster(2, Duration::from_micros(100)),
+        );
         assert_eq!(low.added_step_time, Duration::ZERO);
-        let high = sync_cost(&model, step, &DdpConfig::cluster(2, Duration::from_millis(200)));
+        let high = sync_cost(
+            &model,
+            step,
+            &DdpConfig::cluster(2, Duration::from_millis(200)),
+        );
         assert!(high.added_step_time > Duration::ZERO);
         assert!(high.spin_time >= low.spin_time);
     }

@@ -78,22 +78,22 @@ impl Mlp {
 
     fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
         let mut h = vec![0.0f32; self.hidden];
-        for j in 0..self.hidden {
+        for (j, hj) in h.iter_mut().enumerate() {
             let mut acc = self.b1[j];
             let row = &self.w1[j * self.in_dim..(j + 1) * self.in_dim];
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            h[j] = acc.max(0.0); // ReLU
+            *hj = acc.max(0.0); // ReLU
         }
         let mut logits = vec![0.0f32; self.classes];
-        for k in 0..self.classes {
+        for (k, logit) in logits.iter_mut().enumerate() {
             let mut acc = self.b2[k];
             let row = &self.w2[k * self.hidden..(k + 1) * self.hidden];
             for (w, hj) in row.iter().zip(&h) {
                 acc += w * hj;
             }
-            logits[k] = acc;
+            *logit = acc;
         }
         (h, logits)
     }
@@ -125,20 +125,21 @@ impl Mlp {
             let mut dlogits = probs;
             dlogits[label] -= 1.0;
             // Layer 2 grads.
-            for k in 0..self.classes {
-                gb2[k] += dlogits[k];
-                for j in 0..self.hidden {
-                    gw2[k * self.hidden + j] += dlogits[k] * h[j];
+            for (k, &dl) in dlogits.iter().enumerate() {
+                gb2[k] += dl;
+                let row = &mut gw2[k * self.hidden..(k + 1) * self.hidden];
+                for (g, hj) in row.iter_mut().zip(&h) {
+                    *g += dl * hj;
                 }
             }
             // Backprop into hidden (ReLU mask).
-            for j in 0..self.hidden {
-                if h[j] <= 0.0 {
+            for (j, &hj) in h.iter().enumerate() {
+                if hj <= 0.0 {
                     continue;
                 }
                 let mut dh = 0.0f32;
-                for k in 0..self.classes {
-                    dh += dlogits[k] * self.w2[k * self.hidden + j];
+                for (k, &dl) in dlogits.iter().enumerate() {
+                    dh += dl * self.w2[k * self.hidden + j];
                 }
                 gb1[j] += dh;
                 let row = &mut gw1[j * self.in_dim..(j + 1) * self.in_dim];
@@ -197,8 +198,11 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for it in 0..300 {
-            let batch: Vec<(&Tensor, u32)> =
-                tensors.iter().enumerate().map(|(i, t)| (t, i as u32)).collect();
+            let batch: Vec<(&Tensor, u32)> = tensors
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t, i as u32))
+                .collect();
             let loss = mlp.train_batch(&batch);
             if it == 0 {
                 first = loss;

@@ -108,10 +108,9 @@ fn collect_series(series: &Series, q: &Query, out: &mut Vec<(u64, f64)>) {
     };
     let lo = series.timestamps.partition_point(|&t| t < q.start);
     let hi = series.timestamps.partition_point(|&t| t <= q.end);
-    for i in lo..hi {
-        let v = col[i];
+    for (&t, &v) in series.timestamps[lo..hi].iter().zip(&col[lo..hi]) {
         if !v.is_nan() {
-            out.push((series.timestamps[i], v));
+            out.push((t, v));
         }
     }
 }

@@ -28,7 +28,7 @@ impl Series {
     fn insert(&mut self, p: &Point) {
         // Fast path: append in time order (the overwhelmingly common case —
         // samplers emit monotonically).
-        let idx = if self.timestamps.last().map_or(true, |&t| p.timestamp >= t) {
+        let idx = if self.timestamps.last().is_none_or(|&t| p.timestamp >= t) {
             self.timestamps.push(p.timestamp);
             self.timestamps.len() - 1
         } else {
@@ -94,11 +94,7 @@ impl Db {
     }
 
     /// All series of a measurement whose tags are a superset of `filter`.
-    pub fn matching(
-        &self,
-        measurement: &str,
-        filter: &[(String, String)],
-    ) -> Vec<&Series> {
+    pub fn matching(&self, measurement: &str, filter: &[(String, String)]) -> Vec<&Series> {
         self.measurements
             .get(measurement)
             .map(|keys| {
@@ -137,7 +133,7 @@ mod tests {
     fn pt(t: u64, joules: f64) -> Point {
         Point::new("energy")
             .tag("node_id", "n0")
-            .field("cpu".into(), joules)
+            .field("cpu", joules)
             .at(t)
     }
 
@@ -148,7 +144,10 @@ mod tests {
             db.insert(&pt(i * 10, i as f64));
         }
         let s = db
-            .series("energy", &[("node_id".to_string(), "n0".to_string())].into())
+            .series(
+                "energy",
+                &[("node_id".to_string(), "n0".to_string())].into(),
+            )
             .unwrap();
         assert_eq!(s.len(), 100);
         assert!(s.timestamps.windows(2).all(|w| w[0] <= w[1]));

@@ -73,8 +73,12 @@ impl Default for RealClock {
 
 impl Clock for RealClock {
     fn now_nanos(&self) -> u64 {
-        self.anchor_unix_nanos
-            .saturating_add(self.anchor_instant.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        self.anchor_unix_nanos.saturating_add(
+            self.anchor_instant
+                .elapsed()
+                .as_nanos()
+                .min(u64::MAX as u128) as u64,
+        )
     }
 
     fn sleep_nanos(&self, nanos: u64) {

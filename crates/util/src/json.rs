@@ -38,6 +38,15 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Compact serialization (`json.to_string()` comes from this impl).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
 impl Json {
     /// Parse a complete JSON document. Trailing whitespace is allowed;
     /// trailing garbage is an error.
@@ -53,13 +62,6 @@ impl Json {
             return Err(p.err("trailing characters after JSON value"));
         }
         Ok(v)
-    }
-
-    /// Serialize to a compact string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
     }
 
     /// Serialize with two-space indentation (for human-readable indexes).
@@ -135,9 +137,7 @@ impl Json {
     /// As i64, if this is an integral number in range.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
-            Json::Num(n)
-                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
-            {
+            Json::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
                 Some(*n as i64)
             }
             _ => None,
@@ -408,7 +408,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let d = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (d as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -492,18 +494,21 @@ mod tests {
     #[test]
     fn nested_structures() {
         let v = Json::obj([
-            ("shards".to_string(), Json::Arr(vec![
-                Json::obj([
-                    ("path".to_string(), Json::str("shard_000.tfrecord")),
-                    ("offset".to_string(), Json::num(0.0)),
-                    ("size".to_string(), Json::num(1048576.0)),
+            (
+                "shards".to_string(),
+                Json::Arr(vec![
+                    Json::obj([
+                        ("path".to_string(), Json::str("shard_000.tfrecord")),
+                        ("offset".to_string(), Json::num(0.0)),
+                        ("size".to_string(), Json::num(1048576.0)),
+                    ]),
+                    Json::obj([
+                        ("path".to_string(), Json::str("shard_001.tfrecord")),
+                        ("offset".to_string(), Json::num(1048576.0)),
+                        ("size".to_string(), Json::num(524288.0)),
+                    ]),
                 ]),
-                Json::obj([
-                    ("path".to_string(), Json::str("shard_001.tfrecord")),
-                    ("offset".to_string(), Json::num(1048576.0)),
-                    ("size".to_string(), Json::num(524288.0)),
-                ]),
-            ])),
+            ),
             ("version".to_string(), Json::num(1.0)),
         ]);
         roundtrip(&v);

@@ -16,9 +16,10 @@ impl Endpoint {
     /// Parse an endpoint URI.
     pub fn parse(s: &str) -> crate::Result<Endpoint> {
         if let Some(addr) = s.strip_prefix("tcp://") {
-            if addr.rsplit_once(':').map_or(true, |(h, p)| {
-                h.is_empty() || p.parse::<u16>().is_err()
-            }) {
+            if addr
+                .rsplit_once(':')
+                .is_none_or(|(h, p)| h.is_empty() || p.parse::<u16>().is_err())
+            {
                 return Err(ZmqError::BadEndpoint(format!(
                     "tcp endpoint needs host:port, got {s:?}"
                 )));

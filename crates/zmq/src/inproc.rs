@@ -12,8 +12,12 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+/// Both ends of one named channel, kept so late `connect`s can clone the
+/// sender and re-binds can drop the old pair.
+type ChannelPair = (Sender<Bytes>, Receiver<Bytes>);
+
 struct Registry {
-    channels: Mutex<HashMap<String, (Sender<Bytes>, Receiver<Bytes>)>>,
+    channels: Mutex<HashMap<String, ChannelPair>>,
 }
 
 fn registry() -> &'static Registry {

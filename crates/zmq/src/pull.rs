@@ -132,7 +132,10 @@ impl PullSocket {
     }
 
     fn record(&self, msg: &Bytes) {
-        self.shared.stats.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .msgs_received
+            .fetch_add(1, Ordering::Relaxed);
         self.shared
             .stats
             .bytes_received
@@ -286,7 +289,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(seen.len(), (STREAMS * PER_STREAM) as usize, "exactly-once fan-in");
+        assert_eq!(
+            seen.len(),
+            (STREAMS * PER_STREAM) as usize,
+            "exactly-once fan-in"
+        );
         let (msgs, _bytes, conns) = pull.stats();
         assert_eq!(msgs, (STREAMS * PER_STREAM) as u64);
         assert_eq!(conns, STREAMS as u64);
@@ -300,10 +307,7 @@ mod tests {
             .unwrap()
             .is_none());
         push.send(Bytes::from_static(b"x")).unwrap();
-        assert!(pull
-            .recv_timeout(Duration::from_secs(2))
-            .unwrap()
-            .is_some());
+        assert!(pull.recv_timeout(Duration::from_secs(2)).unwrap().is_some());
         push.close().unwrap();
     }
 
@@ -348,11 +352,8 @@ mod tests {
             SocketOptions::default(),
         )
         .unwrap();
-        let push = PushSocket::connect(
-            &pull.local_endpoint().unwrap(),
-            SocketOptions::default(),
-        )
-        .unwrap();
+        let push =
+            PushSocket::connect(&pull.local_endpoint().unwrap(), SocketOptions::default()).unwrap();
         push.send(Bytes::from_static(b"via-inproc")).unwrap();
         assert_eq!(pull.recv().unwrap().as_ref(), b"via-inproc");
         push.close().unwrap();

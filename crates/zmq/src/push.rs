@@ -101,7 +101,9 @@ impl PushSocket {
         }
         let t0 = Instant::now();
         let full = self.tx.is_full();
-        self.tx.send(Cmd::Msg(payload)).map_err(|_| ZmqError::Closed)?;
+        self.tx
+            .send(Cmd::Msg(payload))
+            .map_err(|_| ZmqError::Closed)?;
         if full {
             self.stats
                 .blocked_nanos
@@ -178,13 +180,9 @@ fn tcp_sender_loop(
     stats: &PushStats,
 ) -> Result<()> {
     let mut w = BufWriter::with_capacity(256 << 10, stream);
-    loop {
-        // Block for the next command, then drain opportunistically before
-        // flushing so bursts coalesce into large writes.
-        let first = match rx.recv() {
-            Ok(c) => c,
-            Err(_) => break,
-        };
+    // Block for the next command, then drain opportunistically before
+    // flushing so bursts coalesce into large writes.
+    while let Ok(first) = rx.recv() {
         let mut closing = false;
         for cmd in std::iter::once(first).chain(rx.try_iter()) {
             match cmd {

@@ -20,8 +20,7 @@ fn heavy_fan_in_exactly_once() {
         .map(|s| {
             let ep = ep.clone();
             std::thread::spawn(move || {
-                let push =
-                    PushSocket::connect(&ep, SocketOptions::default().with_hwm(4)).unwrap();
+                let push = PushSocket::connect(&ep, SocketOptions::default().with_hwm(4)).unwrap();
                 for i in 0..PER_STREAM {
                     // Mixed sizes from 1 byte to 256 KiB.
                     let size = 1usize << (i % 19);

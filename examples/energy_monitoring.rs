@@ -14,9 +14,7 @@ use emlio::core::{EmlioConfig, EmlioService};
 use emlio::datagen::convert::build_tfrecord_dataset;
 use emlio::datagen::DatasetSpec;
 use emlio::energymon::report::energy_between;
-use emlio::energymon::{
-    ComponentPower, EnergyMonitor, ModelPower, MonitorConfig, NodePower,
-};
+use emlio::energymon::{ComponentPower, EnergyMonitor, ModelPower, MonitorConfig, NodePower};
 use emlio::pipeline::gpu::AcceleratorProbe;
 use emlio::pipeline::{Accelerator, Device, PipelineBuilder};
 use emlio::tfrecord::ShardSpec;

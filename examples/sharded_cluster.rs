@@ -43,10 +43,7 @@ fn main() {
     let receivers: Vec<EmlioReceiver> = (0..NODES)
         .map(|_| EmlioReceiver::bind(ReceiverConfig::loopback(expected_streams)).unwrap())
         .collect();
-    let endpoints: Vec<_> = receivers
-        .iter()
-        .map(|r| r.endpoint().clone())
-        .collect();
+    let endpoints: Vec<_> = receivers.iter().map(|r| r.endpoint().clone()).collect();
 
     let mut daemon_threads = Vec::new();
     for (node, dir) in dirs.iter().enumerate() {
@@ -107,10 +104,8 @@ fn main() {
 
     // Also demonstrate the preprocessing path on one more pass.
     let spec = DatasetSpec::tiny("shard0", SAMPLES_PER_NODE);
-    let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(
-        config.threads_per_node as u32,
-    ))
-    .unwrap();
+    let receiver =
+        EmlioReceiver::bind(ReceiverConfig::loopback(config.threads_per_node as u32)).unwrap();
     let ep = receiver.endpoint().clone();
     let dir0 = dirs[0].clone();
     let cfg = config.clone();

@@ -11,9 +11,9 @@
 //!
 //! Run with: `cargo run --release --example wan_training`
 
-use emlio::baselines::{run_epoch_through, DaliNfsLoader, PytorchLoader};
 use emlio::baselines::dali_nfs::DaliNfsConfig;
 use emlio::baselines::pytorch::PytorchConfig;
+use emlio::baselines::{run_epoch_through, DaliNfsLoader, PytorchLoader};
 use emlio::core::service::StorageSpec;
 use emlio::core::{EmlioConfig, EmlioService};
 use emlio::datagen::convert::{build_file_dataset, build_tfrecord_dataset, load_file_dataset};

@@ -1,0 +1,7 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate. Only the `channel` module is provided — a multi-producer,
+//! multi-consumer channel over `Mutex` + `Condvar` with the crossbeam API
+//! shape (`bounded`, `unbounded`, `never`, cloneable `Receiver`s, disconnect
+//! semantics on either side).
+
+pub mod channel;

@@ -1,0 +1,146 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the strategy/macro surface the workspace's property tests use —
+//! `proptest!`, `prop_assert*`, `prop_oneof!`, `any::<T>()`, ranges and
+//! string-regex literals as strategies, `prop_map`/`prop_filter`/
+//! `prop_flat_map`/`prop_recursive`, and the `collection` module — as a
+//! *generate-only* engine: each test case draws fresh random inputs from a
+//! deterministic per-test RNG. Failing inputs are reported but not shrunk
+//! (real proptest would minimize them; this shim favors zero dependencies).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Common imports for property tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    // Capture the generated inputs' Debug form before the
+                    // body consumes them, so failures are reproducible
+                    // (there is no shrinking to re-derive them from).
+                    #[allow(unused_mut)]
+                    let mut inputs = ::std::string::String::new();
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        $(
+                            let value = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                            inputs.push_str(&format!(
+                                concat!("\n    ", stringify!($pat), " = {:?}"),
+                                &value
+                            ));
+                            let $pat = value;
+                        )*
+                        #[allow(clippy::redundant_closure_call)]
+                        (|| { $body ::std::result::Result::Ok(()) })()
+                    };
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}: {}\n  inputs:{}",
+                            stringify!($name), case + 1, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure fails the case
+/// (with the current inputs in the panic message) instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?}` == `{:?}`", format!($($fmt)+), lhs, rhs),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if *lhs == *rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if *lhs == *rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?}` != `{:?}`", format!($($fmt)+), lhs, rhs),
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

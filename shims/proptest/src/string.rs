@@ -1,0 +1,276 @@
+//! Generation of strings from the small regex subset the workspace's
+//! property tests use as string strategies.
+//!
+//! Supported syntax: literal characters, `.` (any char except `\n`),
+//! character classes `[a-z0-9_]` with ranges and `\\`/`\n`/`\t`-style
+//! escapes, the Unicode category escape `\PC` (any non-control character),
+//! and the repetitions `{n}`, `{m,n}`, `*`, `+`, `?`. That covers every
+//! pattern in the repo; anything unsupported panics loudly rather than
+//! silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyNoNewline,
+    /// `\PC` — any character that is not a control character.
+    NotControl,
+    Class(Vec<ClassItem>),
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A mildly interesting pool for unconstrained characters: mostly ASCII,
+/// some multi-byte code points so UTF-8 handling gets exercised.
+pub(crate) fn random_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'ß', '中', '→', '𝕏', '🦀', '\u{200b}', 'Ω'];
+    match rng.gen_range(0u32..10) {
+        0..=6 => rng
+            .gen_range(0x20u32..0x7F)
+            .try_into()
+            .expect("printable ascii"),
+        7 | 8 => EXOTIC[rng.gen_range(0..EXOTIC.len())],
+        _ => loop {
+            // Arbitrary scalar value (skipping the surrogate gap).
+            let v = rng.gen_range(0u32..0x11_0000);
+            if let Some(c) = char::from_u32(v) {
+                break c;
+            }
+        },
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyNoNewline
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("regex shim: dangling escape in {pattern:?}"));
+                i += 1;
+                match c {
+                    'P' => {
+                        // Only the \PC (non-control) category is needed.
+                        let cat = *chars
+                            .get(i)
+                            .unwrap_or_else(|| panic!("regex shim: \\P needs category"));
+                        i += 1;
+                        assert!(
+                            cat == 'C',
+                            "regex shim: unsupported category \\P{cat} in {pattern:?}"
+                        );
+                        Atom::NotControl
+                    }
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    'r' => Atom::Literal('\r'),
+                    other => Atom::Literal(other),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut items = Vec::new();
+                let read_one = |i: &mut usize| -> char {
+                    let c = chars[*i];
+                    *i += 1;
+                    if c == '\\' {
+                        let e = chars[*i];
+                        *i += 1;
+                        match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        }
+                    } else {
+                        c
+                    }
+                };
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = read_one(&mut i);
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1; // consume '-'
+                        let hi = read_one(&mut i);
+                        items.push(ClassItem::Range(lo, hi));
+                    } else {
+                        items.push(ClassItem::Single(lo));
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "regex shim: unterminated class in {pattern:?}"
+                );
+                i += 1; // consume ']'
+                Atom::Class(items)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional repetition.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                i += 1;
+                let mut num = String::new();
+                while chars[i].is_ascii_digit() {
+                    num.push(chars[i]);
+                    i += 1;
+                }
+                let lo: u32 = num.parse().expect("repetition count");
+                let hi = if chars[i] == ',' {
+                    i += 1;
+                    let mut num2 = String::new();
+                    while chars[i].is_ascii_digit() {
+                        num2.push(chars[i]);
+                        i += 1;
+                    }
+                    num2.parse().expect("repetition bound")
+                } else {
+                    lo
+                };
+                assert!(chars[i] == '}', "regex shim: bad repetition in {pattern:?}");
+                i += 1;
+                (lo, hi)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyNoNewline => loop {
+            let c = random_char(rng);
+            if c != '\n' {
+                break c;
+            }
+        },
+        Atom::NotControl => loop {
+            let c = random_char(rng);
+            if !c.is_control() {
+                break c;
+            }
+        },
+        Atom::Class(items) => {
+            let item = &items[rng.gen_range(0..items.len())];
+            match item {
+                ClassItem::Single(c) => *c,
+                ClassItem::Range(lo, hi) => loop {
+                    let v = rng.gen_range(*lo as u32..=*hi as u32);
+                    if let Some(c) = char::from_u32(v) {
+                        break c;
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut rng = TestRng::from_seed(seed);
+        generate_from_pattern(pattern, &mut rng)
+    }
+
+    #[test]
+    fn dot_repetition() {
+        for seed in 0..50 {
+            let s = gen(".{0,64}", seed);
+            assert!(s.chars().count() <= 64);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn simple_class() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,8}", seed);
+            let n = s.chars().count();
+            assert!((1..=8).contains(&n));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_unicode() {
+        let pattern = "[a-zA-Z0-9 _\\-\\\\\"\n\t\u{00e9}\u{4e2d}]{0,32}";
+        for seed in 0..50 {
+            let s = gen(pattern, seed);
+            assert!(s.chars().all(|c| {
+                c.is_ascii_alphanumeric()
+                    || " _-\\\"\n\t".contains(c)
+                    || c == '\u{00e9}'
+                    || c == '\u{4e2d}'
+            }));
+        }
+    }
+
+    #[test]
+    fn not_control_category() {
+        for seed in 0..50 {
+            let s = gen("\\PC{0,128}", seed);
+            assert!(s.chars().count() <= 128);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        assert_eq!(gen("abc", 1), "abc");
+        assert_eq!(gen("x{3}", 1), "xxx");
+    }
+}

@@ -1,0 +1,83 @@
+//! Test-runner support types: per-test deterministic RNG, run configuration,
+//! and the error type `prop_assert*` reports through.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure of a single test case (carried by `prop_assert*`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG strategies draw from. Deterministic per test name so failures
+/// reproduce across runs.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test's name (stable across runs and platforms).
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-spread seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Seed explicitly.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}

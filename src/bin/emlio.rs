@@ -134,7 +134,7 @@ fn config_from(flags: &HashMap<String, String>) -> Result<EmlioConfig, String> {
         .with_batch_size(get_num(flags, "batch", 64usize)?)
         .with_threads(get_num(flags, "threads", 2usize)?)
         .with_epochs(get_num(flags, "epochs", 1u32)?)
-        .with_seed(get_num(flags, "seed", 0x0E41_10u64)?))
+        .with_seed(get_num(flags, "seed", 0x000E_4110_u64)?))
 }
 
 fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
@@ -147,7 +147,7 @@ fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
     let config = config_from(&flags)?;
     let daemon = EmlioDaemon::open("daemon-0", std::path::Path::new(data), config.clone())
         .map_err(|e| e.to_string())?;
-    let plan = Plan::build(daemon.index(), &[node.clone()], &config);
+    let plan = Plan::build(daemon.index(), std::slice::from_ref(&node), &config);
     let total: u64 = (0..config.epochs).map(|e| plan.batches_for(e, &node)).sum();
     println!(
         "daemon: serving {} batches × {} epochs to {node} at {connect} with T={}",
@@ -194,7 +194,7 @@ fn cmd_receive(flags: HashMap<String, String>) -> Result<(), String> {
         while let Some(batch) = pipe.next_batch() {
             b += 1;
             s += batch.tensors.len() as u64;
-            if !quiet && b % 50 == 0 {
+            if !quiet && b.is_multiple_of(50) {
                 println!("  {b} batches…");
             }
         }
@@ -207,7 +207,7 @@ fn cmd_receive(flags: HashMap<String, String>) -> Result<(), String> {
         while let Some(batch) = src.next_batch() {
             b += 1;
             s += batch.samples.len() as u64;
-            if !quiet && b % 50 == 0 {
+            if !quiet && b.is_multiple_of(50) {
                 println!("  {b} batches…");
             }
         }
@@ -239,9 +239,8 @@ fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
             let Endpoint::Tcp(addr) = ep else {
                 panic!("tcp endpoint expected")
             };
-            let proxy =
-                Proxy::spawn("127.0.0.1:0", addr, profile.clone(), RealClock::shared())
-                    .expect("spawn netem proxy");
+            let proxy = Proxy::spawn("127.0.0.1:0", addr, profile.clone(), RealClock::shared())
+                .expect("spawn netem proxy");
             let ep = Endpoint::Tcp(proxy.local_addr().to_string());
             (ep, Box::new(proxy) as Box<dyn std::any::Any + Send>)
         })
@@ -271,7 +270,14 @@ fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
 fn cmd_figures(args: &[String]) -> Result<(), String> {
     use emlio::testbed::{experiment, report, NodeSpec};
     let all = [
-        "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations",
+        "fig1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "ablations",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()

@@ -56,7 +56,9 @@ fn real_emlio_secs(tf_dir: &std::path::Path, rtt_ms: u64) -> f64 {
     }];
     let profile = NetProfile::new("t", Duration::from_millis(rtt_ms), 1.25e9);
     let mut dep = EmlioService::launch_with(&storage, &config, "c", |ep| {
-        let Endpoint::Tcp(addr) = ep else { panic!("tcp") };
+        let Endpoint::Tcp(addr) = ep else {
+            panic!("tcp")
+        };
         let proxy =
             Proxy::spawn("127.0.0.1:0", addr, profile.clone(), RealClock::shared()).unwrap();
         let ep = Endpoint::Tcp(proxy.local_addr().to_string());
@@ -115,14 +117,13 @@ fn real_runtime_matches_des_direction() {
             StageSet::Full,
             &ModelConstants::default(),
             &NodeSpec::uc_storage(),
-            1.0,
-            None,
+            loaders::ScenarioTuning::default(),
         );
         built.sim.run().makespan_secs()
     };
     let des_py_penalty = des(LoaderKind::Pytorch, 10.0) - des(LoaderKind::Pytorch, 0.0);
-    let des_em_penalty =
-        des(LoaderKind::Emlio { concurrency: 2 }, 10.0) - des(LoaderKind::Emlio { concurrency: 2 }, 0.0);
+    let des_em_penalty = des(LoaderKind::Emlio { concurrency: 2 }, 10.0)
+        - des(LoaderKind::Emlio { concurrency: 2 }, 0.0);
     assert!(des_py_penalty > 0.0);
     assert!(
         des_em_penalty.abs() < des_py_penalty * 0.05,

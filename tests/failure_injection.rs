@@ -149,6 +149,10 @@ fn daemon_crash_mid_stream_leaves_receiver_consistent() {
         ids.push(b.batch_id);
     }
     ids.sort_unstable();
-    assert_eq!(ids, vec![0, 1, 100, 101, 102], "everything sent was delivered");
+    assert_eq!(
+        ids,
+        vec![0, 1, 100, 101, 102],
+        "everything sent was delivered"
+    );
     receiver.join().unwrap();
 }

@@ -70,7 +70,10 @@ fn reproduction_within_factor_two_of_every_quoted_duration() {
             }
         }
     }
-    assert!(checked >= 20, "expected ≥20 quoted comparisons, got {checked}");
+    assert!(
+        checked >= 20,
+        "expected ≥20 quoted comparisons, got {checked}"
+    );
 }
 
 #[test]
