@@ -1,0 +1,59 @@
+//! Criterion microbenches for the shard cache: eviction policies compared
+//! across a multi-epoch Zipf replay, plus the raw hit path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use emlio_bench::cache_ablation::{zipf_trace, AblationConfig};
+use emlio_cache::{BlockKey, CacheConfig, EvictPolicy, ShardCache};
+
+fn bench_policies(c: &mut Criterion) {
+    let cfg = AblationConfig::smoke();
+    let trace = zipf_trace(&cfg);
+    let ram = ((cfg.blocks * cfg.block_bytes) as f64 * cfg.cache_fraction) as u64;
+    let mut g = c.benchmark_group("cache_policy_replay");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for policy in [
+        EvictPolicy::Fifo,
+        EvictPolicy::Lru,
+        EvictPolicy::Clairvoyant,
+    ] {
+        g.bench_function(&policy.to_string(), |b| {
+            b.iter(|| {
+                let cache = ShardCache::new(
+                    CacheConfig::default()
+                        .with_ram_bytes(ram)
+                        .with_policy(policy)
+                        .with_prefetch_depth(0),
+                )
+                .unwrap();
+                cache.set_plan(trace.clone());
+                for key in &trace {
+                    let _ = cache
+                        .get_or_fetch::<std::io::Error, _>(*key, || Ok(vec![0u8; cfg.block_bytes]))
+                        .unwrap();
+                }
+                black_box(cache.stats().snapshot().hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let block = 64 << 10;
+    let cache = ShardCache::new(CacheConfig::default().with_prefetch_depth(0)).unwrap();
+    let key = BlockKey {
+        shard_id: 0,
+        start: 0,
+        end: 64,
+    };
+    cache.insert(key, vec![0xAB; block]);
+    let mut g = c.benchmark_group("cache_hit");
+    g.throughput(Throughput::Bytes(block as u64));
+    g.bench_function("ram_64KiB", |b| {
+        b.iter(|| black_box(cache.get(&key)).is_some())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_hit_path);
+criterion_main!(benches);

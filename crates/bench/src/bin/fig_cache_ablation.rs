@@ -1,0 +1,44 @@
+//! EXP-CACHE: shard-cache eviction-policy ablation (FIFO vs LRU vs
+//! clairvoyant) on a Zipf-skewed multi-epoch replay, priced with the NFS
+//! cost model at 10 ms RTT. Pass `--smoke` for the CI-sized variant.
+
+use emlio_bench::cache_ablation::{run, to_rows, AblationConfig};
+use emlio_energymon::savings::DEFAULT_STORAGE_IO_WATTS;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        AblationConfig::smoke()
+    } else {
+        AblationConfig::full()
+    };
+    println!(
+        "cache ablation: {} × {} KiB blocks, {} epochs × {} accesses, {:.0}% cache, zipf s={}",
+        cfg.blocks,
+        cfg.block_bytes >> 10,
+        cfg.epochs,
+        cfg.accesses_per_epoch,
+        cfg.cache_fraction * 100.0,
+        cfg.zipf_exponent,
+    );
+    let outcomes = run(&cfg);
+    emlio_bench::emit(
+        "fig_cache_ablation",
+        "EXP-CACHE: eviction policy vs modeled NFS latency + energy (10 ms RTT)",
+        &to_rows(&outcomes),
+    );
+    for o in &outcomes {
+        println!(
+            "  {:<12} {:>6} hits / {:>6} misses ({:>5.1}% hit rate) → modeled {:>8.2}s, {:>9.1} J; avoided {:>8.2}s, {:>9.1} J",
+            o.policy.to_string(),
+            o.hits,
+            o.misses,
+            o.hit_rate * 100.0,
+            o.modeled_secs,
+            o.modeled_joules,
+            o.saved.avoided_secs,
+            o.saved.avoided_joules,
+        );
+    }
+    println!("  (storage node modeled at {DEFAULT_STORAGE_IO_WATTS} W active I/O draw)");
+}

@@ -14,6 +14,7 @@
 //! | `fig10_sharded`      | Figure 10 — sharded scenario with DDP |
 //! | `fig11_loss_curve`   | Figure 11 — loss vs wall-clock at 10 ms RTT |
 //! | `ablations`          | EXP-ABL — HWM / concurrency / prefetch / batch sweeps |
+//! | `fig_cache_ablation` | EXP-CACHE — shard-cache eviction policies on a Zipf replay |
 //!
 //! Each binary prints a paper-vs-reproduction table (Table 1 header
 //! included) and writes a CSV under `target/experiments/`. The Criterion
@@ -22,6 +23,8 @@
 //! zmq-lite transfer, planner construction, and the DES kernel itself; the
 //! `figures` bench target replays every figure so `cargo bench --workspace`
 //! regenerates the entire evaluation.
+
+pub mod cache_ablation;
 
 use emlio_testbed::experiment::ExperimentRow;
 use emlio_testbed::{report, NodeSpec};

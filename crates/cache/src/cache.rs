@@ -1,0 +1,731 @@
+//! The two-tier, plan-aware shard block cache.
+
+use crate::policy::EvictPolicy;
+use crate::stats::CacheStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cached block: one planned batch's contiguous record range in a shard.
+///
+/// The planner slices every shard into fixed-stride chunks, so the same
+/// keys recur with identical boundaries across epochs — which is what
+/// makes caching by range (rather than by byte extent) exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey {
+    /// Source shard.
+    pub shard_id: u32,
+    /// First record index (inclusive).
+    pub start: usize,
+    /// Last record index (exclusive).
+    pub end: usize,
+}
+
+/// Cache sizing and behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// RAM tier capacity in bytes (must be positive).
+    pub ram_bytes: u64,
+    /// Disk spill tier capacity in bytes (0 disables the tier).
+    pub disk_bytes: u64,
+    /// Directory for spill files. `None` creates a per-cache directory
+    /// under the system temp dir, removed when the cache drops.
+    pub spill_dir: Option<PathBuf>,
+    /// Eviction policy for both tiers.
+    pub policy: EvictPolicy,
+    /// How many planned blocks the prefetcher may run ahead of the demand
+    /// cursor (0 disables prefetching).
+    pub prefetch_depth: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            ram_bytes: 256 << 20,
+            disk_bytes: 0,
+            spill_dir: None,
+            policy: EvictPolicy::Lru,
+            prefetch_depth: 8,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Override the RAM tier capacity.
+    pub fn with_ram_bytes(mut self, bytes: u64) -> Self {
+        self.ram_bytes = bytes;
+        self
+    }
+
+    /// Override the disk spill tier capacity (0 disables it).
+    pub fn with_disk_bytes(mut self, bytes: u64) -> Self {
+        self.disk_bytes = bytes;
+        self
+    }
+
+    /// Override the spill directory.
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Override the eviction policy.
+    pub fn with_policy(mut self, policy: EvictPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Override the prefetch depth (0 disables the prefetcher).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+}
+
+/// Where a demand access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetched {
+    /// Served from the RAM tier (includes waits coalesced onto an
+    /// in-flight fetch — no storage read was issued for this access).
+    Ram,
+    /// Served from the disk spill tier (promoted back to RAM).
+    Disk,
+    /// Missed everywhere; the supplied fetch closure ran.
+    Storage,
+}
+
+impl Fetched {
+    /// True when the access avoided a storage read.
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, Fetched::Storage)
+    }
+}
+
+struct RamEntry {
+    data: Arc<Vec<u8>>,
+    inserted: u64,
+    last_access: u64,
+}
+
+struct DiskEntry {
+    path: PathBuf,
+    len: u64,
+    inserted: u64,
+    last_access: u64,
+}
+
+struct Inner {
+    ram: HashMap<BlockKey, RamEntry>,
+    ram_used: u64,
+    disk: HashMap<BlockKey, DiskEntry>,
+    disk_used: u64,
+    /// Monotonic access clock for LRU/FIFO ordering.
+    tick: u64,
+    /// Planned access sequence (all epochs, in consumption order).
+    seq: Arc<Vec<BlockKey>>,
+    /// Remaining plan positions per key (ascending).
+    future: HashMap<BlockKey, VecDeque<u64>>,
+    /// Demand accesses consumed so far (position into `seq`).
+    cursor: u64,
+    /// Keys with a storage fetch in progress (single-flight).
+    in_flight: HashSet<BlockKey>,
+}
+
+/// The plan-aware two-tier block cache. Shared across daemon send workers
+/// and the prefetcher via `Arc`; all methods take `&self`.
+pub struct ShardCache {
+    config: CacheConfig,
+    inner: Mutex<Inner>,
+    /// Signalled when an in-flight fetch completes.
+    flight_cv: Condvar,
+    /// Signalled on every demand access (wakes the prefetcher).
+    pub(crate) access_cv: Condvar,
+    stats: CacheStats,
+    spill_dir: Option<PathBuf>,
+    owns_spill_dir: bool,
+}
+
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl ShardCache {
+    /// Create a cache. Creates the spill directory when a disk tier is
+    /// configured.
+    pub fn new(config: CacheConfig) -> io::Result<ShardCache> {
+        assert!(config.ram_bytes > 0, "cache RAM capacity must be positive");
+        let (spill_dir, owns_spill_dir) = if config.disk_bytes > 0 {
+            match &config.spill_dir {
+                Some(dir) => (Some(dir.clone()), false),
+                None => {
+                    let dir = std::env::temp_dir().join(format!(
+                        "emlio-cache-{}-{}",
+                        std::process::id(),
+                        SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+                    ));
+                    (Some(dir), true)
+                }
+            }
+        } else {
+            (None, false)
+        };
+        if let Some(dir) = &spill_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ShardCache {
+            config,
+            inner: Mutex::new(Inner {
+                ram: HashMap::new(),
+                ram_used: 0,
+                disk: HashMap::new(),
+                disk_used: 0,
+                tick: 0,
+                seq: Arc::new(Vec::new()),
+                future: HashMap::new(),
+                cursor: 0,
+                in_flight: HashSet::new(),
+            }),
+            flight_cv: Condvar::new(),
+            access_cv: Condvar::new(),
+            stats: CacheStats::default(),
+            spill_dir,
+            owns_spill_dir,
+        })
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Install the planned access sequence (every epoch, in consumption
+    /// order) and reset the demand cursor. The clairvoyant policy and the
+    /// prefetcher both walk this sequence; set it before spawning a
+    /// [`crate::Prefetcher`].
+    pub fn set_plan(&self, seq: Vec<BlockKey>) {
+        let mut future: HashMap<BlockKey, VecDeque<u64>> = HashMap::new();
+        for (pos, key) in seq.iter().enumerate() {
+            future.entry(*key).or_default().push_back(pos as u64);
+        }
+        let mut inner = self.inner.lock();
+        inner.seq = Arc::new(seq);
+        inner.future = future;
+        inner.cursor = 0;
+    }
+
+    /// The installed plan sequence (empty when none was set).
+    pub(crate) fn plan(&self) -> Arc<Vec<BlockKey>> {
+        self.inner.lock().seq.clone()
+    }
+
+    /// Demand accesses consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.inner.lock().cursor
+    }
+
+    /// Whether `key` is resident in either tier. No policy side effects.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        let inner = self.inner.lock();
+        inner.ram.contains_key(key) || inner.disk.contains_key(key)
+    }
+
+    /// Bytes resident in the RAM tier.
+    pub fn ram_bytes_used(&self) -> u64 {
+        self.inner.lock().ram_used
+    }
+
+    /// Bytes resident in the disk tier.
+    pub fn disk_bytes_used(&self) -> u64 {
+        self.inner.lock().disk_used
+    }
+
+    /// Sorted keys resident in the RAM tier (test/inspection hook).
+    pub fn ram_keys(&self) -> Vec<BlockKey> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<BlockKey> = inner.ram.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Demand lookup: serve `key` from RAM or disk, updating recency and
+    /// the plan cursor. Returns `None` on a miss (which is also counted).
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        Self::advance_cursor(&mut inner, key);
+        let res = self.lookup_locked(&mut inner, key);
+        if res.is_none() {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.access_cv.notify_all();
+        res.map(|(data, _)| data)
+    }
+
+    /// Insert a block without demand-access accounting.
+    pub fn insert(&self, key: BlockKey, data: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        self.insert_locked(&mut inner, key, Arc::new(data));
+    }
+
+    /// Demand lookup with single-flight fetch: on a miss, run `fetch` (at
+    /// most once per missing key across all threads — concurrent callers
+    /// block until the winner's fetch completes and then hit RAM).
+    pub fn get_or_fetch<E, F>(&self, key: BlockKey, fetch: F) -> Result<(Arc<Vec<u8>>, Fetched), E>
+    where
+        F: FnOnce() -> Result<Vec<u8>, E>,
+    {
+        let mut inner = self.inner.lock();
+        Self::advance_cursor(&mut inner, &key);
+        self.access_cv.notify_all();
+        loop {
+            if let Some((data, from)) = self.lookup_locked(&mut inner, &key) {
+                return Ok((data, from));
+            }
+            if inner.in_flight.contains(&key) {
+                self.flight_cv.wait(&mut inner);
+                continue;
+            }
+            break;
+        }
+        // We are the fetcher for this key.
+        inner.in_flight.insert(key);
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        let fetched = fetch();
+        let mut inner = self.inner.lock();
+        inner.in_flight.remove(&key);
+        self.flight_cv.notify_all();
+        match fetched {
+            Ok(data) => {
+                let data = Arc::new(data);
+                self.insert_locked(&mut inner, key, data.clone());
+                Ok((data, Fetched::Storage))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Load `key` ahead of demand: fetch and insert unless the block is
+    /// already resident or being fetched. Never waits, never touches the
+    /// demand cursor or hit/miss counters. Returns whether `fetch` ran.
+    pub fn prefetch<E, F>(&self, key: BlockKey, fetch: F) -> Result<bool, E>
+    where
+        F: FnOnce() -> Result<Vec<u8>, E>,
+    {
+        {
+            let mut inner = self.inner.lock();
+            if inner.ram.contains_key(&key)
+                || inner.disk.contains_key(&key)
+                || inner.in_flight.contains(&key)
+            {
+                return Ok(false);
+            }
+            inner.in_flight.insert(key);
+        }
+        let fetched = fetch();
+        let mut inner = self.inner.lock();
+        inner.in_flight.remove(&key);
+        self.flight_cv.notify_all();
+        match fetched {
+            Ok(data) => {
+                self.insert_locked(&mut inner, key, Arc::new(data));
+                self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serve from RAM (recency bump) or promote from disk. Counts hits.
+    fn lookup_locked(&self, inner: &mut Inner, key: &BlockKey) -> Option<(Arc<Vec<u8>>, Fetched)> {
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.ram.get_mut(key) {
+            entry.last_access = tick;
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_saved
+                .fetch_add(entry.data.len() as u64, Ordering::Relaxed);
+            return Some((entry.data.clone(), Fetched::Ram));
+        }
+        if let Some(entry) = inner.disk.remove(key) {
+            inner.disk_used -= entry.len;
+            let data = match std::fs::read(&entry.path) {
+                Ok(data) => Arc::new(data),
+                // A vanished spill file degrades to a miss.
+                Err(_) => return None,
+            };
+            let _ = std::fs::remove_file(&entry.path);
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_saved
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+            self.insert_locked(inner, *key, data.clone());
+            return Some((data, Fetched::Disk));
+        }
+        None
+    }
+
+    /// Insert into RAM, evicting (and spilling) until it fits. Blocks
+    /// larger than the whole RAM tier are passed through uncached.
+    fn insert_locked(&self, inner: &mut Inner, key: BlockKey, data: Arc<Vec<u8>>) {
+        let size = data.len() as u64;
+        if size > self.config.ram_bytes {
+            return;
+        }
+        if inner.ram.contains_key(&key) {
+            return;
+        }
+        // Re-inserting a spilled block supersedes its disk copy.
+        if let Some(old) = inner.disk.remove(&key) {
+            inner.disk_used -= old.len;
+            let _ = std::fs::remove_file(&old.path);
+        }
+        while inner.ram_used + size > self.config.ram_bytes {
+            self.evict_one_from_ram(inner);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.ram_used += size;
+        inner.ram.insert(
+            key,
+            RamEntry {
+                data,
+                inserted: tick,
+                last_access: tick,
+            },
+        );
+    }
+
+    /// Evict one RAM block by policy, spilling it to disk when a disk tier
+    /// is configured and the block fits.
+    fn evict_one_from_ram(&self, inner: &mut Inner) {
+        let Some(victim) = self.pick_victim(inner, /* ram = */ true) else {
+            return;
+        };
+        let entry = inner.ram.remove(&victim).expect("victim resident");
+        inner.ram_used -= entry.data.len() as u64;
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+
+        let size = entry.data.len() as u64;
+        let Some(dir) = &self.spill_dir else { return };
+        if size > self.config.disk_bytes {
+            return;
+        }
+        while inner.disk_used + size > self.config.disk_bytes {
+            self.evict_one_from_disk(inner);
+        }
+        let path = dir.join(format!(
+            "block-{}-{}-{}.blk",
+            victim.shard_id, victim.start, victim.end
+        ));
+        if std::fs::write(&path, entry.data.as_slice()).is_err() {
+            // Spill failure just loses the block; demand will re-read it.
+            return;
+        }
+        self.stats.spills.fetch_add(1, Ordering::Relaxed);
+        inner.disk_used += size;
+        inner.disk.insert(
+            victim,
+            DiskEntry {
+                path,
+                len: size,
+                inserted: entry.inserted,
+                last_access: entry.last_access,
+            },
+        );
+    }
+
+    fn evict_one_from_disk(&self, inner: &mut Inner) {
+        let Some(victim) = self.pick_victim(inner, /* ram = */ false) else {
+            return;
+        };
+        let entry = inner.disk.remove(&victim).expect("victim resident");
+        inner.disk_used -= entry.len;
+        let _ = std::fs::remove_file(&entry.path);
+    }
+
+    /// Choose the eviction victim for a tier according to the policy.
+    fn pick_victim(&self, inner: &mut Inner, ram: bool) -> Option<BlockKey> {
+        let cursor = inner.cursor;
+        // (key, inserted, last_access) per resident block.
+        let residents: Vec<(BlockKey, u64, u64)> = if ram {
+            inner
+                .ram
+                .iter()
+                .map(|(k, e)| (*k, e.inserted, e.last_access))
+                .collect()
+        } else {
+            inner
+                .disk
+                .iter()
+                .map(|(k, e)| (*k, e.inserted, e.last_access))
+                .collect()
+        };
+        match self.config.policy {
+            EvictPolicy::Lru => residents.into_iter().min_by_key(|r| r.2).map(|r| r.0),
+            EvictPolicy::Fifo => residents.into_iter().min_by_key(|r| r.1).map(|r| r.0),
+            EvictPolicy::Clairvoyant => {
+                let future = &mut inner.future;
+                residents
+                    .into_iter()
+                    .map(|(k, _, last)| (Self::next_use(future, cursor, &k), last, k))
+                    // Furthest next use wins; ties fall back to LRU order
+                    // (smallest last_access ⇒ largest Reverse).
+                    .max_by_key(|(next, last, _)| (*next, std::cmp::Reverse(*last)))
+                    .map(|(_, _, k)| k)
+            }
+        }
+    }
+
+    /// First plan position ≥ `cursor` where `key` is needed (`u64::MAX`
+    /// when it never is). Prunes stale positions as a side effect.
+    fn next_use(future: &mut HashMap<BlockKey, VecDeque<u64>>, cursor: u64, key: &BlockKey) -> u64 {
+        match future.get_mut(key) {
+            None => u64::MAX,
+            Some(q) => {
+                while matches!(q.front(), Some(&p) if p < cursor) {
+                    q.pop_front();
+                }
+                q.front().copied().unwrap_or(u64::MAX)
+            }
+        }
+    }
+
+    /// Block until plan position `pos` is within `depth` of the demand
+    /// cursor. Returns `true` when the window is open, `false` after a
+    /// bounded wait (the caller re-checks its stop flag and retries).
+    pub(crate) fn prefetch_window_wait(&self, pos: u64, depth: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if pos < inner.cursor + depth {
+            return true;
+        }
+        self.access_cv
+            .wait_for(&mut inner, std::time::Duration::from_millis(5));
+        pos < inner.cursor + depth
+    }
+
+    /// Account one demand access against the plan: consume `key`'s
+    /// earliest pending position, and move the cursor past it only when it
+    /// is ahead of the cursor. Concurrent send workers deliver accesses
+    /// slightly out of plan order; consuming exactly one position per
+    /// access keeps a late-arriving access from eating the key's
+    /// *next-epoch* position and leaping the cursor (which would both
+    /// mislead the clairvoyant policy and blow open the prefetch window).
+    fn advance_cursor(inner: &mut Inner, key: &BlockKey) {
+        if inner.seq.is_empty() {
+            return;
+        }
+        let cursor = inner.cursor;
+        if let Some(q) = inner.future.get_mut(key) {
+            if let Some(&p) = q.front() {
+                q.pop_front();
+                if p >= cursor {
+                    inner.cursor = p + 1;
+                }
+                return;
+            }
+        }
+        // Unplanned access: just move time forward.
+        inner.cursor += 1;
+    }
+}
+
+impl Drop for ShardCache {
+    fn drop(&mut self) {
+        let inner = self.inner.lock();
+        for entry in inner.disk.values() {
+            let _ = std::fs::remove_file(&entry.path);
+        }
+        if self.owns_spill_dir {
+            if let Some(dir) = &self.spill_dir {
+                let _ = std::fs::remove_dir(dir);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: usize) -> BlockKey {
+        BlockKey {
+            shard_id: 0,
+            start: i * 10,
+            end: (i + 1) * 10,
+        }
+    }
+
+    fn block(i: usize, len: usize) -> Vec<u8> {
+        vec![i as u8; len]
+    }
+
+    fn ram_only(bytes: u64, policy: EvictPolicy) -> ShardCache {
+        ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(bytes)
+                .with_policy(policy),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let cache = ram_only(1024, EvictPolicy::Lru);
+        assert!(cache.get(&key(0)).is_none());
+        cache.insert(key(0), block(0, 100));
+        let data = cache.get(&key(0)).expect("hit");
+        assert_eq!(data.len(), 100);
+        let s = cache.stats().snapshot();
+        assert_eq!((s.hits, s.misses, s.bytes_saved), (1, 1, 100));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cache = ram_only(300, EvictPolicy::Lru);
+        cache.insert(key(0), block(0, 100));
+        cache.insert(key(1), block(1, 100));
+        cache.insert(key(2), block(2, 100));
+        // Touch 0 so 1 is now the least recently used.
+        cache.get(&key(0)).unwrap();
+        cache.insert(key(3), block(3, 100));
+        assert!(cache.contains(&key(0)));
+        assert!(!cache.contains(&key(1)), "LRU victim");
+        assert_eq!(cache.ram_bytes_used(), 300);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insert() {
+        let cache = ram_only(300, EvictPolicy::Fifo);
+        cache.insert(key(0), block(0, 100));
+        cache.insert(key(1), block(1, 100));
+        cache.insert(key(2), block(2, 100));
+        // Touching 0 must not save it under FIFO.
+        cache.get(&key(0)).unwrap();
+        cache.insert(key(3), block(3, 100));
+        assert!(!cache.contains(&key(0)), "FIFO victim is oldest insert");
+        assert!(cache.contains(&key(1)));
+    }
+
+    #[test]
+    fn clairvoyant_evicts_furthest_next_use() {
+        let cache = ram_only(300, EvictPolicy::Clairvoyant);
+        // Plan: 0 1 2 3 0 1 3  — after consuming the first three accesses,
+        // 2 is never used again and must be the victim when 3 arrives.
+        cache.set_plan(vec![key(0), key(1), key(2), key(3), key(0), key(1), key(3)]);
+        for i in 0..3 {
+            let (_, from) = cache
+                .get_or_fetch::<std::io::Error, _>(key(i), || Ok(block(i, 100)))
+                .unwrap();
+            assert_eq!(from, Fetched::Storage);
+        }
+        let (_, from) = cache
+            .get_or_fetch::<std::io::Error, _>(key(3), || Ok(block(3, 100)))
+            .unwrap();
+        assert_eq!(from, Fetched::Storage);
+        assert!(!cache.contains(&key(2)), "dead block evicted first");
+        assert!(cache.contains(&key(0)));
+        assert!(cache.contains(&key(1)));
+    }
+
+    #[test]
+    fn out_of_order_access_consumes_one_position() {
+        let cache = ram_only(1 << 20, EvictPolicy::Clairvoyant);
+        // Two-epoch plan over two blocks: 0 1 0 1.
+        cache.set_plan(vec![key(0), key(1), key(0), key(1)]);
+        cache.insert(key(0), block(0, 10));
+        cache.insert(key(1), block(1, 10));
+        // Worker skew: block 1 (pos 1) is demanded before block 0 (pos 0).
+        cache.get(&key(1)).unwrap();
+        assert_eq!(cache.consumed(), 2);
+        // The late access of block 0 consumes only its stale position 0 —
+        // its epoch-2 position (pos 2) must survive, cursor must not leap.
+        cache.get(&key(0)).unwrap();
+        assert_eq!(cache.consumed(), 2, "cursor does not leap an epoch");
+        // In-order resumption: epoch-2 accesses advance normally.
+        cache.get(&key(0)).unwrap();
+        assert_eq!(cache.consumed(), 3);
+        cache.get(&key(1)).unwrap();
+        assert_eq!(cache.consumed(), 4);
+    }
+
+    #[test]
+    fn disk_spill_roundtrip() {
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(200)
+                .with_disk_bytes(1000)
+                .with_policy(EvictPolicy::Lru),
+        )
+        .unwrap();
+        cache.insert(key(0), block(7, 100));
+        cache.insert(key(1), block(8, 100));
+        cache.insert(key(2), block(9, 100)); // evicts 0 → disk
+        assert_eq!(cache.stats().snapshot().spills, 1);
+        assert_eq!(cache.disk_bytes_used(), 100);
+        // Disk hit promotes back to RAM (evicting again).
+        let data = cache.get(&key(0)).expect("disk hit");
+        assert!(data.iter().all(|&b| b == 7));
+        let s = cache.stats().snapshot();
+        assert_eq!(s.disk_hits, 1);
+        assert!(cache.contains(&key(0)));
+    }
+
+    #[test]
+    fn single_flight_coalesces_fetches() {
+        let cache = Arc::new(ram_only(1 << 20, EvictPolicy::Lru));
+        let fetches = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let fetches = fetches.clone();
+            handles.push(std::thread::spawn(move || {
+                let (data, _) = cache
+                    .get_or_fetch::<std::io::Error, _>(key(0), || {
+                        fetches.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(block(0, 64))
+                    })
+                    .unwrap();
+                assert_eq!(data.len(), 64);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fetches.load(Ordering::Relaxed), 1, "one storage read");
+        let s = cache.stats().snapshot();
+        assert_eq!(s.hits + s.misses, 8);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn fetch_error_propagates_and_clears_flight() {
+        let cache = ram_only(1024, EvictPolicy::Lru);
+        let err = cache
+            .get_or_fetch::<String, _>(key(0), || Err("boom".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        // The key is fetchable again afterwards.
+        let (data, _) = cache
+            .get_or_fetch::<String, _>(key(0), || Ok(block(0, 10)))
+            .unwrap();
+        assert_eq!(data.len(), 10);
+    }
+
+    #[test]
+    fn oversized_block_passes_through_uncached() {
+        let cache = ram_only(100, EvictPolicy::Lru);
+        cache.insert(key(0), block(0, 1000));
+        assert!(!cache.contains(&key(0)));
+        assert_eq!(cache.ram_bytes_used(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! `emlio-cache` — plan-aware multi-tier block cache for the daemon read path.
+//!
+//! EMLIO's daemon performs one positioned range read per planned batch,
+//! every epoch, straight off (possibly remote) storage. But the planner
+//! already knows the *exact* future access order, so repeated-epoch reads
+//! are avoidable rework: the same `(shard, record-range)` blocks recur with
+//! identical boundaries every epoch. This crate exploits that:
+//!
+//! * [`ShardCache`] — a two-tier cache: a bounded RAM tier plus an optional
+//!   bounded local-disk spill tier, keyed by [`BlockKey`] (shard id +
+//!   record range). Lookups are single-flight: concurrent requests for the
+//!   same missing block coalesce onto one storage read.
+//! * [`EvictPolicy`] — pluggable eviction: [`EvictPolicy::Lru`],
+//!   [`EvictPolicy::Fifo`], and [`EvictPolicy::Clairvoyant`], which uses
+//!   the epoch plan (via [`ShardCache::set_plan`]) to evict the resident
+//!   block whose next use is furthest in the future (Belady's algorithm —
+//!   the insight of "Clairvoyant Prefetching for Distributed Machine
+//!   Learning I/O").
+//! * [`Prefetcher`] — a background thread that walks the planned access
+//!   sequence ahead of the demand cursor and warms the RAM tier, bounded by
+//!   a configurable depth so it cannot wreck the cache for the present.
+//! * [`CachedRangeReader`] — the drop-in read path used by the daemon:
+//!   routes `RangeReader` range reads through the cache and reports
+//!   hit/miss/bytes/read-time per batch.
+//!
+//! [`CacheStats`] counts hits, misses, evictions, spills, and bytes saved,
+//! which `emlio-core` mirrors into its `DataPathMetrics` and
+//! `emlio-energymon` converts into avoided NFS latency and energy.
+
+pub mod cache;
+pub mod policy;
+pub mod prefetch;
+pub mod reader;
+pub mod stats;
+
+pub use cache::{BlockKey, CacheConfig, Fetched, ShardCache};
+pub use policy::EvictPolicy;
+pub use prefetch::Prefetcher;
+pub use reader::{CachedRangeReader, RangeRead};
+pub use stats::{CacheStats, CacheStatsSnapshot};

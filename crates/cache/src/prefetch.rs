@@ -1,0 +1,160 @@
+//! Clairvoyant prefetching: warm the RAM tier along the known plan.
+//!
+//! Because the planner publishes the exact batch order before any data
+//! moves, the cache does not have to *react* to accesses — a background
+//! thread can walk the same sequence ahead of the send workers and have
+//! each block resident before it is demanded. The prefetcher stays at most
+//! `prefetch_depth` blocks ahead of the demand cursor so warming the
+//! future never evicts the present working set.
+
+use crate::cache::{BlockKey, ShardCache};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How a prefetcher loads one block from storage.
+pub type FetchFn = dyn Fn(&BlockKey) -> io::Result<Vec<u8>> + Send + Sync;
+
+/// Handle to the background prefetch thread. Stops and joins on drop.
+pub struct Prefetcher {
+    stop: Arc<AtomicBool>,
+    cache: Arc<ShardCache>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawn a prefetcher over `cache`'s installed plan (set the plan via
+    /// [`ShardCache::set_plan`] first). `fetch` performs the raw storage
+    /// read for one block; fetch errors are skipped — the demand path will
+    /// surface them. A `prefetch_depth` of 0 yields an immediately-idle
+    /// thread that exits.
+    pub fn spawn(cache: Arc<ShardCache>, fetch: Arc<FetchFn>) -> Prefetcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let cache2 = cache.clone();
+        let handle = std::thread::Builder::new()
+            .name("emlio-cache-prefetch".into())
+            .spawn(move || Self::run(cache2, fetch, stop2))
+            .expect("spawn prefetch thread");
+        Prefetcher {
+            stop,
+            cache,
+            handle: Some(handle),
+        }
+    }
+
+    fn run(cache: Arc<ShardCache>, fetch: Arc<FetchFn>, stop: Arc<AtomicBool>) {
+        let seq = cache.plan();
+        let depth = cache.config().prefetch_depth as u64;
+        if depth == 0 || seq.is_empty() {
+            return;
+        }
+        let mut pos: u64 = 0;
+        while !stop.load(Ordering::Relaxed) {
+            if pos as usize >= seq.len() {
+                return;
+            }
+            // Stay within `depth` of the demand cursor; the cache pings
+            // `access_cv` on every demand access.
+            if !cache.prefetch_window_wait(pos, depth) {
+                continue; // woke by timeout/stop; re-check
+            }
+            let key = seq[pos as usize];
+            pos += 1;
+            let _fetched: io::Result<bool> = cache.prefetch(key, || fetch(&key));
+        }
+    }
+
+    /// Ask the thread to stop and wait for it.
+    pub fn join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the thread if it is parked waiting for the cursor to move.
+        self.cache.access_cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::policy::EvictPolicy;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn key(i: usize) -> BlockKey {
+        BlockKey {
+            shard_id: 0,
+            start: i,
+            end: i + 1,
+        }
+    }
+
+    #[test]
+    fn prefetcher_warms_ahead_of_cursor() {
+        let cache = Arc::new(
+            ShardCache::new(
+                CacheConfig::default()
+                    .with_ram_bytes(1 << 20)
+                    .with_policy(EvictPolicy::Lru)
+                    .with_prefetch_depth(4),
+            )
+            .unwrap(),
+        );
+        let seq: Vec<BlockKey> = (0..16).map(key).collect();
+        cache.set_plan(seq.clone());
+        let reads = Arc::new(AtomicU64::new(0));
+        let reads2 = reads.clone();
+        let pf = Prefetcher::spawn(
+            cache.clone(),
+            Arc::new(move |k: &BlockKey| {
+                reads2.fetch_add(1, Ordering::Relaxed);
+                Ok(vec![k.start as u8; 128])
+            }),
+        );
+        // Give the prefetcher time to fill its initial window.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !cache.contains(&key(0)) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(cache.contains(&key(0)), "window warmed");
+        // Consume the whole plan; every demand access must eventually hit.
+        for k in &seq {
+            let (_, _) = cache
+                .get_or_fetch::<io::Error, _>(*k, || Ok(vec![0; 128]))
+                .unwrap();
+        }
+        pf.join();
+        let s = cache.stats().snapshot();
+        assert_eq!(s.hits + s.misses, 16);
+        assert!(s.hits > 0, "prefetched blocks hit: {s:?}");
+        assert_eq!(
+            s.prefetched,
+            reads.load(Ordering::Relaxed),
+            "every prefetcher read landed in the cache"
+        );
+    }
+
+    #[test]
+    fn depth_zero_prefetcher_exits_idle() {
+        let cache =
+            Arc::new(ShardCache::new(CacheConfig::default().with_prefetch_depth(0)).unwrap());
+        cache.set_plan(vec![key(0)]);
+        let pf = Prefetcher::spawn(cache.clone(), Arc::new(|_k: &BlockKey| Ok(vec![1])));
+        pf.join();
+        assert!(!cache.contains(&key(0)));
+    }
+}

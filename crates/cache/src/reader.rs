@@ -1,0 +1,163 @@
+//! The cached daemon read path: `RangeReader` behind a [`ShardCache`].
+
+use crate::cache::{BlockKey, ShardCache};
+use emlio_tfrecord::record::decode_all;
+use emlio_tfrecord::{RangeReader, RecordError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of one cached batch read.
+#[derive(Debug)]
+pub struct RangeRead {
+    /// Decoded record payloads, in range order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Whether the raw block came from the cache (RAM or disk tier).
+    pub hit: bool,
+    /// Raw block size in bytes.
+    pub bytes: u64,
+    /// Nanoseconds spent in the storage read (0 on a hit).
+    pub read_nanos: u64,
+}
+
+/// A shard's positioned-read path routed through a shared block cache.
+///
+/// Wraps the same [`RangeReader`] the daemon already uses: on a miss the
+/// contiguous batch span is read with one positioned read and the raw
+/// bytes are admitted to the cache; on a hit the records are decoded
+/// straight from the cached block and storage is never touched. Reads of
+/// the same missing block from concurrent workers coalesce onto a single
+/// storage read (single-flight).
+pub struct CachedRangeReader {
+    reader: Arc<RangeReader>,
+    cache: Arc<ShardCache>,
+    shard_id: u32,
+    verify_crc: bool,
+}
+
+impl CachedRangeReader {
+    /// Route `reader`'s reads for shard `shard_id` through `cache`.
+    pub fn new(reader: Arc<RangeReader>, cache: Arc<ShardCache>, shard_id: u32) -> Self {
+        CachedRangeReader {
+            reader,
+            cache,
+            shard_id,
+            verify_crc: true,
+        }
+    }
+
+    /// Disable CRC verification when decoding (trusted replay).
+    pub fn without_crc_verification(mut self) -> Self {
+        self.verify_crc = false;
+        self
+    }
+
+    /// The cache behind this reader.
+    pub fn cache(&self) -> &Arc<ShardCache> {
+        &self.cache
+    }
+
+    /// Read and decode the planned batch covering records `[start, end)`
+    /// whose contiguous byte span is `[offset, offset + size)`.
+    pub fn read_batch(
+        &self,
+        start: usize,
+        end: usize,
+        offset: u64,
+        size: u64,
+    ) -> Result<RangeRead, RecordError> {
+        let key = BlockKey {
+            shard_id: self.shard_id,
+            start,
+            end,
+        };
+        let mut read_nanos = 0u64;
+        let (block, from) = self.cache.get_or_fetch::<RecordError, _>(key, || {
+            let t = Instant::now();
+            let mut buf = Vec::new();
+            self.reader.read_range_into(offset, size, &mut buf)?;
+            read_nanos = t.elapsed().as_nanos() as u64;
+            Ok(buf)
+        })?;
+        let records = decode_all(&block, self.verify_crc)?;
+        let payloads = records.into_iter().map(|r| r.payload.to_vec()).collect();
+        Ok(RangeRead {
+            payloads,
+            hit: from.is_hit(),
+            bytes: block.len() as u64,
+            read_nanos,
+        })
+    }
+
+    /// Fetch one block into the cache without demand accounting (used by
+    /// prefetch paths that already know the span).
+    pub fn prefetch_block(
+        &self,
+        start: usize,
+        end: usize,
+        offset: u64,
+        size: u64,
+    ) -> Result<bool, RecordError> {
+        let key = BlockKey {
+            shard_id: self.shard_id,
+            start,
+            end,
+        };
+        self.cache.prefetch::<RecordError, _>(key, || {
+            let mut buf = Vec::new();
+            self.reader.read_range_into(offset, size, &mut buf)?;
+            Ok(buf)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use emlio_tfrecord::{ShardSpec, ShardWriter};
+    use emlio_util::testutil::TempDir;
+
+    fn shard_with_records(n: usize) -> (TempDir, emlio_tfrecord::GlobalIndex) {
+        let dir = TempDir::new("cached-reader");
+        let mut w = ShardWriter::create(dir.path(), ShardSpec::Count(1)).unwrap();
+        for i in 0..n {
+            w.append(&[i as u8; 64], (i % 3) as u32).unwrap();
+        }
+        let idx = w.finish().unwrap();
+        (dir, idx)
+    }
+
+    #[test]
+    fn second_read_hits_and_is_identical() {
+        let (_d, idx) = shard_with_records(10);
+        let cache = Arc::new(ShardCache::new(CacheConfig::default()).unwrap());
+        let reader = Arc::new(RangeReader::open(&idx.shard_path(0)).unwrap());
+        let cached = CachedRangeReader::new(reader, cache.clone(), 0);
+
+        let (offset, size) = idx.shards[0].span(2, 7).unwrap();
+        let first = cached.read_batch(2, 7, offset, size).unwrap();
+        assert!(!first.hit);
+        assert_eq!(first.payloads.len(), 5);
+        assert!(first.read_nanos > 0);
+
+        let second = cached.read_batch(2, 7, offset, size).unwrap();
+        assert!(second.hit);
+        assert_eq!(second.read_nanos, 0);
+        assert_eq!(first.payloads, second.payloads, "byte-identical replay");
+        assert_eq!(cache.stats().snapshot().bytes_saved, size);
+    }
+
+    #[test]
+    fn prefetch_block_primes_demand_hit() {
+        let (_d, idx) = shard_with_records(6);
+        let cache = Arc::new(ShardCache::new(CacheConfig::default()).unwrap());
+        let reader = Arc::new(RangeReader::open(&idx.shard_path(0)).unwrap());
+        let cached = CachedRangeReader::new(reader, cache, 0);
+
+        let (offset, size) = idx.shards[0].span(0, 6).unwrap();
+        assert!(cached.prefetch_block(0, 6, offset, size).unwrap());
+        assert!(!cached.prefetch_block(0, 6, offset, size).unwrap());
+        let read = cached.read_batch(0, 6, offset, size).unwrap();
+        assert!(read.hit, "prefetched block served the demand read");
+    }
+}

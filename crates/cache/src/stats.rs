@@ -1,0 +1,87 @@
+//! Cache telemetry counters.
+//!
+//! "Predictive Modeling of I/O Performance for ML Training Pipelines"
+//! motivates exposing hit/miss/bytes-saved telemetry so the storage tier
+//! can be tuned; these counters are the cache's side of that contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one [`crate::ShardCache`].
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Demand accesses served from the cache (RAM or disk tier).
+    pub hits: AtomicU64,
+    /// Demand accesses that had to fetch from storage.
+    pub misses: AtomicU64,
+    /// Hits served by the disk spill tier (subset of `hits`).
+    pub disk_hits: AtomicU64,
+    /// Blocks evicted from the RAM tier.
+    pub evictions: AtomicU64,
+    /// RAM evictions that were spilled to the disk tier (subset of
+    /// `evictions`).
+    pub spills: AtomicU64,
+    /// Blocks loaded by the prefetcher (not demand misses).
+    pub prefetched: AtomicU64,
+    /// Storage bytes *not* read thanks to cache hits.
+    pub bytes_saved: AtomicU64,
+}
+
+impl CacheStats {
+    /// Plain-value copy of every counter.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            spills: self.spills.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+            bytes_saved: self.bytes_saved.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Demand accesses served from the cache.
+    pub hits: u64,
+    /// Demand accesses that fetched from storage.
+    pub misses: u64,
+    /// Hits served by the disk spill tier.
+    pub disk_hits: u64,
+    /// Blocks evicted from the RAM tier.
+    pub evictions: u64,
+    /// RAM evictions spilled to disk.
+    pub spills: u64,
+    /// Blocks loaded by the prefetcher.
+    pub prefetched: u64,
+    /// Storage bytes not read thanks to hits.
+    pub bytes_saved: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of demand accesses that hit, in `[0, 1]` (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats::default();
+        assert_eq!(s.snapshot().hit_rate(), 0.0);
+        s.hits.store(3, Ordering::Relaxed);
+        s.misses.store(1, Ordering::Relaxed);
+        assert!((s.snapshot().hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

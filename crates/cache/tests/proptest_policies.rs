@@ -1,0 +1,164 @@
+//! Property tests for the eviction policies: for *any* access trace,
+//! capacity bounds hold after every operation, LRU keeps exactly the
+//! reference-model residents, and the clairvoyant policy never evicts the
+//! block the plan needs next (and never loses to a reactive policy).
+
+use emlio_cache::{BlockKey, CacheConfig, EvictPolicy, ShardCache};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const BLOCK: u64 = 100;
+
+fn key(i: u8) -> BlockKey {
+    BlockKey {
+        shard_id: 0,
+        start: i as usize * BLOCK as usize,
+        end: (i as usize + 1) * BLOCK as usize,
+    }
+}
+
+/// Uniform-size demand replay through a fresh cache; returns the cache.
+fn replay(policy: EvictPolicy, capacity_blocks: u64, trace: &[u8], plan: bool) -> ShardCache {
+    let cache = ShardCache::new(
+        CacheConfig::default()
+            .with_ram_bytes(capacity_blocks * BLOCK)
+            .with_policy(policy)
+            .with_prefetch_depth(0),
+    )
+    .unwrap();
+    if plan {
+        cache.set_plan(trace.iter().map(|&i| key(i)).collect());
+    }
+    for &i in trace {
+        cache
+            .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+            .unwrap();
+    }
+    cache
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Neither tier ever holds more bytes than its configured capacity,
+    /// no matter the policy, trace, or (two-tier) configuration.
+    #[test]
+    fn capacity_never_exceeded(
+        trace in vec(0u8..24, 1..200),
+        cap_blocks in 1u64..8,
+        disk_blocks in 0u64..6,
+        policy_pick in 0u8..3,
+    ) {
+        let policy = [EvictPolicy::Lru, EvictPolicy::Fifo, EvictPolicy::Clairvoyant][policy_pick as usize];
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(cap_blocks * BLOCK)
+                .with_disk_bytes(disk_blocks * BLOCK)
+                .with_policy(policy)
+                .with_prefetch_depth(0),
+        )
+        .unwrap();
+        cache.set_plan(trace.iter().map(|&i| key(i)).collect());
+        for &i in &trace {
+            cache
+                .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+                .unwrap();
+            prop_assert!(cache.ram_bytes_used() <= cap_blocks * BLOCK);
+            prop_assert!(cache.disk_bytes_used() <= disk_blocks * BLOCK);
+        }
+    }
+
+    /// The LRU tier's resident set always equals the textbook LRU model's.
+    #[test]
+    fn lru_matches_reference_model(
+        trace in vec(0u8..16, 1..200),
+        cap_blocks in 1u64..8,
+    ) {
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(cap_blocks * BLOCK)
+                .with_policy(EvictPolicy::Lru)
+                .with_prefetch_depth(0),
+        )
+        .unwrap();
+        // Reference model: most-recent at the back.
+        let mut model: Vec<u8> = Vec::new();
+        for &i in &trace {
+            cache
+                .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+                .unwrap();
+            model.retain(|&k| k != i);
+            model.push(i);
+            if model.len() > cap_blocks as usize {
+                model.remove(0);
+            }
+            let mut expect: Vec<BlockKey> = model.iter().map(|&k| key(k)).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(cache.ram_keys(), expect, "after access {}", i);
+        }
+    }
+
+    /// Clairvoyant eviction never throws out the block the plan demands
+    /// next: if the next access's block is resident before an access, it
+    /// is still resident afterwards (capacity ≥ 2 blocks, in-order replay).
+    #[test]
+    fn clairvoyant_never_evicts_next_needed(
+        trace in vec(0u8..16, 2..150),
+        cap_blocks in 2u64..8,
+    ) {
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(cap_blocks * BLOCK)
+                .with_policy(EvictPolicy::Clairvoyant)
+                .with_prefetch_depth(0),
+        )
+        .unwrap();
+        cache.set_plan(trace.iter().map(|&i| key(i)).collect());
+        for w in trace.windows(2) {
+            let (now, next) = (w[0], w[1]);
+            let next_resident_before = cache.contains(&key(next));
+            cache
+                .get_or_fetch::<std::io::Error, _>(key(now), || Ok(vec![now; BLOCK as usize]))
+                .unwrap();
+            if next_resident_before && next != now {
+                prop_assert!(
+                    cache.contains(&key(next)),
+                    "access of {} evicted next-needed {}",
+                    now,
+                    next
+                );
+            }
+        }
+    }
+
+    /// Belady optimality, observed from outside: on any trace the
+    /// clairvoyant policy misses no more than LRU or FIFO.
+    #[test]
+    fn clairvoyant_is_never_worse(
+        trace in vec(0u8..20, 1..250),
+        cap_blocks in 1u64..10,
+    ) {
+        let opt = replay(EvictPolicy::Clairvoyant, cap_blocks, &trace, true)
+            .stats()
+            .snapshot();
+        let lru = replay(EvictPolicy::Lru, cap_blocks, &trace, false)
+            .stats()
+            .snapshot();
+        let fifo = replay(EvictPolicy::Fifo, cap_blocks, &trace, false)
+            .stats()
+            .snapshot();
+        prop_assert_eq!(opt.hits + opt.misses, trace.len() as u64);
+        prop_assert!(
+            opt.misses <= lru.misses,
+            "opt {} > lru {}",
+            opt.misses,
+            lru.misses
+        );
+        prop_assert!(
+            opt.misses <= fifo.misses,
+            "opt {} > fifo {}",
+            opt.misses,
+            fifo.misses
+        );
+    }
+}

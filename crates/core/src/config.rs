@@ -1,5 +1,7 @@
 //! EMLIO deployment configuration.
 
+use emlio_cache::CacheConfig;
+
 /// How the planner distributes the dataset across compute nodes each epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Coverage {
@@ -32,6 +34,9 @@ pub struct EmlioConfig {
     /// shards are verified at conversion time, matching the paper's
     /// trusted-replay reads.
     pub verify_crc: bool,
+    /// Shard block cache on the daemon read path (`None` = read every
+    /// planned range from storage every epoch, the paper's behaviour).
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for EmlioConfig {
@@ -44,6 +49,7 @@ impl Default for EmlioConfig {
             coverage: Coverage::Partition,
             seed: 0x000E_4110,
             verify_crc: false,
+            cache: None,
         }
     }
 }
@@ -81,6 +87,12 @@ impl EmlioConfig {
         self.seed = s;
         self
     }
+
+    /// Enable the daemon-side shard block cache.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +105,13 @@ mod tests {
         assert_eq!(c.batch_size, 64);
         assert_eq!(c.hwm, 16);
         assert_eq!(c.coverage, Coverage::Partition);
+        assert!(c.cache.is_none(), "caching is opt-in");
+    }
+
+    #[test]
+    fn cache_knob() {
+        let c = EmlioConfig::default().with_cache(CacheConfig::default().with_ram_bytes(1 << 20));
+        assert_eq!(c.cache.unwrap().ram_bytes, 1 << 20);
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //! blocking PUSH over its own stream. With `T > 1` workers per destination,
 //! reading/serializing one batch overlaps sending another — the paper's
 //! network-pipeline concurrency, and the knob behind Figures 7 and 8.
+//!
+//! When [`EmlioConfig::cache`] is set, every range read routes through an
+//! `emlio-cache` [`ShardCache`] instead: repeated epochs are served from
+//! RAM (or the disk spill tier) without touching storage, and a
+//! plan-walking prefetcher warms blocks ahead of the send workers.
 
 use crate::config::EmlioConfig;
 use crate::metrics::DataPathMetrics;
 use crate::plan::{BatchRange, Plan};
 use crate::wire;
 use bytes::Bytes;
+use emlio_cache::{BlockKey, CachedRangeReader, Prefetcher, ShardCache};
 use emlio_tfrecord::{GlobalIndex, RangeReader, RecordError};
 use emlio_zmq::{Endpoint, PushSocket, SocketOptions, ZmqError};
 use std::collections::HashMap;
@@ -55,12 +61,20 @@ impl From<ZmqError> for DaemonError {
     }
 }
 
+/// Shared cache context for a `serve` call: the block cache plus one
+/// pre-opened raw reader per shard, shared by workers and the prefetcher.
+struct CacheCtx {
+    cache: Arc<ShardCache>,
+    readers: HashMap<u32, Arc<RangeReader>>,
+}
+
 /// A storage-side daemon bound to one dataset directory.
 pub struct EmlioDaemon {
     id: String,
     index: Arc<GlobalIndex>,
     config: EmlioConfig,
     metrics: Arc<DataPathMetrics>,
+    cache: Option<Arc<ShardCache>>,
 }
 
 impl EmlioDaemon {
@@ -71,11 +85,19 @@ impl EmlioDaemon {
         config: EmlioConfig,
     ) -> Result<EmlioDaemon, DaemonError> {
         let index = GlobalIndex::load_dir(dataset_dir)?;
+        let cache = match &config.cache {
+            None => None,
+            Some(cache_config) => Some(Arc::new(
+                ShardCache::new(cache_config.clone())
+                    .map_err(|e| DaemonError::Storage(RecordError::Io(e)))?,
+            )),
+        };
         Ok(EmlioDaemon {
             id: id.to_string(),
             index: Arc::new(index),
             config,
             metrics: DataPathMetrics::shared(),
+            cache,
         })
     }
 
@@ -87,6 +109,11 @@ impl EmlioDaemon {
     /// Shared data-path counters.
     pub fn metrics(&self) -> Arc<DataPathMetrics> {
         self.metrics.clone()
+    }
+
+    /// The shard block cache, when configured.
+    pub fn cache(&self) -> Option<&Arc<ShardCache>> {
+        self.cache.as_ref()
     }
 
     /// Serve every epoch of `plan` destined for `node_id`, pushing to
@@ -112,10 +139,16 @@ impl EmlioDaemon {
             }
         }
 
-        std::thread::scope(|scope| -> Result<(), DaemonError> {
+        let ctx = self.make_cache_ctx(plan, node_id)?;
+        let prefetcher = ctx.as_ref().and_then(|c| self.spawn_prefetcher(c));
+
+        let result = std::thread::scope(|scope| -> Result<(), DaemonError> {
             let mut handles = Vec::with_capacity(t);
             for worker in 0..t {
-                handles.push(scope.spawn(move || self.run_worker(plan, node_id, endpoint, worker)));
+                let ctx = ctx.as_ref();
+                handles.push(
+                    scope.spawn(move || self.run_worker(plan, node_id, endpoint, worker, ctx)),
+                );
             }
             let mut first_err = None;
             for h in handles {
@@ -132,7 +165,83 @@ impl EmlioDaemon {
                 None => Ok(()),
                 Some(e) => Err(e),
             }
-        })
+        });
+
+        if let Some(pf) = prefetcher {
+            pf.join();
+        }
+        if let Some(cache) = &self.cache {
+            self.metrics
+                .set_cache_evictions(cache.stats().evictions.load(Ordering::Relaxed));
+        }
+        result
+    }
+
+    /// When caching is enabled: install the node's full multi-epoch access
+    /// sequence as the cache plan and pre-open one raw reader per shard.
+    fn make_cache_ctx(&self, plan: &Plan, node_id: &str) -> Result<Option<CacheCtx>, DaemonError> {
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        let mut seq = Vec::new();
+        let mut shard_ids = std::collections::BTreeSet::new();
+        for ep in &plan.epochs {
+            if let Some(np) = ep.nodes.get(node_id) {
+                for b in np.batches_in_plan_order() {
+                    seq.push(BlockKey {
+                        shard_id: b.shard_id,
+                        start: b.start,
+                        end: b.end,
+                    });
+                    shard_ids.insert(b.shard_id);
+                }
+            }
+        }
+        cache.set_plan(seq);
+        let mut readers = HashMap::new();
+        for sid in shard_ids {
+            if self.index.shards.get(sid as usize).is_none() {
+                return Err(DaemonError::BadPlan(format!("unknown shard {sid}")));
+            }
+            readers.insert(
+                sid,
+                Arc::new(RangeReader::open(&self.index.shard_path(sid))?),
+            );
+        }
+        Ok(Some(CacheCtx {
+            cache: cache.clone(),
+            readers,
+        }))
+    }
+
+    /// Spawn the plan-walking prefetcher over the shared cache context.
+    fn spawn_prefetcher(&self, ctx: &CacheCtx) -> Option<Prefetcher> {
+        if ctx.cache.config().prefetch_depth == 0 {
+            return None;
+        }
+        let index = self.index.clone();
+        let metrics = self.metrics.clone();
+        let readers: HashMap<u32, Arc<RangeReader>> = ctx.readers.clone();
+        let fetch = move |key: &BlockKey| -> std::io::Result<Vec<u8>> {
+            let shard = index
+                .shards
+                .get(key.shard_id as usize)
+                .ok_or_else(|| std::io::Error::other(format!("unknown shard {}", key.shard_id)))?;
+            let (offset, size) = shard
+                .span(key.start, key.end)
+                .map_err(std::io::Error::other)?;
+            let reader = readers
+                .get(&key.shard_id)
+                .ok_or_else(|| std::io::Error::other(format!("no reader for {}", key.shard_id)))?;
+            let t = Instant::now();
+            let mut buf = Vec::new();
+            reader
+                .read_range_into(offset, size, &mut buf)
+                .map_err(std::io::Error::other)?;
+            metrics.record_storage_read(t.elapsed().as_nanos() as u64);
+            Ok(buf)
+        };
+        Some(Prefetcher::spawn(ctx.cache.clone(), Arc::new(fetch)))
     }
 
     /// One `SendWorker`: its own socket, its own shard readers, its slice of
@@ -143,17 +252,20 @@ impl EmlioDaemon {
         node_id: &str,
         endpoint: &Endpoint,
         worker: usize,
+        ctx: Option<&CacheCtx>,
     ) -> Result<(), DaemonError> {
         let origin = format!("{}/t{}", self.id, worker);
         let socket =
             PushSocket::connect(endpoint, SocketOptions::default().with_hwm(self.config.hwm))?;
         let mut readers: HashMap<u32, RangeReader> = HashMap::new();
+        let mut cached: HashMap<u32, CachedRangeReader> = HashMap::new();
         let mut sent = 0u64;
 
         for ep in &plan.epochs {
             let ranges = &plan.epochs[ep.epoch as usize].nodes[node_id].thread_splits[worker];
             for range in ranges {
-                let frame = self.assemble_batch(range, ep.epoch, &origin, &mut readers)?;
+                let frame =
+                    self.assemble_batch(range, ep.epoch, &origin, ctx, &mut readers, &mut cached)?;
                 socket.send(frame)?;
                 sent += 1;
             }
@@ -163,14 +275,17 @@ impl EmlioDaemon {
         Ok(())
     }
 
-    /// Read one planned range with a single positioned read and serialize it
-    /// into one wire frame.
+    /// Read one planned range — a single positioned read, or a cache
+    /// lookup when caching is enabled — and serialize it into one wire
+    /// frame.
     fn assemble_batch(
         &self,
         range: &BatchRange,
         epoch: u32,
         origin: &str,
+        ctx: Option<&CacheCtx>,
         readers: &mut HashMap<u32, RangeReader>,
+        cached: &mut HashMap<u32, CachedRangeReader>,
     ) -> Result<Bytes, DaemonError> {
         let shard = self
             .index
@@ -186,23 +301,60 @@ impl EmlioDaemon {
                 shard.records.len()
             )));
         }
-        let reader = match readers.entry(range.shard_id) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let mut r = RangeReader::open(&self.index.shard_path(range.shard_id))?;
-                if !self.config.verify_crc {
-                    r = r.without_crc_verification();
+        let (offset, size) = shard.span(range.start, range.end)?;
+
+        let payloads = match ctx {
+            // Cached path: one shared block cache across workers and the
+            // prefetcher; misses coalesce onto single storage reads.
+            Some(ctx) => {
+                let reader = match cached.entry(range.shard_id) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let raw = ctx
+                            .readers
+                            .get(&range.shard_id)
+                            .ok_or_else(|| {
+                                DaemonError::BadPlan(format!(
+                                    "no cache reader for shard {}",
+                                    range.shard_id
+                                ))
+                            })?
+                            .clone();
+                        let mut c = CachedRangeReader::new(raw, ctx.cache.clone(), range.shard_id);
+                        if !self.config.verify_crc {
+                            c = c.without_crc_verification();
+                        }
+                        e.insert(c)
+                    }
+                };
+                let read = reader.read_batch(range.start, range.end, offset, size)?;
+                if read.hit {
+                    self.metrics.record_cache_hit(read.bytes);
+                } else {
+                    self.metrics.record_cache_miss();
+                    self.metrics.record_storage_read(read.read_nanos);
                 }
-                e.insert(r)
+                read.payloads
+            }
+            // Direct path: one contiguous pread for the whole batch.
+            None => {
+                let reader = match readers.entry(range.shard_id) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let mut r = RangeReader::open(&self.index.shard_path(range.shard_id))?;
+                        if !self.config.verify_crc {
+                            r = r.without_crc_verification();
+                        }
+                        e.insert(r)
+                    }
+                };
+                let t_read = Instant::now();
+                let payloads = reader.read_records_in_range(offset, size)?;
+                self.metrics
+                    .record_storage_read(t_read.elapsed().as_nanos() as u64);
+                payloads
             }
         };
-
-        // One contiguous pread for the whole batch.
-        let (offset, size) = shard.span(range.start, range.end)?;
-        let t_read = Instant::now();
-        let payloads = reader.read_records_in_range(offset, size)?;
-        self.metrics
-            .add_read_nanos(t_read.elapsed().as_nanos() as u64);
 
         debug_assert_eq!(payloads.len(), range.len());
         let metas = &shard.records[range.start..range.end];
@@ -282,6 +434,55 @@ mod tests {
         for (e, seen) in seen_per_epoch.iter().enumerate() {
             assert_eq!(seen.len(), 25, "epoch {e} exactly-once coverage");
         }
+    }
+
+    #[test]
+    fn cached_daemon_reads_storage_once_across_epochs() {
+        let dir = TempDir::new("daemon-cache-test");
+        let spec = DatasetSpec::tiny("cached", 30);
+        build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(2)).unwrap();
+
+        let config = EmlioConfig::default()
+            .with_batch_size(4)
+            .with_threads(2)
+            .with_epochs(3)
+            .with_cache(emlio_cache::CacheConfig::default().with_prefetch_depth(4));
+        let daemon = EmlioDaemon::open("d0", dir.path(), config.clone()).unwrap();
+        let plan = Plan::build(daemon.index(), &["node".to_string()], &config);
+        let per_epoch = plan.batches_for(0, "node");
+        let total: u64 = (0..3).map(|e| plan.batches_for(e, "node")).sum();
+
+        let pull = PullSocket::bind(
+            &Endpoint::inproc("daemon-cache-sink"),
+            SocketOptions::default().with_hwm(64),
+        )
+        .unwrap();
+        let ep = pull.local_endpoint().unwrap();
+        let metrics = daemon.metrics();
+        let server = std::thread::spawn(move || daemon.serve(&plan, "node", &ep).unwrap());
+
+        let mut ends = 0u32;
+        let mut batches = 0u64;
+        while ends < 2 {
+            match wire::decode(&pull.recv().unwrap()).unwrap() {
+                wire::WireMsg::Batch(_) => batches += 1,
+                wire::WireMsg::EndStream { .. } => ends += 1,
+            }
+        }
+        server.join().unwrap();
+        assert_eq!(batches, total);
+
+        // Chunk boundaries are identical every epoch, so with a cache big
+        // enough for the dataset each unique block is read exactly once —
+        // epochs 2 and 3 never touch storage.
+        let snap = metrics.snapshot();
+        assert_eq!(snap.storage_reads, per_epoch, "one read per unique block");
+        assert_eq!(snap.cache_hits + snap.cache_misses, total);
+        assert!(
+            snap.cache_hits >= total - per_epoch,
+            "later epochs all hit: {snap:?}"
+        );
+        assert!(snap.cache_bytes_saved > 0);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod wire;
 
 pub use config::{Coverage, EmlioConfig};
 pub use daemon::EmlioDaemon;
+pub use metrics::{DataPathMetrics, MetricsSnapshot};
 pub use plan::{BatchRange, EpochPlan, NodePlan, Plan};
 pub use receiver::{EmlioReceiver, ReceiverConfig};
 pub use service::EmlioService;

@@ -16,6 +16,18 @@ pub struct DataPathMetrics {
     pub read_nanos: AtomicU64,
     /// Nanoseconds spent serializing/deserializing.
     pub codec_nanos: AtomicU64,
+    /// Positioned storage reads actually issued (demand misses plus
+    /// prefetches; every batch when no cache is configured).
+    pub storage_reads: AtomicU64,
+    /// Batch reads served from the shard cache.
+    pub cache_hits: AtomicU64,
+    /// Batch reads that missed the shard cache (0 ⇒ cache disabled or
+    /// perfectly warm).
+    pub cache_misses: AtomicU64,
+    /// Blocks evicted from the cache's RAM tier.
+    pub cache_evictions: AtomicU64,
+    /// Storage bytes *not* re-read thanks to cache hits.
+    pub cache_bytes_saved: AtomicU64,
 }
 
 impl DataPathMetrics {
@@ -41,12 +53,93 @@ impl DataPathMetrics {
         self.codec_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
-    /// Snapshot `(batches, samples, bytes)`.
-    pub fn snapshot(&self) -> (u64, u64, u64) {
-        (
-            self.batches.load(Ordering::Relaxed),
-            self.samples.load(Ordering::Relaxed),
-            self.bytes.load(Ordering::Relaxed),
+    /// Record one positioned storage read taking `nanos`.
+    pub fn record_storage_read(&self, nanos: u64) {
+        self.storage_reads.fetch_add(1, Ordering::Relaxed);
+        self.add_read_nanos(nanos);
+    }
+
+    /// Record a batch read served from the cache, saving `bytes` of
+    /// storage traffic.
+    pub fn record_cache_hit(&self, bytes: u64) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a batch read that missed the cache.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reconcile the eviction counter with the cache's own total (the
+    /// cache is the source of truth; evictions happen off the data path).
+    pub fn set_cache_evictions(&self, total: u64) {
+        self.cache_evictions.store(total, Ordering::Relaxed);
+    }
+
+    /// Plain-value copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            read_nanos: self.read_nanos.load(Ordering::Relaxed),
+            codec_nanos: self.codec_nanos.load(Ordering::Relaxed),
+            storage_reads: self.storage_reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_bytes_saved: self.cache_bytes_saved.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of [`DataPathMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Batches moved.
+    pub batches: u64,
+    /// Samples moved.
+    pub samples: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Nanoseconds spent in storage reads.
+    pub read_nanos: u64,
+    /// Nanoseconds spent in the codec.
+    pub codec_nanos: u64,
+    /// Positioned storage reads issued.
+    pub storage_reads: u64,
+    /// Batch reads served from the shard cache.
+    pub cache_hits: u64,
+    /// Batch reads that missed the shard cache.
+    pub cache_misses: u64,
+    /// Blocks evicted from the cache RAM tier.
+    pub cache_evictions: u64,
+    /// Storage bytes not re-read thanks to hits.
+    pub cache_bytes_saved: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of cached-path batch reads that hit, in `[0, 1]` (0 when
+    /// the cache never saw traffic).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// One-line cache report for service output.
+    pub fn cache_summary(&self) -> String {
+        format!(
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {} saved",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.cache_evictions,
+            emlio_util::bytesize::format_bytes(self.cache_bytes_saved),
         )
     }
 }
@@ -60,10 +153,27 @@ mod tests {
         let m = DataPathMetrics::shared();
         m.record_batch(64, 6400);
         m.record_batch(64, 6400);
-        m.add_read_nanos(100);
+        m.record_storage_read(100);
         m.add_codec_nanos(50);
-        assert_eq!(m.snapshot(), (2, 128, 12800));
-        assert_eq!(m.read_nanos.load(Ordering::Relaxed), 100);
-        assert_eq!(m.codec_nanos.load(Ordering::Relaxed), 50);
+        let s = m.snapshot();
+        assert_eq!((s.batches, s.samples, s.bytes), (2, 128, 12800));
+        assert_eq!(s.read_nanos, 100);
+        assert_eq!(s.codec_nanos, 50);
+        assert_eq!(s.storage_reads, 1);
+    }
+
+    #[test]
+    fn cache_counters_and_hit_rate() {
+        let m = DataPathMetrics::shared();
+        assert_eq!(m.snapshot().cache_hit_rate(), 0.0);
+        m.record_cache_hit(4096);
+        m.record_cache_hit(4096);
+        m.record_cache_miss();
+        m.set_cache_evictions(5);
+        let s = m.snapshot();
+        assert_eq!((s.cache_hits, s.cache_misses, s.cache_evictions), (2, 1, 5));
+        assert_eq!(s.cache_bytes_saved, 8192);
+        assert!((s.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.cache_summary().contains("66.7% hit rate"));
     }
 }

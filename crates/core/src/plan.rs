@@ -28,9 +28,17 @@ pub struct BatchRange {
 }
 
 impl BatchRange {
-    /// Number of records in the batch.
+    /// Number of records in the batch. Inverted ranges (`start > end`)
+    /// never come out of the planner, but hand-built ones must degrade to
+    /// an empty count rather than panic — matching [`Self::is_empty`].
     pub fn len(&self) -> usize {
-        self.end - self.start
+        debug_assert!(
+            self.start <= self.end,
+            "inverted batch range [{}, {})",
+            self.start,
+            self.end
+        );
+        self.end.saturating_sub(self.start)
     }
 
     /// Whether the range is empty (never true for planner output).
@@ -66,6 +74,16 @@ impl NodePlan {
     /// Iterate every batch across threads.
     pub fn all_batches(&self) -> impl Iterator<Item = &BatchRange> {
         self.thread_splits.iter().flatten()
+    }
+
+    /// Every batch ordered by `batch_id` — the planner's emission order,
+    /// which the round-robin thread split means interleaved send workers
+    /// approximately follow. This is the access sequence the shard cache's
+    /// clairvoyant policy and prefetcher walk.
+    pub fn batches_in_plan_order(&self) -> Vec<BatchRange> {
+        let mut batches: Vec<BatchRange> = self.all_batches().copied().collect();
+        batches.sort_unstable_by_key(|b| b.batch_id);
+        batches
     }
 }
 
@@ -315,6 +333,41 @@ mod tests {
         ids.sort_unstable();
         let n = ids.len() as u64;
         assert_eq!(ids, (0..n).collect::<Vec<_>>(), "batch ids dense");
+    }
+
+    #[test]
+    fn plan_order_is_dense_by_batch_id() {
+        let (_d, idx) = index_with(4, 120);
+        let plan = Plan::build(&idx, &["n".to_string()], &cfg(10, 3));
+        let ordered = plan.epochs[0].nodes["n"].batches_in_plan_order();
+        let ids: Vec<u64> = ordered.iter().map(|b| b.batch_id).collect();
+        assert_eq!(ids, (0..ids.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn inverted_range_len_saturates_in_release() {
+        let b = BatchRange {
+            batch_id: 0,
+            shard_id: 0,
+            start: 5,
+            end: 3,
+        };
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inverted batch range")]
+    fn inverted_range_len_asserts_in_debug() {
+        let b = BatchRange {
+            batch_id: 0,
+            shard_id: 0,
+            start: 5,
+            end: 3,
+        };
+        let _ = b.len();
     }
 
     #[test]

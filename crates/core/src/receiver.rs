@@ -267,8 +267,8 @@ mod tests {
         }
         assert_eq!(n, 3, "source ends after end_stream + drain");
         assert_eq!(receiver.streams_seen(), 1);
-        let (batches, samples, _bytes) = receiver.metrics().snapshot();
-        assert_eq!((batches, samples), (3, 3));
+        let snap = receiver.metrics().snapshot();
+        assert_eq!((snap.batches, snap.samples), (3, 3));
         receiver.join().unwrap();
     }
 

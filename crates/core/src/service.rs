@@ -7,10 +7,12 @@
 
 use crate::config::EmlioConfig;
 use crate::daemon::{DaemonError, EmlioDaemon};
+use crate::metrics::DataPathMetrics;
 use crate::plan::Plan;
 use crate::receiver::{EmlioReceiver, ReceiverConfig};
 use emlio_zmq::Endpoint;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One storage node: an id plus the directory holding its shards.
@@ -28,6 +30,9 @@ pub struct Deployment {
     pub receiver: EmlioReceiver,
     /// Per-epoch expected batch count on the compute node.
     pub batches_per_epoch: Vec<u64>,
+    /// Storage-side counters, one per daemon in `storage` order (includes
+    /// the cache hit/miss/bytes-saved telemetry when caching is enabled).
+    pub daemon_metrics: Vec<Arc<DataPathMetrics>>,
     daemons: Vec<JoinHandle<Result<(), DaemonError>>>,
     /// Keeps interposed infrastructure (e.g. a netem proxy) alive for the
     /// deployment's lifetime.
@@ -109,9 +114,11 @@ impl EmlioService {
         let (connect_to, guard) = interpose(receiver.endpoint());
 
         let mut daemons = Vec::with_capacity(storage.len());
+        let mut daemon_metrics = Vec::with_capacity(storage.len());
         let mut batches_per_epoch = vec![0u64; config.epochs as usize];
         for spec in storage {
             let daemon = EmlioDaemon::open(&spec.id, &spec.dataset_dir, config.clone())?;
+            daemon_metrics.push(daemon.metrics());
             let plan = Plan::build(daemon.index(), &[node_id.to_string()], config);
             for e in 0..config.epochs {
                 batches_per_epoch[e as usize] += plan.batches_for(e, node_id);
@@ -128,6 +135,7 @@ impl EmlioService {
         Ok(Deployment {
             receiver,
             batches_per_epoch,
+            daemon_metrics,
             daemons,
             _guard: Some(guard),
         })

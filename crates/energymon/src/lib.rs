@@ -28,11 +28,13 @@ pub mod accumulator;
 pub mod monitor;
 pub mod power;
 pub mod report;
+pub mod savings;
 
 pub use accumulator::StreamMerger;
 pub use monitor::{EnergyMonitor, MonitorConfig};
 pub use power::{ComponentPower, ModelPower, NodePower, PowerSource, UtilProbe, Utilization};
 pub use report::EnergyBreakdown;
+pub use savings::{cache_savings, IoSavings, DEFAULT_STORAGE_IO_WATTS};
 
 /// The paper's sampling interval: 100 ms.
 pub const DEFAULT_INTERVAL_NANOS: u64 = 100_000_000;

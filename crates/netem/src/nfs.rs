@@ -6,7 +6,7 @@
 //! LOOKUP/OPEN, one READ round trip per `rsize` chunk, GETATTR revalidation,
 //! and CLOSE. This module reproduces that cost structure over a local
 //! directory: data bytes are read from real files; latency is charged on a
-//! [`Clock`], and link bandwidth is a token bucket *shared by every handle
+//! [`Clock`](emlio_util::clock::Clock), and link bandwidth is a token bucket *shared by every handle
 //! cloned from the same mount* (one wire per mount, as in reality).
 //!
 //! The same constants feed the discrete-event testbed through

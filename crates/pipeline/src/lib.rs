@@ -1,7 +1,7 @@
 //! `emlio-pipeline` — a DALI-style preprocessing pipeline.
 //!
 //! On the compute side, EMLIO hands raw batches to "a DALI pipeline
-//! [that] performs GPU-accelerated preprocessing — decoding JPEGs, resizing,
+//! \[that\] performs GPU-accelerated preprocessing — decoding JPEGs, resizing,
 //! cropping, normalizing tensors, and asynchronously prefetching multiple
 //! batches" (§4.1, Algorithm 3). This crate rebuilds that pipeline:
 //!

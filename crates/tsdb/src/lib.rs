@@ -11,7 +11,7 @@
 //!   `Max`, `Count`, `Last`, and `Integral` (trapezoidal ∫ P dt, which turns
 //!   a power series into energy) ([`query`]);
 //! * Influx line-protocol serialization for durability and diffing
-//!   ([`line`]);
+//!   ([`mod@line`]);
 //! * a thread-safe [`client::TsdbClient`] with the `write_points` / `query`
 //!   shape of the InfluxDB Python client used in Algorithm 1.
 

@@ -1,6 +1,6 @@
 //! `emlio-zmq` — a ZeroMQ-inspired PUSH/PULL transport over TCP.
 //!
-//! EMLIO's daemons "PUSH [payloads] over ZeroMQ — implicitly providing
+//! EMLIO's daemons "PUSH \[payloads\] over ZeroMQ — implicitly providing
 //! backpressure via ZMQ HWM" (§4.2), with the receiver binding a PULL socket
 //! (Algorithm 3, line 1). This crate re-implements the slice of ZeroMQ the
 //! paper depends on, over real `std::net` TCP:

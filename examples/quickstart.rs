@@ -10,6 +10,26 @@
 //!    arriving tensors.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! ### Cache knobs
+//!
+//! The daemon can serve repeated epochs from a shard block cache instead
+//! of re-reading storage. Enable it on the config with
+//! `EmlioConfig::with_cache`:
+//!
+//! ```ignore
+//! use emlio::cache::{CacheConfig, EvictPolicy};
+//! let config = config.with_cache(
+//!     CacheConfig::default()
+//!         .with_ram_bytes(256 << 20)              // RAM tier capacity
+//!         .with_disk_bytes(1 << 30)               // optional disk spill tier
+//!         .with_policy(EvictPolicy::Clairvoyant)  // lru | fifo | clairvoyant
+//!         .with_prefetch_depth(8),                // plan-ahead warm window
+//! );
+//! ```
+//!
+//! See `examples/cached_replay.rs` for the full cached two-epoch replay
+//! with the hit-rate and energy-saved report.
 
 use emlio::core::service::StorageSpec;
 use emlio::core::{EmlioConfig, EmlioService};
@@ -66,13 +86,13 @@ fn main() {
     pipe.join();
     deployment.join_daemons().expect("daemons finish cleanly");
 
-    let (batches, samples, bytes) = deployment.receiver.metrics().snapshot();
+    let snap = deployment.receiver.metrics().snapshot();
     println!(
         "done in {:.2?}: {} batches / {} samples / {} over the wire",
         t0.elapsed(),
-        batches,
-        samples,
-        emlio::util::bytesize::format_bytes(bytes),
+        snap.batches,
+        snap.samples,
+        emlio::util::bytesize::format_bytes(snap.bytes),
     );
     let first = log.iters.iter().find_map(|i| i.loss).unwrap_or(0.0);
     let last = log.final_loss().unwrap_or(0.0);

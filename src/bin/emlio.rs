@@ -3,16 +3,19 @@
 //! ```text
 //! emlio convert  --out DIR [--dataset tiny|imagenet|coco|synthetic] [--samples N] [--shards K]
 //! emlio daemon   --data DIR --connect tcp://HOST:PORT [--threads T] [--batch B] [--epochs E] [--node NAME]
+//!                [--cache-mb MB] [--cache-disk-mb MB] [--cache-policy lru|fifo|clairvoyant] [--prefetch D]
 //! emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
-//! emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS]
+//! emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB] [...]
 //! emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]
 //! ```
 //!
 //! `daemon` and `receive` run in separate processes (or separate machines);
 //! they agree on the batch plan because the planner is deterministic in the
 //! shared seed. `bench-io` is the one-process loopback measurement, with an
-//! optional netem-shaped RTT.
+//! optional netem-shaped RTT. `--cache-mb` enables the daemon-side shard
+//! block cache (`emlio-cache`) so repeated epochs are served from memory.
 
+use emlio::cache::{CacheConfig, EvictPolicy as CachePolicy};
 use emlio::core::plan::Plan;
 use emlio::core::receiver::{EmlioReceiver, ReceiverConfig};
 use emlio::core::service::StorageSpec;
@@ -62,8 +65,9 @@ emlio — energy- and latency-minimizing training I/O (SC'25 reproduction)
 USAGE:
   emlio convert  --out DIR [--dataset tiny|imagenet|coco|synthetic] [--samples N] [--shards K]
   emlio daemon   --data DIR --connect tcp://HOST:PORT [--threads T] [--batch B] [--epochs E] [--node NAME]
+                 [--cache-mb MB] [--cache-disk-mb MB] [--cache-policy lru|fifo|clairvoyant] [--prefetch D]
   emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
-  emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS]
+  emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB] [...]
   emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]";
 
 /// Parse `--key value` pairs (`--flag` with no value stores "true").
@@ -130,11 +134,27 @@ fn cmd_convert(flags: HashMap<String, String>) -> Result<(), String> {
 }
 
 fn config_from(flags: &HashMap<String, String>) -> Result<EmlioConfig, String> {
-    Ok(EmlioConfig::default()
+    let mut config = EmlioConfig::default()
         .with_batch_size(get_num(flags, "batch", 64usize)?)
         .with_threads(get_num(flags, "threads", 2usize)?)
         .with_epochs(get_num(flags, "epochs", 1u32)?)
-        .with_seed(get_num(flags, "seed", 0x000E_4110_u64)?))
+        .with_seed(get_num(flags, "seed", 0x000E_4110_u64)?);
+    let cache_mb: u64 = get_num(flags, "cache-mb", 0)?;
+    if cache_mb > 0 {
+        let policy: CachePolicy = flags
+            .get("cache-policy")
+            .map(|v| v.parse())
+            .transpose()?
+            .unwrap_or(CachePolicy::Clairvoyant);
+        config = config.with_cache(
+            CacheConfig::default()
+                .with_ram_bytes(cache_mb << 20)
+                .with_disk_bytes(get_num::<u64>(flags, "cache-disk-mb", 0)? << 20)
+                .with_policy(policy)
+                .with_prefetch_depth(get_num(flags, "prefetch", 8usize)?),
+        );
+    }
+    Ok(config)
 }
 
 fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
@@ -159,12 +179,18 @@ fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
     daemon
         .serve(&plan, &node, &connect)
         .map_err(|e| e.to_string())?;
-    let (batches, samples, bytes) = daemon.metrics().snapshot();
+    let snap = daemon.metrics().snapshot();
     println!(
-        "done in {:.2?}: {batches} batches / {samples} samples / {} read+serialized",
+        "done in {:.2?}: {} batches / {} samples / {} read+serialized ({} storage reads)",
         t0.elapsed(),
-        format_bytes(bytes),
+        snap.batches,
+        snap.samples,
+        format_bytes(snap.bytes),
+        snap.storage_reads,
     );
+    if config.cache.is_some() {
+        println!("{}", snap.cache_summary());
+    }
     Ok(())
 }
 
@@ -257,13 +283,18 @@ fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
     }
     dep.join_daemons().map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
-    let (_, _, bytes) = dep.receiver.metrics().snapshot();
+    let bytes = dep.receiver.metrics().snapshot().bytes;
     println!(
         "epoch over {} at {rtt_ms} ms RTT: {samples} samples / {} in {elapsed:.2?} ({}/s)",
         data,
         format_bytes(bytes),
         format_bytes((bytes as f64 / elapsed.as_secs_f64().max(1e-9)) as u64),
     );
+    if config.cache.is_some() {
+        for (i, m) in dep.daemon_metrics.iter().enumerate() {
+            println!("daemon {i} {}", m.snapshot().cache_summary());
+        }
+    }
     Ok(())
 }
 

@@ -10,6 +10,8 @@
 //! implementation:
 //!
 //! * [`core`] — the EMLIO planner / daemon / receiver (the paper's §4);
+//! * [`cache`] — the plan-aware multi-tier shard block cache with
+//!   clairvoyant (Belady) eviction and prefetch on the daemon read path;
 //! * [`energymon`] + [`tsdb`] — the distributed energy-measurement framework
 //!   (§3, Algorithm 1) over an embedded time-series database;
 //! * [`tfrecord`], [`msgpack`], [`zmq`] — the storage and wire substrates;
@@ -50,6 +52,7 @@
 //! ```
 
 pub use emlio_baselines as baselines;
+pub use emlio_cache as cache;
 pub use emlio_core as core;
 pub use emlio_datagen as datagen;
 pub use emlio_energymon as energymon;
