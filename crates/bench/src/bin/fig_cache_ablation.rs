@@ -1,9 +1,13 @@
 //! EXP-CACHE: shard-cache eviction-policy ablation (FIFO vs LRU vs
 //! clairvoyant) on a Zipf-skewed multi-epoch replay, priced with the NFS
-//! cost model at 10 ms RTT. Pass `--smoke` for the CI-sized variant.
+//! cost model at 10 ms RTT — followed by EXP-CONTEND, the multi-daemon
+//! shared-storage contention scenario (N daemons, one NFS mount,
+//! per-daemon caches). Pass `--smoke` for the CI-sized variants.
 
 use emlio_bench::cache_ablation::{run, to_rows, AblationConfig};
+use emlio_bench::contention::{self, ContentionConfig};
 use emlio_energymon::savings::DEFAULT_STORAGE_IO_WATTS;
+use emlio_util::bytesize::format_bytes;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -41,4 +45,43 @@ fn main() {
         );
     }
     println!("  (storage node modeled at {DEFAULT_STORAGE_IO_WATTS} W active I/O draw)");
+
+    // EXP-CONTEND: real daemons over one shared emulated NFS mount.
+    let ccfg = if smoke {
+        ContentionConfig::smoke()
+    } else {
+        ContentionConfig {
+            daemons: 4,
+            epochs: 3,
+            samples: 256,
+            ..ContentionConfig::smoke()
+        }
+    };
+    println!(
+        "\nshared-storage contention: {} daemons × {} epochs over one NFS mount ({} samples)",
+        ccfg.daemons, ccfg.epochs, ccfg.samples,
+    );
+    let out = contention::run(&ccfg);
+    assert_eq!(
+        out.batches_delivered, out.expected_batches,
+        "full delivery under contention"
+    );
+    for (d, (rate, saved)) in out
+        .per_daemon_hit_rate
+        .iter()
+        .zip(&out.per_daemon_bytes_saved)
+        .enumerate()
+    {
+        println!(
+            "  daemon {d}: {:>5.1}% hit rate, {} not re-read",
+            rate * 100.0,
+            format_bytes(*saved),
+        );
+    }
+    println!(
+        "  shared link carried {} in {} reads; caches saved {} in aggregate",
+        format_bytes(out.nfs_bytes_read),
+        out.nfs_reads,
+        format_bytes(out.aggregate_bytes_saved),
+    );
 }

@@ -1,28 +1,42 @@
-//! The two-tier, plan-aware shard block cache.
+//! The two-tier, plan-aware shard block cache — sharded hot path.
+//!
+//! Concurrency layout (the result of retiring the original single big
+//! mutex):
+//!
+//! * **N lock shards**, keyed by block-key hash, each guarding a slice of
+//!   the residency map (`BlockKey → Slot`). The slot is a small state
+//!   machine — `Ram`, `Spilling` (eviction in progress, bytes still
+//!   readable), `Disk`, `Busy` (storage fetch or disk promote in flight) —
+//!   which is what lets spill and promote **file I/O run outside every
+//!   lock**: the thread doing I/O owns the transitional state, and
+//!   concurrent readers either hit the still-resident bytes or wait on the
+//!   shard's condvar exactly as they would for a single-flight fetch.
+//! * **One ordering lock** (`Global`) holding the byte accounting, the plan
+//!   cursor, and incrementally-maintained eviction orders (intrusive LRU
+//!   list for LRU/FIFO, lazy next-use max-heap for clairvoyant — see
+//!   [`crate::order`]). Every critical section under it is O(1)/O(log n);
+//!   the old O(residents) victim scan is gone.
+//!
+//! Lock discipline: a thread holds **at most one** of these locks at a
+//! time, so the hierarchy is trivially deadlock-free (the one exception,
+//! construction-time persistence loading, runs before the cache can be
+//! shared). The cost is that the
+//! residency maps and the ordering structures can diverge for the duration
+//! of one in-flight transition; every path re-validates against the
+//! authoritative side (ordering lock for accounting, slot for bytes).
 
+use crate::order::TierOrder;
+use crate::persist::{self, SpillEntry};
 use crate::policy::EvictPolicy;
 use crate::stats::CacheStats;
+use emlio_tfrecord::BlockKey;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-/// A cached block: one planned batch's contiguous record range in a shard.
-///
-/// The planner slices every shard into fixed-stride chunks, so the same
-/// keys recur with identical boundaries across epochs — which is what
-/// makes caching by range (rather than by byte extent) exact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct BlockKey {
-    /// Source shard.
-    pub shard_id: u32,
-    /// First record index (inclusive).
-    pub start: usize,
-    /// Last record index (exclusive).
-    pub end: usize,
-}
 
 /// Cache sizing and behaviour knobs.
 #[derive(Debug, Clone)]
@@ -39,6 +53,17 @@ pub struct CacheConfig {
     /// How many planned blocks the prefetcher may run ahead of the demand
     /// cursor (0 disables prefetching).
     pub prefetch_depth: usize,
+    /// Number of lock shards over the residency map (rounded up to at
+    /// least 1). More shards ⇒ less contention between reader threads.
+    pub lock_shards: usize,
+    /// Keep the disk spill tier across restarts: maintain a CRC'd spill
+    /// index in `spill_dir` and re-admit valid blocks on construction.
+    /// Set via [`CacheConfig::with_persist_dir`]; requires a disk tier.
+    pub persist: bool,
+    /// Belady admission bypass: under the clairvoyant policy, skip
+    /// admitting a block whose next use is no sooner than every resident's
+    /// (it would be the immediate eviction victim anyway).
+    pub belady_bypass: bool,
 }
 
 impl Default for CacheConfig {
@@ -49,6 +74,9 @@ impl Default for CacheConfig {
             spill_dir: None,
             policy: EvictPolicy::Lru,
             prefetch_depth: 8,
+            lock_shards: 8,
+            persist: false,
+            belady_bypass: true,
         }
     }
 }
@@ -72,6 +100,16 @@ impl CacheConfig {
         self
     }
 
+    /// Make the disk spill tier persistent in `dir`: spill files and a
+    /// CRC'd index survive drops, and a fresh cache over the same `dir`
+    /// re-validates and re-admits them. Implies a disk tier (the capacity
+    /// must still be set positive via [`CacheConfig::with_disk_bytes`]).
+    pub fn with_persist_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self.persist = true;
+        self
+    }
+
     /// Override the eviction policy.
     pub fn with_policy(mut self, policy: EvictPolicy) -> Self {
         self.policy = policy;
@@ -81,6 +119,18 @@ impl CacheConfig {
     /// Override the prefetch depth (0 disables the prefetcher).
     pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
         self.prefetch_depth = depth;
+        self
+    }
+
+    /// Override the lock-shard count.
+    pub fn with_lock_shards(mut self, n: usize) -> Self {
+        self.lock_shards = n;
+        self
+    }
+
+    /// Enable/disable the Belady admission bypass (clairvoyant only).
+    pub fn with_belady_bypass(mut self, on: bool) -> Self {
+        self.belady_bypass = on;
         self
     }
 }
@@ -104,57 +154,134 @@ impl Fetched {
     }
 }
 
-struct RamEntry {
-    data: Arc<Vec<u8>>,
-    inserted: u64,
-    last_access: u64,
-}
-
-struct DiskEntry {
+/// A spilled block's on-disk identity.
+#[derive(Debug, Clone)]
+struct DiskMeta {
     path: PathBuf,
     len: u64,
-    inserted: u64,
-    last_access: u64,
+    crc: u32,
 }
 
-struct Inner {
-    ram: HashMap<BlockKey, RamEntry>,
+/// Outcome of one residency-map resolution.
+enum Lookup {
+    /// Served from a resident tier.
+    Hit(Arc<Vec<u8>>, Fetched),
+    /// Nothing resident (or a promote degraded to a miss).
+    NotFound,
+    /// The empty slot was claimed as a `Busy` single-flight placeholder;
+    /// the caller owns the fetch.
+    Claimed,
+}
+
+/// Residency state of one block within its lock shard.
+enum Slot {
+    /// Resident in RAM.
+    Ram(Arc<Vec<u8>>),
+    /// Being spilled to disk by an evictor; bytes still readable.
+    Spilling(Arc<Vec<u8>>),
+    /// Resident in the disk spill tier.
+    Disk(DiskMeta),
+    /// A storage fetch or disk promote is in flight (single-flight
+    /// owner); waiters sleep on the shard condvar.
+    Busy,
+}
+
+/// One lock shard of the residency map.
+struct LockShard {
+    map: Mutex<HashMap<BlockKey, Slot>>,
+    /// Signalled whenever a slot in this shard changes state.
+    cv: Condvar,
+}
+
+/// Accounting, plan state, and eviction orders — the only globally-shared
+/// mutable state, with O(1)-ish critical sections.
+struct Global {
     ram_used: u64,
-    disk: HashMap<BlockKey, DiskEntry>,
     disk_used: u64,
-    /// Monotonic access clock for LRU/FIFO ordering.
+    /// Monotonic access clock for recency ordering.
     tick: u64,
+    ram_order: TierOrder,
+    disk_order: TierOrder,
     /// Planned access sequence (all epochs, in consumption order).
     seq: Arc<Vec<BlockKey>>,
     /// Remaining plan positions per key (ascending).
     future: HashMap<BlockKey, VecDeque<u64>>,
     /// Demand accesses consumed so far (position into `seq`).
     cursor: u64,
-    /// Keys with a storage fetch in progress (single-flight).
-    in_flight: HashSet<BlockKey>,
+}
+
+impl Global {
+    /// First plan position ≥ `cursor` where `key` is needed (`u64::MAX`
+    /// when it never is). Prunes stale positions as a side effect.
+    fn next_use(future: &mut HashMap<BlockKey, VecDeque<u64>>, cursor: u64, key: &BlockKey) -> u64 {
+        match future.get_mut(key) {
+            None => u64::MAX,
+            Some(q) => {
+                while matches!(q.front(), Some(&p) if p < cursor) {
+                    q.pop_front();
+                }
+                q.front().copied().unwrap_or(u64::MAX)
+            }
+        }
+    }
+
+    /// Account one demand access against the plan: consume `key`'s
+    /// earliest pending position, and move the cursor past it only when it
+    /// is ahead of the cursor. Concurrent send workers deliver accesses
+    /// slightly out of plan order; consuming exactly one position per
+    /// access keeps a late-arriving access from eating the key's
+    /// *next-epoch* position and leaping the cursor (which would both
+    /// mislead the clairvoyant policy and blow open the prefetch window).
+    fn advance_cursor(&mut self, key: &BlockKey) {
+        if self.seq.is_empty() {
+            return;
+        }
+        let cursor = self.cursor;
+        if let Some(q) = self.future.get_mut(key) {
+            if let Some(&p) = q.front() {
+                q.pop_front();
+                if p >= cursor {
+                    self.cursor = p + 1;
+                }
+                return;
+            }
+        }
+        // Unplanned access: just move time forward.
+        self.cursor += 1;
+    }
 }
 
 /// The plan-aware two-tier block cache. Shared across daemon send workers
 /// and the prefetcher via `Arc`; all methods take `&self`.
 pub struct ShardCache {
     config: CacheConfig,
-    inner: Mutex<Inner>,
-    /// Signalled when an in-flight fetch completes.
-    flight_cv: Condvar,
-    /// Signalled on every demand access (wakes the prefetcher).
+    shards: Box<[LockShard]>,
+    global: Mutex<Global>,
+    /// Signalled on every demand access (wakes the prefetcher). Paired
+    /// with the `global` mutex.
     pub(crate) access_cv: Condvar,
     stats: CacheStats,
     spill_dir: Option<PathBuf>,
     owns_spill_dir: bool,
+    /// Blocks checkpointed out of RAM by [`ShardCache::persist_now`]:
+    /// index entries for files that are *not* part of the live disk tier.
+    checkpointed: Mutex<HashMap<BlockKey, SpillEntry>>,
 }
 
 static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl ShardCache {
     /// Create a cache. Creates the spill directory when a disk tier is
-    /// configured.
+    /// configured; when the directory is persistent and holds a spill
+    /// index from a previous run, CRC-valid blocks are re-admitted into
+    /// the disk tier.
     pub fn new(config: CacheConfig) -> io::Result<ShardCache> {
         assert!(config.ram_bytes > 0, "cache RAM capacity must be positive");
+        if config.persist && config.disk_bytes == 0 {
+            return Err(io::Error::other(
+                "persistent cache requires a disk tier (set disk_bytes > 0)",
+            ));
+        }
         let (spill_dir, owns_spill_dir) = if config.disk_bytes > 0 {
             match &config.spill_dir {
                 Some(dir) => (Some(dir.clone()), false),
@@ -173,25 +300,36 @@ impl ShardCache {
         if let Some(dir) = &spill_dir {
             std::fs::create_dir_all(dir)?;
         }
-        Ok(ShardCache {
-            config,
-            inner: Mutex::new(Inner {
-                ram: HashMap::new(),
+        let n = config.lock_shards.max(1);
+        let shards: Vec<LockShard> = (0..n)
+            .map(|_| LockShard {
+                map: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            })
+            .collect();
+        let cache = ShardCache {
+            global: Mutex::new(Global {
                 ram_used: 0,
-                disk: HashMap::new(),
                 disk_used: 0,
                 tick: 0,
+                ram_order: TierOrder::for_policy(config.policy),
+                disk_order: TierOrder::for_policy(config.policy),
                 seq: Arc::new(Vec::new()),
                 future: HashMap::new(),
                 cursor: 0,
-                in_flight: HashSet::new(),
             }),
-            flight_cv: Condvar::new(),
+            shards: shards.into_boxed_slice(),
             access_cv: Condvar::new(),
             stats: CacheStats::default(),
             spill_dir,
             owns_spill_dir,
-        })
+            checkpointed: Mutex::new(HashMap::new()),
+            config,
+        };
+        if cache.config.persist {
+            cache.load_persisted();
+        }
+        Ok(cache)
     }
 
     /// The configuration the cache was built with.
@@ -204,72 +342,143 @@ impl ShardCache {
         &self.stats
     }
 
+    fn shard_for(&self, key: &BlockKey) -> &LockShard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
     /// Install the planned access sequence (every epoch, in consumption
     /// order) and reset the demand cursor. The clairvoyant policy and the
     /// prefetcher both walk this sequence; set it before spawning a
-    /// [`crate::Prefetcher`].
+    /// [`crate::Prefetcher`]. Residents' next-use ranks are refreshed
+    /// against the new plan.
     pub fn set_plan(&self, seq: Vec<BlockKey>) {
         let mut future: HashMap<BlockKey, VecDeque<u64>> = HashMap::new();
         for (pos, key) in seq.iter().enumerate() {
             future.entry(*key).or_default().push_back(pos as u64);
         }
-        let mut inner = self.inner.lock();
-        inner.seq = Arc::new(seq);
-        inner.future = future;
-        inner.cursor = 0;
+        let mut g = self.global.lock();
+        g.seq = Arc::new(seq);
+        g.future = future;
+        g.cursor = 0;
+        let Global {
+            ram_order,
+            disk_order,
+            future,
+            ..
+        } = &mut *g;
+        if let TierOrder::NextUse(h) = ram_order {
+            h.refresh(|k| Global::next_use(future, 0, k));
+        }
+        if let TierOrder::NextUse(h) = disk_order {
+            h.refresh(|k| Global::next_use(future, 0, k));
+        }
     }
 
     /// The installed plan sequence (empty when none was set).
     pub(crate) fn plan(&self) -> Arc<Vec<BlockKey>> {
-        self.inner.lock().seq.clone()
+        self.global.lock().seq.clone()
     }
 
     /// Demand accesses consumed so far.
     pub fn consumed(&self) -> u64 {
-        self.inner.lock().cursor
+        self.global.lock().cursor
     }
 
     /// Whether `key` is resident in either tier. No policy side effects.
     pub fn contains(&self, key: &BlockKey) -> bool {
-        let inner = self.inner.lock();
-        inner.ram.contains_key(key) || inner.disk.contains_key(key)
+        matches!(
+            self.shard_for(key).map.lock().get(key),
+            Some(Slot::Ram(_) | Slot::Spilling(_) | Slot::Disk(_))
+        )
     }
 
     /// Bytes resident in the RAM tier.
     pub fn ram_bytes_used(&self) -> u64 {
-        self.inner.lock().ram_used
+        self.global.lock().ram_used
     }
 
     /// Bytes resident in the disk tier.
     pub fn disk_bytes_used(&self) -> u64 {
-        self.inner.lock().disk_used
+        self.global.lock().disk_used
     }
 
     /// Sorted keys resident in the RAM tier (test/inspection hook).
     pub fn ram_keys(&self) -> Vec<BlockKey> {
-        let inner = self.inner.lock();
-        let mut keys: Vec<BlockKey> = inner.ram.keys().copied().collect();
+        let mut keys = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            keys.extend(map.iter().filter_map(|(k, s)| match s {
+                Slot::Ram(_) | Slot::Spilling(_) => Some(*k),
+                _ => None,
+            }));
+        }
         keys.sort_unstable();
         keys
     }
 
-    /// Demand lookup: serve `key` from RAM or disk, updating recency and
-    /// the plan cursor. Returns `None` on a miss (which is also counted).
-    pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<u8>>> {
-        let mut inner = self.inner.lock();
-        Self::advance_cursor(&mut inner, key);
-        let res = self.lookup_locked(&mut inner, key);
-        if res.is_none() {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+    /// Sorted keys resident in the disk tier (test/inspection hook).
+    pub fn disk_keys(&self) -> Vec<BlockKey> {
+        let mut keys = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            keys.extend(map.iter().filter_map(|(k, s)| match s {
+                Slot::Disk(_) => Some(*k),
+                _ => None,
+            }));
         }
-        self.access_cv.notify_all();
-        res.map(|(data, _)| data)
+        keys.sort_unstable();
+        keys
     }
 
-    /// Insert a block without demand-access accounting.
+    /// Account one demand access: plan cursor, access clock, and the
+    /// resident's recency / next-use rank. One short `global` critical
+    /// section per access.
+    fn demand_access(&self, key: &BlockKey) {
+        let mut g = self.global.lock();
+        g.advance_cursor(key);
+        g.tick += 1;
+        let tick = g.tick;
+        let Global {
+            ram_order,
+            future,
+            cursor,
+            ..
+        } = &mut *g;
+        let next = if ram_order.needs_next_use() {
+            Global::next_use(future, *cursor, key)
+        } else {
+            0
+        };
+        ram_order.touch(key, next, tick);
+        drop(g);
+        self.access_cv.notify_all();
+    }
+
+    /// Demand lookup: serve `key` from RAM or disk, updating recency and
+    /// the plan cursor. Returns `None` on a miss (which is also counted).
+    /// A fetch already in flight on another thread counts as a miss here
+    /// (this entry point never blocks on other threads' fetches).
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<u8>>> {
+        self.demand_access(key);
+        match self.lookup(key, /* wait_busy = */ false, /* claim = */ false) {
+            Lookup::Hit(data, _) => Some(data),
+            _ => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a block without demand-access accounting. A no-op when the
+    /// key is already resident (either tier) or in flight — an unowned
+    /// insert must never clobber another thread's single-flight slot.
     pub fn insert(&self, key: BlockKey, data: Vec<u8>) {
-        let mut inner = self.inner.lock();
-        self.insert_locked(&mut inner, key, Arc::new(data));
+        if self.shard_for(&key).map.lock().get(&key).is_some() {
+            return;
+        }
+        self.admit_full(key, Arc::new(data), None, /* owns_slot = */ false);
     }
 
     /// Demand lookup with single-flight fetch: on a miss, run `fetch` (at
@@ -279,34 +488,26 @@ impl ShardCache {
     where
         F: FnOnce() -> Result<Vec<u8>, E>,
     {
-        let mut inner = self.inner.lock();
-        Self::advance_cursor(&mut inner, &key);
-        self.access_cv.notify_all();
+        self.demand_access(&key);
         loop {
-            if let Some((data, from)) = self.lookup_locked(&mut inner, &key) {
-                return Ok((data, from));
+            match self.lookup(&key, /* wait_busy = */ true, /* claim = */ true) {
+                Lookup::Hit(data, from) => return Ok((data, from)),
+                Lookup::Claimed => break,
+                // A failed promote degraded to a miss; retry claims it.
+                Lookup::NotFound => continue,
             }
-            if inner.in_flight.contains(&key) {
-                self.flight_cv.wait(&mut inner);
-                continue;
-            }
-            break;
         }
-        // We are the fetcher for this key.
-        inner.in_flight.insert(key);
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        drop(inner);
-        let fetched = fetch();
-        let mut inner = self.inner.lock();
-        inner.in_flight.remove(&key);
-        self.flight_cv.notify_all();
-        match fetched {
+        match fetch() {
             Ok(data) => {
                 let data = Arc::new(data);
-                self.insert_locked(&mut inner, key, data.clone());
+                self.admit(key, data.clone());
                 Ok((data, Fetched::Storage))
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                self.release_busy(&key);
+                Err(e)
+            }
         }
     }
 
@@ -318,230 +519,574 @@ impl ShardCache {
         F: FnOnce() -> Result<Vec<u8>, E>,
     {
         {
-            let mut inner = self.inner.lock();
-            if inner.ram.contains_key(&key)
-                || inner.disk.contains_key(&key)
-                || inner.in_flight.contains(&key)
-            {
+            let shard = self.shard_for(&key);
+            let mut map = shard.map.lock();
+            if map.get(&key).is_some() {
                 return Ok(false);
             }
-            inner.in_flight.insert(key);
+            map.insert(key, Slot::Busy);
         }
-        let fetched = fetch();
-        let mut inner = self.inner.lock();
-        inner.in_flight.remove(&key);
-        self.flight_cv.notify_all();
-        match fetched {
+        match fetch() {
             Ok(data) => {
-                self.insert_locked(&mut inner, key, Arc::new(data));
                 self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
+                self.admit(key, Arc::new(data));
                 Ok(true)
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                self.release_busy(&key);
+                Err(e)
+            }
         }
     }
 
-    /// Serve from RAM (recency bump) or promote from disk. Counts hits.
-    fn lookup_locked(&self, inner: &mut Inner, key: &BlockKey) -> Option<(Arc<Vec<u8>>, Fetched)> {
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(entry) = inner.ram.get_mut(key) {
-            entry.last_access = tick;
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .bytes_saved
-                .fetch_add(entry.data.len() as u64, Ordering::Relaxed);
-            return Some((entry.data.clone(), Fetched::Ram));
+    /// Drop `key`'s `Busy` placeholder (fetch/promote failure) and wake
+    /// any single-flight waiters parked on the shard condvar.
+    fn release_busy(&self, key: &BlockKey) {
+        let shard = self.shard_for(key);
+        let mut map = shard.map.lock();
+        if matches!(map.get(key), Some(Slot::Busy)) {
+            map.remove(key);
         }
-        if let Some(entry) = inner.disk.remove(key) {
-            inner.disk_used -= entry.len;
-            let data = match std::fs::read(&entry.path) {
-                Ok(data) => Arc::new(data),
-                // A vanished spill file degrades to a miss.
-                Err(_) => return None,
+        shard.cv.notify_all();
+    }
+
+    /// Resolve `key` against the residency map: RAM/spilling bytes are a
+    /// hit, a disk slot triggers a promote (file read **outside** the
+    /// lock), `Busy` either waits on the shard condvar or reports a miss.
+    /// With `claim`, an empty slot is atomically taken over as a `Busy`
+    /// single-flight placeholder in the same critical section.
+    fn lookup(&self, key: &BlockKey, wait_busy: bool, claim: bool) -> Lookup {
+        enum Action {
+            Hit(Arc<Vec<u8>>),
+            Promote(DiskMeta),
+            Wait,
+            Empty,
+        }
+        let shard = self.shard_for(key);
+        let mut map = shard.map.lock();
+        loop {
+            let action = match map.get(key) {
+                Some(Slot::Ram(data)) | Some(Slot::Spilling(data)) => Action::Hit(data.clone()),
+                Some(Slot::Disk(meta)) => Action::Promote(meta.clone()),
+                Some(Slot::Busy) => Action::Wait,
+                None => Action::Empty,
             };
-            let _ = std::fs::remove_file(&entry.path);
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .bytes_saved
-                .fetch_add(data.len() as u64, Ordering::Relaxed);
-            self.insert_locked(inner, *key, data.clone());
-            return Some((data, Fetched::Disk));
+            match action {
+                Action::Hit(data) => {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .bytes_saved
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    return Lookup::Hit(data, Fetched::Ram);
+                }
+                Action::Promote(meta) => {
+                    map.insert(*key, Slot::Busy);
+                    drop(map);
+                    return match self.promote(key, meta) {
+                        Some((data, from)) => Lookup::Hit(data, from),
+                        None => Lookup::NotFound,
+                    };
+                }
+                Action::Wait => {
+                    if !wait_busy {
+                        return Lookup::NotFound;
+                    }
+                    shard.cv.wait(&mut map);
+                }
+                Action::Empty => {
+                    if claim {
+                        map.insert(*key, Slot::Busy);
+                        return Lookup::Claimed;
+                    }
+                    return Lookup::NotFound;
+                }
+            }
         }
-        None
     }
 
-    /// Insert into RAM, evicting (and spilling) until it fits. Blocks
-    /// larger than the whole RAM tier are passed through uncached.
-    fn insert_locked(&self, inner: &mut Inner, key: BlockKey, data: Arc<Vec<u8>>) {
-        let size = data.len() as u64;
-        if size > self.config.ram_bytes {
-            return;
+    /// Promote a disk-resident block back to RAM. Called holding the
+    /// block's `Busy` slot; the spill-file read happens with no lock held.
+    /// A vanished or corrupt spill file degrades to a miss.
+    fn promote(&self, key: &BlockKey, meta: DiskMeta) -> Option<(Arc<Vec<u8>>, Fetched)> {
+        // Leave the disk tier first: whoever removes the key from the disk
+        // order owns its accounting (a racing disk evictor that already
+        // popped it will have deducted instead — and may delete the file
+        // under us, which the validation below degrades to a miss).
+        {
+            let mut g = self.global.lock();
+            if g.disk_order.remove(key).is_some() {
+                g.disk_used -= meta.len;
+            }
         }
-        if inner.ram.contains_key(&key) {
-            return;
-        }
-        // Re-inserting a spilled block supersedes its disk copy.
-        if let Some(old) = inner.disk.remove(&key) {
-            inner.disk_used -= old.len;
-            let _ = std::fs::remove_file(&old.path);
-        }
-        while inner.ram_used + size > self.config.ram_bytes {
-            self.evict_one_from_ram(inner);
-        }
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.ram_used += size;
-        inner.ram.insert(
-            key,
-            RamEntry {
-                data,
-                inserted: tick,
-                last_access: tick,
-            },
-        );
-    }
-
-    /// Evict one RAM block by policy, spilling it to disk when a disk tier
-    /// is configured and the block fits.
-    fn evict_one_from_ram(&self, inner: &mut Inner) {
-        let Some(victim) = self.pick_victim(inner, /* ram = */ true) else {
-            return;
+        let data = match std::fs::read(&meta.path) {
+            Ok(d) if d.len() as u64 == meta.len && persist::block_crc(&d) == meta.crc => d,
+            _ => {
+                let _ = std::fs::remove_file(&meta.path);
+                self.release_busy(key);
+                return None;
+            }
         };
-        let entry = inner.ram.remove(&victim).expect("victim resident");
-        inner.ram_used -= entry.data.len() as u64;
-        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_saved
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        let data = Arc::new(data);
+        // Admission may decline (Belady bypass): the block then *stays on
+        // disk* — only a successful RAM admission retires the spill file.
+        if self.admit_full(*key, data.clone(), Some(&meta), /* owns_slot = */ true) {
+            let _ = std::fs::remove_file(&meta.path);
+        }
+        Some((data, Fetched::Disk))
+    }
 
-        let size = entry.data.len() as u64;
-        let Some(dir) = &self.spill_dir else { return };
-        if size > self.config.disk_bytes {
+    /// Admit `data` into the RAM tier from a path that owns the key's
+    /// `Busy` slot (see [`ShardCache::admit_full`]).
+    fn admit(&self, key: BlockKey, data: Arc<Vec<u8>>) {
+        self.admit_full(key, data, None, /* owns_slot = */ true);
+    }
+
+    /// Admit `data` into the RAM tier: reserve space under the ordering
+    /// lock (popping victims, applying the Belady bypass), spill/drop the
+    /// victims with no lock held, then publish the slot. With `owns_slot`
+    /// the caller holds the key's `Busy` placeholder and this call always
+    /// moves the slot out of that transitional state; without it (a raw
+    /// insert) the slot is filled only if still empty. A declined
+    /// admission with a `disk_fallback` (the promote path) re-instates
+    /// the block in the disk tier instead of dropping it. Returns whether
+    /// RAM admitted.
+    fn admit_full(
+        &self,
+        key: BlockKey,
+        data: Arc<Vec<u8>>,
+        disk_fallback: Option<&DiskMeta>,
+        owns_slot: bool,
+    ) -> bool {
+        let size = data.len() as u64;
+        let mut admitted = false;
+        let mut victims: Vec<(BlockKey, u64)> = Vec::new();
+        if size <= self.config.ram_bytes {
+            let mut g = self.global.lock();
+            if !g.ram_order.contains(&key) {
+                g.tick += 1;
+                let tick = g.tick;
+                let Global {
+                    ram_used,
+                    ram_order,
+                    future,
+                    cursor,
+                    ..
+                } = &mut *g;
+                let next = if ram_order.needs_next_use() {
+                    Global::next_use(future, *cursor, &key)
+                } else {
+                    0
+                };
+                // Belady admission bypass: if this block would be the
+                // eviction victim the moment it lands, don't admit it.
+                let bypass = self.config.belady_bypass
+                    && *ram_used + size > self.config.ram_bytes
+                    && matches!(ram_order.victim_next_use(), Some(v) if next >= v);
+                if !bypass {
+                    while *ram_used + size > self.config.ram_bytes {
+                        let Some((vk, vs)) = ram_order.pop_victim() else {
+                            break;
+                        };
+                        *ram_used -= vs;
+                        victims.push((vk, vs));
+                    }
+                    *ram_used += size;
+                    ram_order.insert(key, size, next, tick);
+                    admitted = true;
+                }
+            }
+        }
+        self.stats
+            .evictions
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
+
+        // Publish before spilling victims: readers of `key` proceed while
+        // the evicted blocks' file I/O runs.
+        let mut undo_reservation = false;
+        let mut restore_to_disk = false;
+        {
+            let shard = self.shard_for(&key);
+            let mut map = shard.map.lock();
+            // Collision: another path's bytes won the race (Ram/Spilling),
+            // or — for an unowned raw insert — ANY slot that appeared
+            // since its empty-check, including someone else's Busy
+            // placeholder, which must never be clobbered.
+            let collided = if owns_slot {
+                matches!(map.get(&key), Some(Slot::Ram(_)) | Some(Slot::Spilling(_)))
+            } else {
+                map.get(&key).is_some()
+            };
+            if admitted {
+                if collided {
+                    // Void our reservation rather than double-track.
+                    undo_reservation = true;
+                } else {
+                    map.insert(key, Slot::Ram(data));
+                }
+            } else if owns_slot && matches!(map.get(&key), Some(Slot::Busy)) {
+                if disk_fallback.is_some() {
+                    // Keep holding the Busy slot; the block goes back to
+                    // the disk tier below.
+                    restore_to_disk = true;
+                } else {
+                    // Pass-through uncached.
+                    map.remove(&key);
+                }
+            }
+            // A live Disk slot stays resident on the not-admitted path
+            // (its accounting is untouched here); collided/empty slots
+            // are left alone.
+            if !restore_to_disk {
+                shard.cv.notify_all();
+            }
+        }
+        if undo_reservation {
+            let mut g = self.global.lock();
+            if g.ram_order.remove(&key).is_some() {
+                g.ram_used -= size;
+            }
+            admitted = false;
+        } else if admitted && !self.global.lock().ram_order.contains(&key) {
+            // A concurrent admit popped our reservation as a victim while
+            // the slot was still Busy (nothing to spill at that point).
+            // The just-published bytes would be RAM-resident but
+            // untracked; complete the eviction on the evictor's behalf.
+            self.spill_or_drop(&key, size);
+            admitted = false;
+        }
+        if restore_to_disk {
+            let meta = disk_fallback.expect("restore implies fallback");
+            let disk_victims = self.reserve_disk(&key, meta.len);
+            self.evict_disk_victims(&disk_victims);
+            {
+                let shard = self.shard_for(&key);
+                let mut map = shard.map.lock();
+                if matches!(map.get(&key), Some(Slot::Busy)) {
+                    map.insert(key, Slot::Disk(meta.clone()));
+                }
+                shard.cv.notify_all();
+            }
+            self.validate_disk_residency(&key);
+        }
+        for (vk, vs) in victims {
+            self.spill_or_drop(&vk, vs);
+        }
+        admitted
+    }
+
+    /// Reserve `size` bytes of disk-tier capacity for `key` under the
+    /// ordering lock, returning the disk victims popped to make room.
+    fn reserve_disk(&self, key: &BlockKey, size: u64) -> Vec<BlockKey> {
+        let mut g = self.global.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        let Global {
+            disk_used,
+            disk_order,
+            future,
+            cursor,
+            ..
+        } = &mut *g;
+        let mut out = Vec::new();
+        while *disk_used + size > self.config.disk_bytes {
+            let Some((vk, vs)) = disk_order.pop_victim() else {
+                break;
+            };
+            *disk_used -= vs;
+            out.push(vk);
+        }
+        *disk_used += size;
+        let next = if disk_order.needs_next_use() {
+            Global::next_use(future, *cursor, key)
+        } else {
+            0
+        };
+        disk_order.insert(*key, size, next, tick);
+        out
+    }
+
+    /// Remove `key`'s `Disk` slot (if that is its current state) and
+    /// delete the spill file, waking waiters. `Busy` (mid-promote) and
+    /// `Spilling` (mid-spill) slots are left alone: the in-flight thread
+    /// owns their accounting and file fate, and re-validates its disk
+    /// residency once its transition lands.
+    fn drop_disk_slot(&self, key: &BlockKey) {
+        let shard = self.shard_for(key);
+        let mut map = shard.map.lock();
+        let path = match map.get(key) {
+            Some(Slot::Disk(meta)) => Some(meta.path.clone()),
+            _ => None,
+        };
+        if let Some(path) = path {
+            map.remove(key);
+            drop(map);
+            let _ = std::fs::remove_file(&path);
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Drop popped disk victims: remove their slots and spill files.
+    fn evict_disk_victims(&self, victims: &[BlockKey]) {
+        for vk in victims {
+            self.drop_disk_slot(vk);
+        }
+    }
+
+    /// Re-validate a freshly-landed `Disk` slot against the disk order: a
+    /// concurrent disk eviction may have popped the key while its
+    /// transition (spill write, promote fallback) was in flight — with
+    /// nothing resident to clean up at that moment. Finish that eviction
+    /// here: drop the slot and file.
+    fn validate_disk_residency(&self, key: &BlockKey) {
+        if !self.global.lock().disk_order.contains(key) {
+            self.drop_disk_slot(key);
+        }
+    }
+
+    /// Move an evicted RAM block to the disk tier (or drop it): flip its
+    /// slot to `Spilling`, write the spill file with no lock held, reserve
+    /// disk capacity, then flip to `Disk`.
+    fn spill_or_drop(&self, key: &BlockKey, size: u64) {
+        let spillable = self.spill_dir.is_some() && size <= self.config.disk_bytes;
+        let data = {
+            let shard = self.shard_for(key);
+            let mut map = shard.map.lock();
+            let resident = match map.get(key) {
+                Some(Slot::Ram(data)) => Some(data.clone()),
+                // The slot moved on without us (re-admitted and re-evicted
+                // by another thread); nothing to spill.
+                _ => None,
+            };
+            let Some(data) = resident else { return };
+            if spillable {
+                map.insert(*key, Slot::Spilling(data.clone()));
+            } else {
+                map.remove(key);
+                shard.cv.notify_all();
+            }
+            data
+        };
+        if !spillable {
             return;
         }
-        while inner.disk_used + size > self.config.disk_bytes {
-            self.evict_one_from_disk(inner);
-        }
-        let path = dir.join(format!(
-            "block-{}-{}-{}.blk",
-            victim.shard_id, victim.start, victim.end
-        ));
-        if std::fs::write(&path, entry.data.as_slice()).is_err() {
+        // Reserve disk capacity, evicting disk victims as needed.
+        let disk_victims = self.reserve_disk(key, size);
+        self.evict_disk_victims(&disk_victims);
+
+        let dir = self.spill_dir.as_ref().expect("spillable implies dir");
+        let path = dir.join(persist::spill_file_name(key));
+        let crc = persist::block_crc(&data);
+        if std::fs::write(&path, data.as_slice()).is_err() {
             // Spill failure just loses the block; demand will re-read it.
+            let mut g = self.global.lock();
+            if g.disk_order.remove(key).is_some() {
+                g.disk_used -= size;
+            }
+            drop(g);
+            let shard = self.shard_for(key);
+            let mut map = shard.map.lock();
+            if matches!(map.get(key), Some(Slot::Spilling(_))) {
+                map.remove(key);
+            }
+            shard.cv.notify_all();
             return;
         }
         self.stats.spills.fetch_add(1, Ordering::Relaxed);
-        inner.disk_used += size;
-        inner.disk.insert(
-            victim,
-            DiskEntry {
-                path,
-                len: size,
-                inserted: entry.inserted,
-                last_access: entry.last_access,
-            },
-        );
-    }
-
-    fn evict_one_from_disk(&self, inner: &mut Inner) {
-        let Some(victim) = self.pick_victim(inner, /* ram = */ false) else {
-            return;
-        };
-        let entry = inner.disk.remove(&victim).expect("victim resident");
-        inner.disk_used -= entry.len;
-        let _ = std::fs::remove_file(&entry.path);
-    }
-
-    /// Choose the eviction victim for a tier according to the policy.
-    fn pick_victim(&self, inner: &mut Inner, ram: bool) -> Option<BlockKey> {
-        let cursor = inner.cursor;
-        // (key, inserted, last_access) per resident block.
-        let residents: Vec<(BlockKey, u64, u64)> = if ram {
-            inner
-                .ram
-                .iter()
-                .map(|(k, e)| (*k, e.inserted, e.last_access))
-                .collect()
-        } else {
-            inner
-                .disk
-                .iter()
-                .map(|(k, e)| (*k, e.inserted, e.last_access))
-                .collect()
-        };
-        match self.config.policy {
-            EvictPolicy::Lru => residents.into_iter().min_by_key(|r| r.2).map(|r| r.0),
-            EvictPolicy::Fifo => residents.into_iter().min_by_key(|r| r.1).map(|r| r.0),
-            EvictPolicy::Clairvoyant => {
-                let future = &mut inner.future;
-                residents
-                    .into_iter()
-                    .map(|(k, _, last)| (Self::next_use(future, cursor, &k), last, k))
-                    // Furthest next use wins; ties fall back to LRU order
-                    // (smallest last_access ⇒ largest Reverse).
-                    .max_by_key(|(next, last, _)| (*next, std::cmp::Reverse(*last)))
-                    .map(|(_, _, k)| k)
+        {
+            let shard = self.shard_for(key);
+            let mut map = shard.map.lock();
+            if matches!(map.get(key), Some(Slot::Spilling(_))) {
+                map.insert(
+                    *key,
+                    Slot::Disk(DiskMeta {
+                        path,
+                        len: size,
+                        crc,
+                    }),
+                );
             }
+            shard.cv.notify_all();
+        }
+        // Our disk_order entry may have been popped (or superseded) while
+        // the file write was in flight; finish that eviction if so.
+        self.validate_disk_residency(key);
+    }
+
+    /// Re-admit CRC-valid spill files recorded by a previous run's index
+    /// into the disk tier (up to its capacity).
+    fn load_persisted(&self) {
+        let Some(dir) = &self.spill_dir else { return };
+        let entries = match persist::read_index(dir) {
+            Ok(Some(entries)) => entries,
+            // No index, or a malformed one: cold start.
+            _ => return,
+        };
+        let mut g = self.global.lock();
+        for e in &entries {
+            if g.disk_used + e.len > self.config.disk_bytes {
+                // Not re-admittable this run — and the index rewritten at
+                // shutdown will no longer list it, so delete the file
+                // rather than orphan it in the persist dir forever.
+                let _ = std::fs::remove_file(dir.join(persist::spill_file_name(&e.key)));
+                continue;
+            }
+            let Some(path) = persist::validate_entry(dir, e) else {
+                continue;
+            };
+            g.tick += 1;
+            let tick = g.tick;
+            g.disk_used += e.len;
+            g.disk_order.insert(e.key, e.len, u64::MAX, tick);
+            self.shard_for(&e.key).map.lock().insert(
+                e.key,
+                Slot::Disk(DiskMeta {
+                    path,
+                    len: e.len,
+                    crc: e.crc,
+                }),
+            );
+            self.stats.readmitted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// First plan position ≥ `cursor` where `key` is needed (`u64::MAX`
-    /// when it never is). Prunes stale positions as a side effect.
-    fn next_use(future: &mut HashMap<BlockKey, VecDeque<u64>>, cursor: u64, key: &BlockKey) -> u64 {
-        match future.get_mut(key) {
-            None => u64::MAX,
-            Some(q) => {
-                while matches!(q.front(), Some(&p) if p < cursor) {
-                    q.pop_front();
+    /// Checkpoint the cache for a restart (persistent caches only): write
+    /// RAM-resident blocks to spill files (without disturbing the live
+    /// tiers) up to the disk tier's spare capacity, then write the spill
+    /// index covering them plus the live disk tier. Returns how many
+    /// blocks the index covers. A non-persistent cache returns 0.
+    pub fn persist_now(&self) -> io::Result<u64> {
+        if !self.config.persist {
+            return Ok(0);
+        }
+        let dir = self.spill_dir.as_ref().expect("persist implies spill dir");
+        // Snapshot RAM residents and live disk entries shard by shard.
+        let mut ram_blocks: Vec<(BlockKey, Arc<Vec<u8>>)> = Vec::new();
+        let mut entries: Vec<SpillEntry> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            for (k, slot) in map.iter() {
+                match slot {
+                    Slot::Ram(d) | Slot::Spilling(d) => ram_blocks.push((*k, d.clone())),
+                    Slot::Disk(meta) => entries.push(SpillEntry {
+                        key: *k,
+                        len: meta.len,
+                        crc: meta.crc,
+                    }),
+                    Slot::Busy => {}
                 }
-                q.front().copied().unwrap_or(u64::MAX)
             }
         }
+        ram_blocks.sort_unstable_by_key(|(k, _)| *k);
+        // The checkpoint budget counts live disk bytes AND bytes already
+        // checkpointed by earlier calls — pruned of files retired since
+        // and of keys now in the live disk tier (whose bytes disk_used
+        // already covers) — so repeated checkpoints of shifting working
+        // sets can neither grow the spill directory past the disk tier's
+        // bound nor starve it by double-counting.
+        let live_disk: std::collections::HashSet<BlockKey> =
+            entries.iter().map(|e| e.key).collect();
+        let checkpoint_bytes: u64 = {
+            let mut checkpointed = self.checkpointed.lock();
+            checkpointed.retain(|k, _| {
+                !live_disk.contains(k) && dir.join(persist::spill_file_name(k)).exists()
+            });
+            checkpointed.values().map(|e| e.len).sum()
+        };
+        let mut budget = {
+            let g = self.global.lock();
+            self.config
+                .disk_bytes
+                .saturating_sub(g.disk_used.saturating_add(checkpoint_bytes))
+        };
+        let mut checkpointed = self.checkpointed.lock();
+        for (key, data) in ram_blocks {
+            let len = data.len() as u64;
+            // Blocks are immutable per key: an earlier checkpoint of this
+            // key is still valid, no rewrite (or budget) needed.
+            if checkpointed.contains_key(&key) {
+                continue;
+            }
+            if len > budget {
+                continue;
+            }
+            let path = dir.join(persist::spill_file_name(&key));
+            std::fs::write(&path, data.as_slice())?;
+            budget -= len;
+            checkpointed.insert(
+                key,
+                SpillEntry {
+                    key,
+                    len,
+                    crc: persist::block_crc(&data),
+                },
+            );
+        }
+        drop(checkpointed);
+        let count = self.write_merged_index(entries)?;
+        Ok(count)
+    }
+
+    /// Write the spill index: checkpointed entries overlaid with the live
+    /// disk-tier entries (live wins for the same key), sorted for stable
+    /// diffs. Shared by [`ShardCache::persist_now`] and `Drop`.
+    fn write_merged_index(&self, disk_entries: Vec<SpillEntry>) -> io::Result<u64> {
+        let dir = self.spill_dir.as_ref().expect("persist implies spill dir");
+        let mut merged: HashMap<BlockKey, SpillEntry> = self.checkpointed.lock().clone();
+        for e in disk_entries {
+            merged.insert(e.key, e);
+        }
+        let mut all: Vec<SpillEntry> = merged.into_values().collect();
+        all.sort_unstable_by_key(|e| e.key);
+        persist::write_index(dir, &all)?;
+        Ok(all.len() as u64)
     }
 
     /// Block until plan position `pos` is within `depth` of the demand
     /// cursor. Returns `true` when the window is open, `false` after a
     /// bounded wait (the caller re-checks its stop flag and retries).
     pub(crate) fn prefetch_window_wait(&self, pos: u64, depth: u64) -> bool {
-        let mut inner = self.inner.lock();
-        if pos < inner.cursor + depth {
+        let mut g = self.global.lock();
+        if pos < g.cursor + depth {
             return true;
         }
         self.access_cv
-            .wait_for(&mut inner, std::time::Duration::from_millis(5));
-        pos < inner.cursor + depth
-    }
-
-    /// Account one demand access against the plan: consume `key`'s
-    /// earliest pending position, and move the cursor past it only when it
-    /// is ahead of the cursor. Concurrent send workers deliver accesses
-    /// slightly out of plan order; consuming exactly one position per
-    /// access keeps a late-arriving access from eating the key's
-    /// *next-epoch* position and leaping the cursor (which would both
-    /// mislead the clairvoyant policy and blow open the prefetch window).
-    fn advance_cursor(inner: &mut Inner, key: &BlockKey) {
-        if inner.seq.is_empty() {
-            return;
-        }
-        let cursor = inner.cursor;
-        if let Some(q) = inner.future.get_mut(key) {
-            if let Some(&p) = q.front() {
-                q.pop_front();
-                if p >= cursor {
-                    inner.cursor = p + 1;
-                }
-                return;
-            }
-        }
-        // Unplanned access: just move time forward.
-        inner.cursor += 1;
+            .wait_for(&mut g, std::time::Duration::from_millis(5));
+        pos < g.cursor + depth
     }
 }
 
 impl Drop for ShardCache {
     fn drop(&mut self) {
-        let inner = self.inner.lock();
-        for entry in inner.disk.values() {
-            let _ = std::fs::remove_file(&entry.path);
+        let mut disk_entries: Vec<(BlockKey, DiskMeta)> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            for (k, slot) in map.iter() {
+                if let Slot::Disk(meta) = slot {
+                    disk_entries.push((*k, meta.clone()));
+                }
+            }
+        }
+        if self.config.persist {
+            // Keep the spill files; leave an index for the next run.
+            let _ = self.write_merged_index(
+                disk_entries
+                    .into_iter()
+                    .map(|(k, meta)| SpillEntry {
+                        key: k,
+                        len: meta.len,
+                        crc: meta.crc,
+                    })
+                    .collect(),
+            );
+            return;
+        }
+        for (_, meta) in disk_entries {
+            let _ = std::fs::remove_file(&meta.path);
         }
         if self.owns_spill_dir {
             if let Some(dir) = &self.spill_dir {
@@ -554,6 +1099,7 @@ impl Drop for ShardCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emlio_util::testutil::TempDir;
 
     fn key(i: usize) -> BlockKey {
         BlockKey {
@@ -637,6 +1183,93 @@ mod tests {
     }
 
     #[test]
+    fn belady_bypass_skips_pointless_admissions() {
+        // Plan: 0 1 2 1 0 2 — at the access of 2 the residents (0, 1) are
+        // both needed sooner than 2's next use after this one... except 2
+        // IS needed at position 5, furthest of all, so admitting it would
+        // make it the immediate victim. With bypass on, 2 passes through
+        // and 0/1 stay resident; with bypass off, someone gets evicted.
+        let plan = vec![key(0), key(1), key(2), key(1), key(0), key(2)];
+        let run = |bypass: bool| {
+            let cache = ShardCache::new(
+                CacheConfig::default()
+                    .with_ram_bytes(200)
+                    .with_policy(EvictPolicy::Clairvoyant)
+                    .with_belady_bypass(bypass),
+            )
+            .unwrap();
+            cache.set_plan(plan.clone());
+            for k in &plan[..3] {
+                cache
+                    .get_or_fetch::<std::io::Error, _>(*k, || Ok(vec![0u8; 100]))
+                    .unwrap();
+            }
+            cache
+        };
+        let bypassed = run(true);
+        assert!(bypassed.contains(&key(0)));
+        assert!(bypassed.contains(&key(1)));
+        assert!(
+            !bypassed.contains(&key(2)),
+            "victim-on-arrival not admitted"
+        );
+        assert_eq!(bypassed.stats().snapshot().evictions, 0);
+
+        let admitted = run(false);
+        assert!(admitted.contains(&key(2)), "always-admit keeps the block");
+        assert_eq!(admitted.stats().snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn bypass_keeps_promoted_blocks_on_disk() {
+        // Plan [2,0,1, 0,1,2, 0,1,2], RAM = 2 blocks, disk tier on.
+        // Block 2 is evicted to disk at the access of 1 (furthest next
+        // use). Its later accesses promote from disk, and the Belady
+        // bypass declines RAM admission each time (its next use is always
+        // the furthest) — the block must then STAY on disk, so storage is
+        // fetched exactly once per unique block across the whole trace.
+        let plan = vec![
+            key(2),
+            key(0),
+            key(1),
+            key(0),
+            key(1),
+            key(2),
+            key(0),
+            key(1),
+            key(2),
+        ];
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(200)
+                .with_disk_bytes(1000)
+                .with_policy(EvictPolicy::Clairvoyant),
+        )
+        .unwrap();
+        cache.set_plan(plan.clone());
+        let mut fetches = 0u64;
+        for k in &plan {
+            cache
+                .get_or_fetch::<std::io::Error, _>(*k, || {
+                    fetches += 1;
+                    Ok(vec![k.start as u8; 100])
+                })
+                .unwrap();
+        }
+        assert_eq!(fetches, 3, "each unique block fetched from storage once");
+        let s = cache.stats().snapshot();
+        assert_eq!(
+            s.disk_hits, 2,
+            "block 2's repeat accesses hit the disk tier"
+        );
+        assert!(
+            cache.contains(&key(2)),
+            "bypassed block still resident on disk"
+        );
+        assert_eq!(cache.disk_keys(), vec![key(2)]);
+    }
+
+    #[test]
     fn out_of_order_access_consumes_one_position() {
         let cache = ram_only(1 << 20, EvictPolicy::Clairvoyant);
         // Two-epoch plan over two blocks: 0 1 0 1.
@@ -671,6 +1304,7 @@ mod tests {
         cache.insert(key(2), block(9, 100)); // evicts 0 → disk
         assert_eq!(cache.stats().snapshot().spills, 1);
         assert_eq!(cache.disk_bytes_used(), 100);
+        assert_eq!(cache.disk_keys(), vec![key(0)]);
         // Disk hit promotes back to RAM (evicting again).
         let data = cache.get(&key(0)).expect("disk hit");
         assert!(data.iter().all(|&b| b == 7));
@@ -727,5 +1361,91 @@ mod tests {
         cache.insert(key(0), block(0, 1000));
         assert!(!cache.contains(&key(0)));
         assert_eq!(cache.ram_bytes_used(), 0);
+    }
+
+    #[test]
+    fn persistent_tier_survives_restart() {
+        let dir = TempDir::new("cache-persist");
+        let config = CacheConfig::default()
+            .with_ram_bytes(200)
+            .with_disk_bytes(2000)
+            .with_persist_dir(dir.path().to_path_buf())
+            .with_policy(EvictPolicy::Lru);
+        {
+            let cache = ShardCache::new(config.clone()).unwrap();
+            for i in 0..4 {
+                cache.insert(key(i), block(i, 100));
+            }
+            // 0 and 1 spilled to disk; 2 and 3 still in RAM.
+            assert_eq!(cache.disk_keys(), vec![key(0), key(1)]);
+            assert_eq!(cache.persist_now().unwrap(), 4, "RAM checkpointed too");
+        }
+        // Restart: all four blocks re-validate and re-admit to disk, and
+        // demand reads are served without any storage fetch.
+        let cache = ShardCache::new(config).unwrap();
+        let s = cache.stats().snapshot();
+        assert_eq!(s.readmitted, 4);
+        assert_eq!(cache.disk_keys(), (0..4).map(key).collect::<Vec<_>>());
+        for i in 0..4 {
+            let (data, from) = cache
+                .get_or_fetch::<std::io::Error, _>(key(i), || {
+                    panic!("storage fetch despite persisted block")
+                })
+                .unwrap();
+            assert_eq!(from, Fetched::Disk);
+            assert!(data.iter().all(|&b| b == i as u8));
+        }
+        assert_eq!(cache.stats().snapshot().disk_hits, 4);
+    }
+
+    #[test]
+    fn corrupt_spill_file_rejected_on_restart() {
+        let dir = TempDir::new("cache-persist-corrupt");
+        let config = CacheConfig::default()
+            .with_ram_bytes(200)
+            .with_disk_bytes(2000)
+            .with_persist_dir(dir.path().to_path_buf())
+            .with_policy(EvictPolicy::Lru);
+        {
+            let cache = ShardCache::new(config.clone()).unwrap();
+            for i in 0..4 {
+                cache.insert(key(i), block(i, 100));
+            }
+            cache.persist_now().unwrap();
+        }
+        let path = dir.path().join(persist::spill_file_name(&key(2)));
+        assert!(path.exists(), "persist keeps spill files");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let cache = ShardCache::new(config).unwrap();
+        let s = cache.stats().snapshot();
+        assert_eq!(s.readmitted, 3, "corrupt block skipped");
+        assert!(!cache.contains(&key(2)));
+        assert!(!path.exists(), "corrupt spill file removed");
+    }
+
+    #[test]
+    fn persist_requires_disk_tier() {
+        let err = ShardCache::new(
+            CacheConfig::default().with_persist_dir(std::env::temp_dir().join("emlio-nope")),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn single_lock_shard_still_works() {
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(300)
+                .with_lock_shards(1)
+                .with_policy(EvictPolicy::Lru),
+        )
+        .unwrap();
+        for i in 0..5 {
+            cache.insert(key(i), block(i, 100));
+        }
+        assert_eq!(cache.ram_bytes_used(), 300);
+        assert_eq!(cache.ram_keys().len(), 3);
     }
 }

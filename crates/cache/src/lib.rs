@@ -8,33 +8,50 @@
 //!
 //! * [`ShardCache`] — a two-tier cache: a bounded RAM tier plus an optional
 //!   bounded local-disk spill tier, keyed by [`BlockKey`] (shard id +
-//!   record range). Lookups are single-flight: concurrent requests for the
-//!   same missing block coalesce onto one storage read.
+//!   record range). The hot path is sharded: N lock shards over the
+//!   residency map, incrementally-maintained eviction orders (intrusive
+//!   LRU list / next-use heap, see [`order`]), and spill/promote file I/O
+//!   that runs outside every lock. Lookups are single-flight: concurrent
+//!   requests for the same missing block coalesce onto one storage read.
+//!   With [`CacheConfig::with_persist_dir`] the spill tier survives
+//!   restarts: a CRC'd index ([`persist`]) is re-validated and re-admitted
+//!   when the next cache opens over the same directory.
 //! * [`EvictPolicy`] — pluggable eviction: [`EvictPolicy::Lru`],
 //!   [`EvictPolicy::Fifo`], and [`EvictPolicy::Clairvoyant`], which uses
 //!   the epoch plan (via [`ShardCache::set_plan`]) to evict the resident
 //!   block whose next use is furthest in the future (Belady's algorithm —
 //!   the insight of "Clairvoyant Prefetching for Distributed Machine
-//!   Learning I/O").
+//!   Learning I/O"), and skips admitting blocks that would be the victim
+//!   on arrival (true Belady with admission bypass).
+//! * [`CachedSource`] — the caching decorator of the composable
+//!   [`RangeSource`] read stack: wrap any
+//!   inner source (local `TfrecordSource`, `emlio-netem`'s `NfsSource`)
+//!   and the whole daemon read path gains the cache transparently.
 //! * [`Prefetcher`] — a background thread that walks the planned access
-//!   sequence ahead of the demand cursor and warms the RAM tier, bounded by
-//!   a configurable depth so it cannot wreck the cache for the present.
-//! * [`CachedRangeReader`] — the drop-in read path used by the daemon:
-//!   routes `RangeReader` range reads through the cache and reports
-//!   hit/miss/bytes/read-time per batch.
+//!   sequence ahead of the demand cursor and warms the RAM tier through a
+//!   [`CachedSource`], bounded by a configurable depth so it cannot wreck
+//!   the cache for the present.
+//! * [`CachedRangeReader`] — the decode layer used by the daemon: turns
+//!   block keys into record payloads through any source stack and reports
+//!   origin/bytes/read-time per batch.
 //!
-//! [`CacheStats`] counts hits, misses, evictions, spills, and bytes saved,
-//! which `emlio-core` mirrors into its `DataPathMetrics` and
-//! `emlio-energymon` converts into avoided NFS latency and energy.
+//! [`CacheStats`] counts hits, misses, evictions, spills, re-admissions,
+//! and bytes saved, which `emlio-core` mirrors into its `DataPathMetrics`
+//! and `emlio-energymon` converts into avoided NFS latency and energy.
 
 pub mod cache;
+pub mod order;
+pub mod persist;
 pub mod policy;
 pub mod prefetch;
 pub mod reader;
+pub mod source;
 pub mod stats;
 
-pub use cache::{BlockKey, CacheConfig, Fetched, ShardCache};
+pub use cache::{CacheConfig, Fetched, ShardCache};
+pub use emlio_tfrecord::source::{BlockKey, BlockRead, RangeSource, ReadOrigin};
 pub use policy::EvictPolicy;
 pub use prefetch::Prefetcher;
 pub use reader::{CachedRangeReader, RangeRead};
+pub use source::CachedSource;
 pub use stats::{CacheStats, CacheStatsSnapshot};

@@ -1,0 +1,179 @@
+//! Cross-epoch persistence for the disk spill tier.
+//!
+//! A cache with a persistent spill directory writes a `spill-index.json`
+//! describing every spilled block — key, length, and masked CRC32C of the
+//! block bytes. A fresh cache (a restarted daemon) re-reads the index,
+//! re-validates each spill file against its recorded CRC, and re-admits the
+//! valid ones into the disk tier — so repeated training runs over the same
+//! dataset skip the storage reads the previous run already paid for.
+//! Invalid entries (missing file, wrong length, CRC mismatch, concurrent
+//! writer litter) are deleted and skipped: the index is a hint, the CRC is
+//! the authority.
+
+use emlio_tfrecord::crc32c::masked_crc32c;
+use emlio_tfrecord::BlockKey;
+use emlio_util::json::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the spill index inside the spill directory.
+pub const SPILL_INDEX_FILE: &str = "spill-index.json";
+
+/// One persisted spill block, as recorded in the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillEntry {
+    /// The block's plan key.
+    pub key: BlockKey,
+    /// Spill file length in bytes.
+    pub len: u64,
+    /// Masked CRC32C of the block bytes.
+    pub crc: u32,
+}
+
+/// Deterministic spill file name for a block key.
+pub fn spill_file_name(key: &BlockKey) -> String {
+    format!("block-{}-{}-{}.blk", key.shard_id, key.start, key.end)
+}
+
+/// Masked CRC32C of a block's bytes (the checksum the index records).
+pub fn block_crc(data: &[u8]) -> u32 {
+    masked_crc32c(data)
+}
+
+/// Serialize `entries` to the spill index in `dir` (atomic rename).
+pub fn write_index(dir: &Path, entries: &[SpillEntry]) -> io::Result<()> {
+    let blocks: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("shard_id".to_string(), Json::num(e.key.shard_id as f64)),
+                ("start".to_string(), Json::num(e.key.start as f64)),
+                ("end".to_string(), Json::num(e.key.end as f64)),
+                ("len".to_string(), Json::num(e.len as f64)),
+                ("crc".to_string(), Json::num(e.crc as f64)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("version".to_string(), Json::num(1.0)),
+        ("blocks".to_string(), Json::Arr(blocks)),
+    ]);
+    let tmp = dir.join(format!("{SPILL_INDEX_FILE}.tmp"));
+    std::fs::write(&tmp, doc.to_string_pretty())?;
+    std::fs::rename(&tmp, dir.join(SPILL_INDEX_FILE))
+}
+
+/// Parse the spill index in `dir`. `Ok(None)` when no index exists; a
+/// malformed index is an error (the caller treats it as a cold start).
+pub fn read_index(dir: &Path) -> io::Result<Option<Vec<SpillEntry>>> {
+    let path = dir.join(SPILL_INDEX_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let doc = Json::parse(&text).map_err(io::Error::other)?;
+    let blocks = doc
+        .get("blocks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| io::Error::other("spill index: missing blocks array"))?;
+    let mut entries = Vec::with_capacity(blocks.len());
+    for (i, b) in blocks.iter().enumerate() {
+        let get = |k: &str| {
+            b.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| io::Error::other(format!("spill index block {i}: missing {k}")))
+        };
+        entries.push(SpillEntry {
+            key: BlockKey {
+                shard_id: get("shard_id")? as u32,
+                start: get("start")? as usize,
+                end: get("end")? as usize,
+            },
+            len: get("len")?,
+            crc: get("crc")? as u32,
+        });
+    }
+    Ok(Some(entries))
+}
+
+/// Validate one index entry against its spill file: the file must exist,
+/// match the recorded length, and hash to the recorded CRC. Returns the
+/// spill file path on success; deletes the file and reports `None` when
+/// validation fails (stale index, torn write, bit rot).
+pub fn validate_entry(dir: &Path, entry: &SpillEntry) -> Option<PathBuf> {
+    let path = dir.join(spill_file_name(&entry.key));
+    let data = std::fs::read(&path).ok()?;
+    if data.len() as u64 == entry.len && block_crc(&data) == entry.crc {
+        return Some(path);
+    }
+    let _ = std::fs::remove_file(&path);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emlio_util::testutil::TempDir;
+
+    fn key(i: usize) -> BlockKey {
+        BlockKey {
+            shard_id: 1,
+            start: i * 10,
+            end: (i + 1) * 10,
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let dir = TempDir::new("spill-index");
+        assert_eq!(read_index(dir.path()).unwrap(), None);
+        let entries = vec![
+            SpillEntry {
+                key: key(0),
+                len: 64,
+                crc: 0xDEAD_BEEF,
+            },
+            SpillEntry {
+                key: key(1),
+                len: 128,
+                crc: 7,
+            },
+        ];
+        write_index(dir.path(), &entries).unwrap();
+        assert_eq!(read_index(dir.path()).unwrap(), Some(entries));
+    }
+
+    #[test]
+    fn validation_accepts_good_rejects_corrupt() {
+        let dir = TempDir::new("spill-validate");
+        let data = vec![0xABu8; 100];
+        let entry = SpillEntry {
+            key: key(0),
+            len: 100,
+            crc: block_crc(&data),
+        };
+        let path = dir.path().join(spill_file_name(&entry.key));
+        std::fs::write(&path, &data).unwrap();
+        assert_eq!(validate_entry(dir.path(), &entry), Some(path.clone()));
+
+        // Flip one byte: CRC mismatch ⇒ rejected and deleted.
+        let mut bad = data.clone();
+        bad[42] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(validate_entry(dir.path(), &entry), None);
+        assert!(!path.exists(), "invalid spill file is removed");
+
+        // Missing file ⇒ rejected quietly.
+        assert_eq!(validate_entry(dir.path(), &entry), None);
+    }
+
+    #[test]
+    fn malformed_index_is_an_error() {
+        let dir = TempDir::new("spill-malformed");
+        std::fs::write(dir.path().join(SPILL_INDEX_FILE), "{not json").unwrap();
+        assert!(read_index(dir.path()).is_err());
+        std::fs::write(dir.path().join(SPILL_INDEX_FILE), "{\"version\": 1}").unwrap();
+        assert!(read_index(dir.path()).is_err());
+    }
+}

@@ -38,7 +38,8 @@ impl FromStr for EvictPolicy {
             "fifo" => Ok(EvictPolicy::Fifo),
             "clairvoyant" | "belady" | "opt" => Ok(EvictPolicy::Clairvoyant),
             other => Err(format!(
-                "unknown eviction policy {other:?} (expected lru, fifo, or clairvoyant)"
+                "unknown eviction policy {other:?} \
+                 (valid: lru, fifo, clairvoyant; aliases: belady, opt; case-insensitive)"
             )),
         }
     }
@@ -62,5 +63,21 @@ mod tests {
             EvictPolicy::Clairvoyant
         );
         assert!("arc".parse::<EvictPolicy>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_error_lists_policies() {
+        for (text, want) in [
+            ("LRU", EvictPolicy::Lru),
+            ("Fifo", EvictPolicy::Fifo),
+            ("CLAIRVOYANT", EvictPolicy::Clairvoyant),
+            ("Belady", EvictPolicy::Clairvoyant),
+        ] {
+            assert_eq!(text.parse::<EvictPolicy>().unwrap(), want, "{text}");
+        }
+        let err = "mru".parse::<EvictPolicy>().unwrap_err();
+        for policy in ["lru", "fifo", "clairvoyant"] {
+            assert!(err.contains(policy), "error lists {policy}: {err}");
+        }
     }
 }

@@ -7,44 +7,42 @@
 //! `prefetch_depth` blocks ahead of the demand cursor so warming the
 //! future never evicts the present working set.
 
-use crate::cache::{BlockKey, ShardCache};
-use std::io;
+use crate::source::CachedSource;
+use emlio_tfrecord::RangeSource;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// How a prefetcher loads one block from storage.
-pub type FetchFn = dyn Fn(&BlockKey) -> io::Result<Vec<u8>> + Send + Sync;
-
 /// Handle to the background prefetch thread. Stops and joins on drop.
 pub struct Prefetcher {
     stop: Arc<AtomicBool>,
-    cache: Arc<ShardCache>,
+    source: Arc<CachedSource>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Prefetcher {
-    /// Spawn a prefetcher over `cache`'s installed plan (set the plan via
-    /// [`ShardCache::set_plan`] first). `fetch` performs the raw storage
-    /// read for one block; fetch errors are skipped — the demand path will
-    /// surface them. A `prefetch_depth` of 0 yields an immediately-idle
-    /// thread that exits.
-    pub fn spawn(cache: Arc<ShardCache>, fetch: Arc<FetchFn>) -> Prefetcher {
+    /// Spawn a prefetcher over `source`'s cache plan (set the plan via
+    /// [`crate::ShardCache::set_plan`] first). Each warmed block is read
+    /// through the source's inner layer; fetch errors are skipped — the
+    /// demand path will surface them. A `prefetch_depth` of 0 yields an
+    /// immediately-idle thread that exits.
+    pub fn spawn(source: Arc<CachedSource>) -> Prefetcher {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let cache2 = cache.clone();
+        let source2 = source.clone();
         let handle = std::thread::Builder::new()
             .name("emlio-cache-prefetch".into())
-            .spawn(move || Self::run(cache2, fetch, stop2))
+            .spawn(move || Self::run(source2, stop2))
             .expect("spawn prefetch thread");
         Prefetcher {
             stop,
-            cache,
+            source,
             handle: Some(handle),
         }
     }
 
-    fn run(cache: Arc<ShardCache>, fetch: Arc<FetchFn>, stop: Arc<AtomicBool>) {
+    fn run(source: Arc<CachedSource>, stop: Arc<AtomicBool>) {
+        let cache = source.cache();
         let seq = cache.plan();
         let depth = cache.config().prefetch_depth as u64;
         if depth == 0 || seq.is_empty() {
@@ -62,7 +60,7 @@ impl Prefetcher {
             }
             let key = seq[pos as usize];
             pos += 1;
-            let _fetched: io::Result<bool> = cache.prefetch(key, || fetch(&key));
+            let _fetched = source.prefetch_block(&key);
         }
     }
 
@@ -74,7 +72,7 @@ impl Prefetcher {
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // Wake the thread if it is parked waiting for the cursor to move.
-        self.cache.access_cv.notify_all();
+        self.source.cache().access_cv.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -90,8 +88,11 @@ impl Drop for Prefetcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::CacheConfig;
+    use crate::cache::{CacheConfig, ShardCache};
     use crate::policy::EvictPolicy;
+    use crate::source::CachedSource;
+    use emlio_tfrecord::{BlockKey, FnSource};
+    use std::io;
     use std::sync::atomic::AtomicU64;
     use std::time::Duration;
 
@@ -118,13 +119,14 @@ mod tests {
         cache.set_plan(seq.clone());
         let reads = Arc::new(AtomicU64::new(0));
         let reads2 = reads.clone();
-        let pf = Prefetcher::spawn(
+        let source = Arc::new(CachedSource::new(
             cache.clone(),
-            Arc::new(move |k: &BlockKey| {
+            Arc::new(FnSource::new(move |k: &BlockKey| {
                 reads2.fetch_add(1, Ordering::Relaxed);
                 Ok(vec![k.start as u8; 128])
-            }),
-        );
+            })),
+        ));
+        let pf = Prefetcher::spawn(source.clone());
         // Give the prefetcher time to fill its initial window.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while !cache.contains(&key(0)) && std::time::Instant::now() < deadline {
@@ -153,7 +155,11 @@ mod tests {
         let cache =
             Arc::new(ShardCache::new(CacheConfig::default().with_prefetch_depth(0)).unwrap());
         cache.set_plan(vec![key(0)]);
-        let pf = Prefetcher::spawn(cache.clone(), Arc::new(|_k: &BlockKey| Ok(vec![1])));
+        let source = Arc::new(CachedSource::new(
+            cache.clone(),
+            Arc::new(FnSource::new(|_k: &BlockKey| Ok(vec![1]))),
+        ));
+        let pf = Prefetcher::spawn(source);
         pf.join();
         assert!(!cache.contains(&key(0)));
     }

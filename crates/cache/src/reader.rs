@@ -1,46 +1,49 @@
-//! The cached daemon read path: `RangeReader` behind a [`ShardCache`].
+//! The decoded read path: records out of any [`RangeSource`] stack.
+//!
+//! [`CachedRangeReader`] is the daemon's batch-assembly seam: hand it the
+//! composed source stack (`CachedSource -> TfrecordSource`, a bare
+//! `TfrecordSource`, `CachedSource -> NfsSource`, …) and it turns block
+//! keys into decoded record payloads plus per-read provenance for the
+//! metrics layer. It no longer knows which concrete backend or cache it is
+//! reading through — that is the point of the stack.
 
-use crate::cache::{BlockKey, ShardCache};
 use emlio_tfrecord::record::decode_all;
-use emlio_tfrecord::{RangeReader, RecordError};
+use emlio_tfrecord::source::{BlockKey, RangeSource, ReadOrigin};
+use emlio_tfrecord::RecordError;
 use std::sync::Arc;
-use std::time::Instant;
 
-/// Result of one cached batch read.
+/// Result of one decoded batch read.
 #[derive(Debug)]
 pub struct RangeRead {
     /// Decoded record payloads, in range order.
     pub payloads: Vec<Vec<u8>>,
-    /// Whether the raw block came from the cache (RAM or disk tier).
-    pub hit: bool,
+    /// Which layer of the stack satisfied the read.
+    pub origin: ReadOrigin,
     /// Raw block size in bytes.
     pub bytes: u64,
-    /// Nanoseconds spent in the storage read (0 on a hit).
+    /// Nanoseconds spent in the backing read (0 on a cache hit).
     pub read_nanos: u64,
 }
 
-/// A shard's positioned-read path routed through a shared block cache.
-///
-/// Wraps the same [`RangeReader`] the daemon already uses: on a miss the
-/// contiguous batch span is read with one positioned read and the raw
-/// bytes are admitted to the cache; on a hit the records are decoded
-/// straight from the cached block and storage is never touched. Reads of
-/// the same missing block from concurrent workers coalesce onto a single
-/// storage read (single-flight).
+impl RangeRead {
+    /// Whether the raw block came from a cache layer.
+    pub fn hit(&self) -> bool {
+        self.origin.is_cached()
+    }
+}
+
+/// Decodes planned batches read through an arbitrary [`RangeSource`]
+/// stack.
 pub struct CachedRangeReader {
-    reader: Arc<RangeReader>,
-    cache: Arc<ShardCache>,
-    shard_id: u32,
+    source: Arc<dyn RangeSource>,
     verify_crc: bool,
 }
 
 impl CachedRangeReader {
-    /// Route `reader`'s reads for shard `shard_id` through `cache`.
-    pub fn new(reader: Arc<RangeReader>, cache: Arc<ShardCache>, shard_id: u32) -> Self {
+    /// Decode batches read through `source`.
+    pub fn new(source: Arc<dyn RangeSource>) -> Self {
         CachedRangeReader {
-            reader,
-            cache,
-            shard_id,
+            source,
             verify_crc: true,
         }
     }
@@ -51,97 +54,77 @@ impl CachedRangeReader {
         self
     }
 
-    /// The cache behind this reader.
-    pub fn cache(&self) -> &Arc<ShardCache> {
-        &self.cache
+    /// The source stack behind this reader.
+    pub fn source(&self) -> &Arc<dyn RangeSource> {
+        &self.source
     }
 
-    /// Read and decode the planned batch covering records `[start, end)`
-    /// whose contiguous byte span is `[offset, offset + size)`.
-    pub fn read_batch(
-        &self,
-        start: usize,
-        end: usize,
-        offset: u64,
-        size: u64,
-    ) -> Result<RangeRead, RecordError> {
-        let key = BlockKey {
-            shard_id: self.shard_id,
-            start,
-            end,
-        };
-        let mut read_nanos = 0u64;
-        let (block, from) = self.cache.get_or_fetch::<RecordError, _>(key, || {
-            let t = Instant::now();
-            let mut buf = Vec::new();
-            self.reader.read_range_into(offset, size, &mut buf)?;
-            read_nanos = t.elapsed().as_nanos() as u64;
-            Ok(buf)
-        })?;
-        let records = decode_all(&block, self.verify_crc)?;
+    /// Read and decode the planned batch block `key`.
+    pub fn read_batch(&self, key: BlockKey) -> Result<RangeRead, RecordError> {
+        let read = self.source.read_block(&key)?;
+        let records = decode_all(&read.data, self.verify_crc)?;
         let payloads = records.into_iter().map(|r| r.payload.to_vec()).collect();
         Ok(RangeRead {
             payloads,
-            hit: from.is_hit(),
-            bytes: block.len() as u64,
-            read_nanos,
+            origin: read.origin,
+            bytes: read.data.len() as u64,
+            read_nanos: read.read_nanos,
         })
     }
 
-    /// Fetch one block into the cache without demand accounting (used by
-    /// prefetch paths that already know the span).
-    pub fn prefetch_block(
-        &self,
-        start: usize,
-        end: usize,
-        offset: u64,
-        size: u64,
-    ) -> Result<bool, RecordError> {
-        let key = BlockKey {
-            shard_id: self.shard_id,
-            start,
-            end,
-        };
-        self.cache.prefetch::<RecordError, _>(key, || {
-            let mut buf = Vec::new();
-            self.reader.read_range_into(offset, size, &mut buf)?;
-            Ok(buf)
-        })
+    /// Warm one block ahead of demand (no-op on cacheless stacks). Returns
+    /// whether a backing read actually ran.
+    pub fn prefetch_block(&self, key: BlockKey) -> Result<bool, RecordError> {
+        self.source.prefetch_block(&key)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::CacheConfig;
-    use emlio_tfrecord::{ShardSpec, ShardWriter};
+    use crate::cache::{CacheConfig, ShardCache};
+    use crate::source::CachedSource;
+    use emlio_tfrecord::{ShardSpec, ShardWriter, TfrecordSource};
     use emlio_util::testutil::TempDir;
 
-    fn shard_with_records(n: usize) -> (TempDir, emlio_tfrecord::GlobalIndex) {
+    fn shard_with_records(n: usize) -> (TempDir, Arc<emlio_tfrecord::GlobalIndex>) {
         let dir = TempDir::new("cached-reader");
         let mut w = ShardWriter::create(dir.path(), ShardSpec::Count(1)).unwrap();
         for i in 0..n {
             w.append(&[i as u8; 64], (i % 3) as u32).unwrap();
         }
         let idx = w.finish().unwrap();
-        (dir, idx)
+        (dir, Arc::new(idx))
+    }
+
+    fn cached_stack(idx: Arc<emlio_tfrecord::GlobalIndex>) -> (Arc<ShardCache>, CachedRangeReader) {
+        let cache = Arc::new(ShardCache::new(CacheConfig::default()).unwrap());
+        let stack = Arc::new(CachedSource::new(
+            cache.clone(),
+            Arc::new(TfrecordSource::new(idx)),
+        ));
+        (cache, CachedRangeReader::new(stack))
     }
 
     #[test]
     fn second_read_hits_and_is_identical() {
         let (_d, idx) = shard_with_records(10);
-        let cache = Arc::new(ShardCache::new(CacheConfig::default()).unwrap());
-        let reader = Arc::new(RangeReader::open(&idx.shard_path(0)).unwrap());
-        let cached = CachedRangeReader::new(reader, cache.clone(), 0);
+        let (_, size) = idx.shards[0].span(2, 7).unwrap();
+        let (cache, reader) = cached_stack(idx);
 
-        let (offset, size) = idx.shards[0].span(2, 7).unwrap();
-        let first = cached.read_batch(2, 7, offset, size).unwrap();
-        assert!(!first.hit);
+        let key = BlockKey {
+            shard_id: 0,
+            start: 2,
+            end: 7,
+        };
+        let first = reader.read_batch(key).unwrap();
+        assert!(!first.hit());
+        assert_eq!(first.origin, ReadOrigin::CacheMiss);
         assert_eq!(first.payloads.len(), 5);
         assert!(first.read_nanos > 0);
 
-        let second = cached.read_batch(2, 7, offset, size).unwrap();
-        assert!(second.hit);
+        let second = reader.read_batch(key).unwrap();
+        assert!(second.hit());
         assert_eq!(second.read_nanos, 0);
         assert_eq!(first.payloads, second.payloads, "byte-identical replay");
         assert_eq!(cache.stats().snapshot().bytes_saved, size);
@@ -150,14 +133,32 @@ mod tests {
     #[test]
     fn prefetch_block_primes_demand_hit() {
         let (_d, idx) = shard_with_records(6);
-        let cache = Arc::new(ShardCache::new(CacheConfig::default()).unwrap());
-        let reader = Arc::new(RangeReader::open(&idx.shard_path(0)).unwrap());
-        let cached = CachedRangeReader::new(reader, cache, 0);
+        let (_cache, reader) = cached_stack(idx);
+        let key = BlockKey {
+            shard_id: 0,
+            start: 0,
+            end: 6,
+        };
+        assert!(reader.prefetch_block(key).unwrap());
+        assert!(!reader.prefetch_block(key).unwrap());
+        let read = reader.read_batch(key).unwrap();
+        assert!(read.hit(), "prefetched block served the demand read");
+    }
 
-        let (offset, size) = idx.shards[0].span(0, 6).unwrap();
-        assert!(cached.prefetch_block(0, 6, offset, size).unwrap());
-        assert!(!cached.prefetch_block(0, 6, offset, size).unwrap());
-        let read = cached.read_batch(0, 6, offset, size).unwrap();
-        assert!(read.hit, "prefetched block served the demand read");
+    #[test]
+    fn bare_tfrecord_stack_reads_direct() {
+        let (_d, idx) = shard_with_records(4);
+        let reader = CachedRangeReader::new(Arc::new(TfrecordSource::new(idx)));
+        let key = BlockKey {
+            shard_id: 0,
+            start: 0,
+            end: 4,
+        };
+        let read = reader.read_batch(key).unwrap();
+        assert_eq!(read.origin, ReadOrigin::Direct);
+        assert!(!read.hit());
+        assert_eq!(read.payloads.len(), 4);
+        // Prefetch on a cacheless stack warms nothing.
+        assert!(!reader.prefetch_block(key).unwrap());
     }
 }

@@ -22,6 +22,9 @@ pub struct CacheStats {
     pub spills: AtomicU64,
     /// Blocks loaded by the prefetcher (not demand misses).
     pub prefetched: AtomicU64,
+    /// CRC-valid blocks re-admitted from a persistent spill index at
+    /// construction (daemon restart).
+    pub readmitted: AtomicU64,
     /// Storage bytes *not* read thanks to cache hits.
     pub bytes_saved: AtomicU64,
 }
@@ -36,6 +39,7 @@ impl CacheStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             spills: self.spills.load(Ordering::Relaxed),
             prefetched: self.prefetched.load(Ordering::Relaxed),
+            readmitted: self.readmitted.load(Ordering::Relaxed),
             bytes_saved: self.bytes_saved.load(Ordering::Relaxed),
         }
     }
@@ -56,6 +60,8 @@ pub struct CacheStatsSnapshot {
     pub spills: u64,
     /// Blocks loaded by the prefetcher.
     pub prefetched: u64,
+    /// Blocks re-admitted from a persistent spill index.
+    pub readmitted: u64,
     /// Storage bytes not read thanks to hits.
     pub bytes_saved: u64,
 }

@@ -131,6 +131,49 @@ proptest! {
         }
     }
 
+    /// The admission bypass (skip blocks that would be the victim on
+    /// arrival) is never worse than always-admit on a replayed plan, and
+    /// admits strictly less work under pressure (bypassed admissions
+    /// can only reduce evictions).
+    #[test]
+    fn belady_bypass_never_worse_than_always_admit(
+        trace in vec(0u8..20, 1..250),
+        cap_blocks in 1u64..8,
+    ) {
+        let run = |bypass: bool| {
+            let cache = ShardCache::new(
+                CacheConfig::default()
+                    .with_ram_bytes(cap_blocks * BLOCK)
+                    .with_policy(EvictPolicy::Clairvoyant)
+                    .with_belady_bypass(bypass)
+                    .with_prefetch_depth(0),
+            )
+            .unwrap();
+            cache.set_plan(trace.iter().map(|&i| key(i)).collect());
+            for &i in &trace {
+                cache
+                    .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+                    .unwrap();
+            }
+            cache.stats().snapshot()
+        };
+        let bypass = run(true);
+        let admit = run(false);
+        prop_assert_eq!(bypass.hits + bypass.misses, trace.len() as u64);
+        prop_assert!(
+            bypass.misses <= admit.misses,
+            "bypass {} > always-admit {}",
+            bypass.misses,
+            admit.misses
+        );
+        prop_assert!(
+            bypass.evictions <= admit.evictions,
+            "bypass evicted more: {} > {}",
+            bypass.evictions,
+            admit.evictions
+        );
+    }
+
     /// Belady optimality, observed from outside: on any trace the
     /// clairvoyant policy misses no more than LRU or FIFO.
     #[test]

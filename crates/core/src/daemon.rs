@@ -7,20 +7,25 @@
 //! reading/serializing one batch overlaps sending another — the paper's
 //! network-pipeline concurrency, and the knob behind Figures 7 and 8.
 //!
-//! When [`EmlioConfig::cache`] is set, every range read routes through an
-//! `emlio-cache` [`ShardCache`] instead: repeated epochs are served from
-//! RAM (or the disk spill tier) without touching storage, and a
-//! plan-walking prefetcher warms blocks ahead of the send workers.
+//! Reads go through a composable [`RangeSource`] stack assembled at open
+//! time: a [`MeteredSource`] (storage-read accounting) over the backing
+//! store — local [`TfrecordSource`] shards by default, or any caller-
+//! supplied source such as `emlio-netem`'s `NfsSource` — with an
+//! `emlio-cache` [`CachedSource`] on top when [`EmlioConfig::cache`] is
+//! set. Repeated epochs are then served from RAM (or the disk spill tier)
+//! without touching storage, a plan-walking prefetcher warms blocks ahead
+//! of the send workers, and a persistent spill tier survives daemon
+//! restarts.
 
 use crate::config::EmlioConfig;
 use crate::metrics::DataPathMetrics;
 use crate::plan::{BatchRange, Plan};
 use crate::wire;
 use bytes::Bytes;
-use emlio_cache::{BlockKey, CachedRangeReader, Prefetcher, ShardCache};
-use emlio_tfrecord::{GlobalIndex, RangeReader, RecordError};
+use emlio_cache::{BlockKey, CachedRangeReader, CachedSource, Prefetcher, ReadOrigin, ShardCache};
+use emlio_tfrecord::source::{BlockRead, RangeSource, TfrecordSource};
+use emlio_tfrecord::{GlobalIndex, RecordError};
 use emlio_zmq::{Endpoint, PushSocket, SocketOptions, ZmqError};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -61,11 +66,43 @@ impl From<ZmqError> for DaemonError {
     }
 }
 
-/// Shared cache context for a `serve` call: the block cache plus one
-/// pre-opened raw reader per shard, shared by workers and the prefetcher.
-struct CacheCtx {
-    cache: Arc<ShardCache>,
-    readers: HashMap<u32, Arc<RangeReader>>,
+/// Storage-read accounting as a stack layer: every block read that reaches
+/// the layer below (demand miss or prefetch alike) is counted into
+/// [`DataPathMetrics`] exactly once, no matter which path issued it.
+pub struct MeteredSource {
+    inner: Arc<dyn RangeSource>,
+    metrics: Arc<DataPathMetrics>,
+}
+
+impl MeteredSource {
+    /// Meter every read that falls through to `inner`.
+    pub fn new(inner: Arc<dyn RangeSource>, metrics: Arc<DataPathMetrics>) -> MeteredSource {
+        MeteredSource { inner, metrics }
+    }
+}
+
+impl RangeSource for MeteredSource {
+    fn read_block(&self, key: &BlockKey) -> Result<BlockRead, RecordError> {
+        let read = self.inner.read_block(key)?;
+        // A cache-served read below this layer (metered -> cached -> …)
+        // issued no backing read, so it must not count as one; for the
+        // rest, the source's own measurement covers exactly the
+        // positioned read (not span resolution or cache admission work).
+        if !read.origin.is_cached() {
+            self.metrics.record_storage_read(read.read_nanos);
+        }
+        Ok(read)
+    }
+
+    fn prefetch_block(&self, key: &BlockKey) -> Result<bool, RecordError> {
+        // Transparent decoration: a caching layer below (metered ->
+        // cached -> …) must still receive warm-ups.
+        self.inner.prefetch_block(key)
+    }
+
+    fn describe(&self) -> String {
+        format!("metered -> {}", self.inner.describe())
+    }
 }
 
 /// A storage-side daemon bound to one dataset directory.
@@ -74,30 +111,56 @@ pub struct EmlioDaemon {
     index: Arc<GlobalIndex>,
     config: EmlioConfig,
     metrics: Arc<DataPathMetrics>,
-    cache: Option<Arc<ShardCache>>,
+    /// The composed read stack every batch goes through.
+    source: Arc<dyn RangeSource>,
+    /// The caching layer of the stack, when configured (prefetcher handle,
+    /// plan installation, stats reconciliation).
+    cached: Option<Arc<CachedSource>>,
 }
 
 impl EmlioDaemon {
-    /// Open the dataset at `dataset_dir` (must contain shard + index files).
+    /// Open the dataset at `dataset_dir` (must contain shard + index
+    /// files) over the default local-disk backing store.
     pub fn open(
         id: &str,
         dataset_dir: &std::path::Path,
         config: EmlioConfig,
     ) -> Result<EmlioDaemon, DaemonError> {
-        let index = GlobalIndex::load_dir(dataset_dir)?;
-        let cache = match &config.cache {
-            None => None,
-            Some(cache_config) => Some(Arc::new(
-                ShardCache::new(cache_config.clone())
-                    .map_err(|e| DaemonError::Storage(RecordError::Io(e)))?,
-            )),
+        let index = Arc::new(GlobalIndex::load_dir(dataset_dir)?);
+        let base: Arc<dyn RangeSource> = Arc::new(TfrecordSource::new(index.clone()));
+        Self::open_with_base(id, index, config, base)
+    }
+
+    /// Open over a caller-supplied backing source — the seam for reading
+    /// through `emlio-netem`'s `NfsSource` (shared remote storage) or any
+    /// other [`RangeSource`]. The daemon layers its metering and (when
+    /// configured) cache on top of `base`.
+    pub fn open_with_base(
+        id: &str,
+        index: Arc<GlobalIndex>,
+        config: EmlioConfig,
+        base: Arc<dyn RangeSource>,
+    ) -> Result<EmlioDaemon, DaemonError> {
+        let metrics = DataPathMetrics::shared();
+        let metered: Arc<dyn RangeSource> = Arc::new(MeteredSource::new(base, metrics.clone()));
+        let (source, cached) = match &config.cache {
+            None => (metered, None),
+            Some(cache_config) => {
+                let cache = Arc::new(
+                    ShardCache::new(cache_config.clone())
+                        .map_err(|e| DaemonError::Storage(RecordError::Io(e)))?,
+                );
+                let cached = Arc::new(CachedSource::new(cache, metered));
+                (cached.clone() as Arc<dyn RangeSource>, Some(cached))
+            }
         };
         Ok(EmlioDaemon {
             id: id.to_string(),
-            index: Arc::new(index),
+            index,
             config,
-            metrics: DataPathMetrics::shared(),
-            cache,
+            metrics,
+            source,
+            cached,
         })
     }
 
@@ -113,7 +176,12 @@ impl EmlioDaemon {
 
     /// The shard block cache, when configured.
     pub fn cache(&self) -> Option<&Arc<ShardCache>> {
-        self.cache.as_ref()
+        self.cached.as_ref().map(|c| c.cache())
+    }
+
+    /// One-line description of the composed read stack, outermost first.
+    pub fn source_description(&self) -> String {
+        self.source.describe()
     }
 
     /// Serve every epoch of `plan` destined for `node_id`, pushing to
@@ -139,15 +207,25 @@ impl EmlioDaemon {
             }
         }
 
-        let ctx = self.make_cache_ctx(plan, node_id)?;
-        let prefetcher = ctx.as_ref().and_then(|c| self.spawn_prefetcher(c));
+        let prefetcher = match &self.cached {
+            Some(cached) => {
+                self.install_cache_plan(cached, plan, node_id);
+                (cached.cache().config().prefetch_depth > 0)
+                    .then(|| Prefetcher::spawn(cached.clone()))
+            }
+            None => None,
+        };
+        let mut reader = CachedRangeReader::new(self.source.clone());
+        if !self.config.verify_crc {
+            reader = reader.without_crc_verification();
+        }
+        let reader = &reader;
 
         let result = std::thread::scope(|scope| -> Result<(), DaemonError> {
             let mut handles = Vec::with_capacity(t);
             for worker in 0..t {
-                let ctx = ctx.as_ref();
                 handles.push(
-                    scope.spawn(move || self.run_worker(plan, node_id, endpoint, worker, ctx)),
+                    scope.spawn(move || self.run_worker(plan, node_id, endpoint, worker, reader)),
                 );
             }
             let mut first_err = None;
@@ -170,21 +248,32 @@ impl EmlioDaemon {
         if let Some(pf) = prefetcher {
             pf.join();
         }
-        if let Some(cache) = &self.cache {
-            self.metrics
-                .set_cache_evictions(cache.stats().evictions.load(Ordering::Relaxed));
+        let mut result = result;
+        if let Some(cached) = &self.cached {
+            let cache = cached.cache();
+            if cache.config().persist {
+                // Checkpoint the spill tier (and the RAM working set) so a
+                // restarted daemon re-admits it instead of re-reading
+                // storage. A checkpoint failure must not mask a worker
+                // error — the data-path failure is the root cause.
+                if let Err(e) = cache.persist_now() {
+                    if result.is_ok() {
+                        result = Err(DaemonError::Storage(RecordError::Io(e)));
+                    }
+                }
+            }
+            let s = cache.stats().snapshot();
+            self.metrics.set_cache_evictions(s.evictions);
+            self.metrics.set_cache_disk_hits(s.disk_hits);
+            self.metrics.set_cache_readmitted(s.readmitted);
         }
         result
     }
 
-    /// When caching is enabled: install the node's full multi-epoch access
-    /// sequence as the cache plan and pre-open one raw reader per shard.
-    fn make_cache_ctx(&self, plan: &Plan, node_id: &str) -> Result<Option<CacheCtx>, DaemonError> {
-        let Some(cache) = &self.cache else {
-            return Ok(None);
-        };
+    /// Install the node's full multi-epoch access sequence as the cache
+    /// plan (clairvoyant eviction and the prefetcher both walk it).
+    fn install_cache_plan(&self, cached: &CachedSource, plan: &Plan, node_id: &str) {
         let mut seq = Vec::new();
-        let mut shard_ids = std::collections::BTreeSet::new();
         for ep in &plan.epochs {
             if let Some(np) = ep.nodes.get(node_id) {
                 for b in np.batches_in_plan_order() {
@@ -193,79 +282,31 @@ impl EmlioDaemon {
                         start: b.start,
                         end: b.end,
                     });
-                    shard_ids.insert(b.shard_id);
                 }
             }
         }
-        cache.set_plan(seq);
-        let mut readers = HashMap::new();
-        for sid in shard_ids {
-            if self.index.shards.get(sid as usize).is_none() {
-                return Err(DaemonError::BadPlan(format!("unknown shard {sid}")));
-            }
-            readers.insert(
-                sid,
-                Arc::new(RangeReader::open(&self.index.shard_path(sid))?),
-            );
-        }
-        Ok(Some(CacheCtx {
-            cache: cache.clone(),
-            readers,
-        }))
+        cached.cache().set_plan(seq);
     }
 
-    /// Spawn the plan-walking prefetcher over the shared cache context.
-    fn spawn_prefetcher(&self, ctx: &CacheCtx) -> Option<Prefetcher> {
-        if ctx.cache.config().prefetch_depth == 0 {
-            return None;
-        }
-        let index = self.index.clone();
-        let metrics = self.metrics.clone();
-        let readers: HashMap<u32, Arc<RangeReader>> = ctx.readers.clone();
-        let fetch = move |key: &BlockKey| -> std::io::Result<Vec<u8>> {
-            let shard = index
-                .shards
-                .get(key.shard_id as usize)
-                .ok_or_else(|| std::io::Error::other(format!("unknown shard {}", key.shard_id)))?;
-            let (offset, size) = shard
-                .span(key.start, key.end)
-                .map_err(std::io::Error::other)?;
-            let reader = readers
-                .get(&key.shard_id)
-                .ok_or_else(|| std::io::Error::other(format!("no reader for {}", key.shard_id)))?;
-            let t = Instant::now();
-            let mut buf = Vec::new();
-            reader
-                .read_range_into(offset, size, &mut buf)
-                .map_err(std::io::Error::other)?;
-            metrics.record_storage_read(t.elapsed().as_nanos() as u64);
-            Ok(buf)
-        };
-        Some(Prefetcher::spawn(ctx.cache.clone(), Arc::new(fetch)))
-    }
-
-    /// One `SendWorker`: its own socket, its own shard readers, its slice of
-    /// every epoch.
+    /// One `SendWorker`: its own socket, its slice of every epoch, all
+    /// reads through the shared source stack.
     fn run_worker(
         &self,
         plan: &Plan,
         node_id: &str,
         endpoint: &Endpoint,
         worker: usize,
-        ctx: Option<&CacheCtx>,
+        reader: &CachedRangeReader,
     ) -> Result<(), DaemonError> {
         let origin = format!("{}/t{}", self.id, worker);
         let socket =
             PushSocket::connect(endpoint, SocketOptions::default().with_hwm(self.config.hwm))?;
-        let mut readers: HashMap<u32, RangeReader> = HashMap::new();
-        let mut cached: HashMap<u32, CachedRangeReader> = HashMap::new();
         let mut sent = 0u64;
 
         for ep in &plan.epochs {
             let ranges = &plan.epochs[ep.epoch as usize].nodes[node_id].thread_splits[worker];
             for range in ranges {
-                let frame =
-                    self.assemble_batch(range, ep.epoch, &origin, ctx, &mut readers, &mut cached)?;
+                let frame = self.assemble_batch(range, ep.epoch, &origin, reader)?;
                 socket.send(frame)?;
                 sent += 1;
             }
@@ -275,17 +316,14 @@ impl EmlioDaemon {
         Ok(())
     }
 
-    /// Read one planned range — a single positioned read, or a cache
-    /// lookup when caching is enabled — and serialize it into one wire
-    /// frame.
+    /// Read one planned range through the source stack and serialize it
+    /// into one wire frame.
     fn assemble_batch(
         &self,
         range: &BatchRange,
         epoch: u32,
         origin: &str,
-        ctx: Option<&CacheCtx>,
-        readers: &mut HashMap<u32, RangeReader>,
-        cached: &mut HashMap<u32, CachedRangeReader>,
+        reader: &CachedRangeReader,
     ) -> Result<Bytes, DaemonError> {
         let shard = self
             .index
@@ -301,66 +339,24 @@ impl EmlioDaemon {
                 shard.records.len()
             )));
         }
-        let (offset, size) = shard.span(range.start, range.end)?;
 
-        let payloads = match ctx {
-            // Cached path: one shared block cache across workers and the
-            // prefetcher; misses coalesce onto single storage reads.
-            Some(ctx) => {
-                let reader = match cached.entry(range.shard_id) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        let raw = ctx
-                            .readers
-                            .get(&range.shard_id)
-                            .ok_or_else(|| {
-                                DaemonError::BadPlan(format!(
-                                    "no cache reader for shard {}",
-                                    range.shard_id
-                                ))
-                            })?
-                            .clone();
-                        let mut c = CachedRangeReader::new(raw, ctx.cache.clone(), range.shard_id);
-                        if !self.config.verify_crc {
-                            c = c.without_crc_verification();
-                        }
-                        e.insert(c)
-                    }
-                };
-                let read = reader.read_batch(range.start, range.end, offset, size)?;
-                if read.hit {
-                    self.metrics.record_cache_hit(read.bytes);
-                } else {
-                    self.metrics.record_cache_miss();
-                    self.metrics.record_storage_read(read.read_nanos);
-                }
-                read.payloads
-            }
-            // Direct path: one contiguous pread for the whole batch.
-            None => {
-                let reader = match readers.entry(range.shard_id) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        let mut r = RangeReader::open(&self.index.shard_path(range.shard_id))?;
-                        if !self.config.verify_crc {
-                            r = r.without_crc_verification();
-                        }
-                        e.insert(r)
-                    }
-                };
-                let t_read = Instant::now();
-                let payloads = reader.read_records_in_range(offset, size)?;
-                self.metrics
-                    .record_storage_read(t_read.elapsed().as_nanos() as u64);
-                payloads
-            }
-        };
+        let read = reader.read_batch(BlockKey {
+            shard_id: range.shard_id,
+            start: range.start,
+            end: range.end,
+        })?;
+        match read.origin {
+            ReadOrigin::Cache => self.metrics.record_cache_hit(read.bytes),
+            ReadOrigin::CacheMiss => self.metrics.record_cache_miss(),
+            // Storage-read time is accounted by the metered stack layer.
+            ReadOrigin::Direct => {}
+        }
 
-        debug_assert_eq!(payloads.len(), range.len());
+        debug_assert_eq!(read.payloads.len(), range.len());
         let metas = &shard.records[range.start..range.end];
         let samples: Vec<(u64, u32, &[u8])> = metas
             .iter()
-            .zip(&payloads)
+            .zip(&read.payloads)
             .map(|(m, p)| (m.sample_id, m.label, p.as_slice()))
             .collect();
 
@@ -368,7 +364,7 @@ impl EmlioDaemon {
         let frame = wire::encode_batch(epoch, range.batch_id, origin, &samples);
         self.metrics
             .add_codec_nanos(t_ser.elapsed().as_nanos() as u64);
-        self.metrics.record_batch(samples.len() as u64, size);
+        self.metrics.record_batch(samples.len() as u64, read.bytes);
         let _ = self.metrics.bytes.load(Ordering::Relaxed);
         Ok(Bytes::from(frame))
     }
@@ -395,6 +391,7 @@ mod tests {
             .with_threads(2)
             .with_epochs(2);
         let daemon = EmlioDaemon::open("d0", dir.path(), config.clone()).unwrap();
+        assert!(daemon.source_description().contains("tfrecord("));
         let plan = Plan::build(daemon.index(), &["node".to_string()], &config);
         let expected: u64 = (0..2).map(|e| plan.batches_for(e, "node")).sum();
 
@@ -448,6 +445,7 @@ mod tests {
             .with_epochs(3)
             .with_cache(emlio_cache::CacheConfig::default().with_prefetch_depth(4));
         let daemon = EmlioDaemon::open("d0", dir.path(), config.clone()).unwrap();
+        assert!(daemon.source_description().starts_with("cached("));
         let plan = Plan::build(daemon.index(), &["node".to_string()], &config);
         let per_epoch = plan.batches_for(0, "node");
         let total: u64 = (0..3).map(|e| plan.batches_for(e, "node")).sum();

@@ -26,6 +26,10 @@ pub struct DataPathMetrics {
     pub cache_misses: AtomicU64,
     /// Blocks evicted from the cache's RAM tier.
     pub cache_evictions: AtomicU64,
+    /// Cache hits served by the disk spill tier (subset of `cache_hits`).
+    pub cache_disk_hits: AtomicU64,
+    /// Blocks re-admitted from a persistent spill index at daemon start.
+    pub cache_readmitted: AtomicU64,
     /// Storage bytes *not* re-read thanks to cache hits.
     pub cache_bytes_saved: AtomicU64,
 }
@@ -77,6 +81,17 @@ impl DataPathMetrics {
         self.cache_evictions.store(total, Ordering::Relaxed);
     }
 
+    /// Reconcile the disk-tier hit counter with the cache's own total.
+    pub fn set_cache_disk_hits(&self, total: u64) {
+        self.cache_disk_hits.store(total, Ordering::Relaxed);
+    }
+
+    /// Reconcile the persistent-tier re-admission counter with the
+    /// cache's own total.
+    pub fn set_cache_readmitted(&self, total: u64) {
+        self.cache_readmitted.store(total, Ordering::Relaxed);
+    }
+
     /// Plain-value copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -89,6 +104,8 @@ impl DataPathMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_disk_hits: self.cache_disk_hits.load(Ordering::Relaxed),
+            cache_readmitted: self.cache_readmitted.load(Ordering::Relaxed),
             cache_bytes_saved: self.cache_bytes_saved.load(Ordering::Relaxed),
         }
     }
@@ -115,6 +132,10 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Blocks evicted from the cache RAM tier.
     pub cache_evictions: u64,
+    /// Cache hits served by the disk spill tier.
+    pub cache_disk_hits: u64,
+    /// Blocks re-admitted from a persistent spill index.
+    pub cache_readmitted: u64,
     /// Storage bytes not re-read thanks to hits.
     pub cache_bytes_saved: u64,
 }

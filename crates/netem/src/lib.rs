@@ -14,7 +14,10 @@
 //! * [`nfs::NfsMount`] — an NFSv4-like remote filesystem client over a local
 //!   directory that charges per-operation round trips (lookup/open/read
 //!   chunks/getattr) and shared link bandwidth, reproducing the
-//!   many-small-reads cost that makes baseline loaders collapse at high RTT.
+//!   many-small-reads cost that makes baseline loaders collapse at high RTT;
+//! * [`source::NfsSource`] — the mount presented as an
+//!   `emlio_tfrecord::RangeSource`, so shared remote storage slots into the
+//!   daemon's composable read stack under a per-daemon cache layer.
 //!
 //! All delays run on an [`emlio_util::Clock`], so the same code paths work
 //! under wall time (examples) and manual time (tests).
@@ -22,7 +25,9 @@
 pub mod nfs;
 pub mod profile;
 pub mod shaper;
+pub mod source;
 
 pub use nfs::{NfsConfig, NfsMount};
 pub use profile::NetProfile;
 pub use shaper::Proxy;
+pub use source::NfsSource;

@@ -24,12 +24,14 @@ pub mod index;
 pub mod reader;
 pub mod record;
 pub mod shard;
+pub mod source;
 pub mod writer;
 
 pub use index::{GlobalIndex, RecordMeta, ShardIndex};
 pub use reader::{RangeReader, RecordReader};
 pub use record::{RecordError, FRAME_OVERHEAD};
 pub use shard::{ShardSpec, ShardWriter};
+pub use source::{BlockKey, BlockRead, FnSource, RangeSource, ReadOrigin, TfrecordSource};
 pub use writer::RecordWriter;
 
 /// Result alias for this crate.

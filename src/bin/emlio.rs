@@ -3,7 +3,8 @@
 //! ```text
 //! emlio convert  --out DIR [--dataset tiny|imagenet|coco|synthetic] [--samples N] [--shards K]
 //! emlio daemon   --data DIR --connect tcp://HOST:PORT [--threads T] [--batch B] [--epochs E] [--node NAME]
-//!                [--cache-mb MB] [--cache-disk-mb MB] [--cache-policy lru|fifo|clairvoyant] [--prefetch D]
+//!                [--cache-mb MB] [--cache-disk-mb MB] [--cache-policy lru|fifo|clairvoyant]
+//!                [--cache-persist DIR] [--prefetch D]
 //! emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
 //! emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB] [...]
 //! emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]
@@ -13,7 +14,10 @@
 //! they agree on the batch plan because the planner is deterministic in the
 //! shared seed. `bench-io` is the one-process loopback measurement, with an
 //! optional netem-shaped RTT. `--cache-mb` enables the daemon-side shard
-//! block cache (`emlio-cache`) so repeated epochs are served from memory.
+//! block cache (`emlio-cache`) so repeated epochs are served from memory;
+//! `--cache-persist DIR` keeps the disk spill tier (CRC-validated) across
+//! daemon restarts. `--cache-policy` is case-insensitive and accepts the
+//! aliases `belady`/`opt` for `clairvoyant`.
 
 use emlio::cache::{CacheConfig, EvictPolicy as CachePolicy};
 use emlio::core::plan::Plan;
@@ -65,7 +69,8 @@ emlio — energy- and latency-minimizing training I/O (SC'25 reproduction)
 USAGE:
   emlio convert  --out DIR [--dataset tiny|imagenet|coco|synthetic] [--samples N] [--shards K]
   emlio daemon   --data DIR --connect tcp://HOST:PORT [--threads T] [--batch B] [--epochs E] [--node NAME]
-                 [--cache-mb MB] [--cache-disk-mb MB] [--cache-policy lru|fifo|clairvoyant] [--prefetch D]
+                 [--cache-mb MB] [--cache-disk-mb MB] [--cache-policy lru|fifo|clairvoyant]
+                 [--cache-persist DIR] [--prefetch D]
   emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
   emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB] [...]
   emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]";
@@ -140,19 +145,34 @@ fn config_from(flags: &HashMap<String, String>) -> Result<EmlioConfig, String> {
         .with_epochs(get_num(flags, "epochs", 1u32)?)
         .with_seed(get_num(flags, "seed", 0x000E_4110_u64)?);
     let cache_mb: u64 = get_num(flags, "cache-mb", 0)?;
+    let persist_dir = flags.get("cache-persist").cloned();
     if cache_mb > 0 {
         let policy: CachePolicy = flags
             .get("cache-policy")
-            .map(|v| v.parse())
+            .map(|v| v.parse().map_err(|e| format!("--cache-policy: {e}")))
             .transpose()?
             .unwrap_or(CachePolicy::Clairvoyant);
-        config = config.with_cache(
-            CacheConfig::default()
-                .with_ram_bytes(cache_mb << 20)
-                .with_disk_bytes(get_num::<u64>(flags, "cache-disk-mb", 0)? << 20)
-                .with_policy(policy)
-                .with_prefetch_depth(get_num(flags, "prefetch", 8usize)?),
-        );
+        // A persistent cache needs a disk tier; default it to the RAM
+        // tier's size when --cache-disk-mb is not given. An explicit 0
+        // contradicts --cache-persist and must not be silently overridden.
+        let mut disk_mb: u64 = get_num(flags, "cache-disk-mb", 0)?;
+        if persist_dir.is_some() && disk_mb == 0 {
+            if flags.contains_key("cache-disk-mb") {
+                return Err("--cache-persist requires a disk tier (--cache-disk-mb > 0)".into());
+            }
+            disk_mb = cache_mb;
+        }
+        let mut cache = CacheConfig::default()
+            .with_ram_bytes(cache_mb << 20)
+            .with_disk_bytes(disk_mb << 20)
+            .with_policy(policy)
+            .with_prefetch_depth(get_num(flags, "prefetch", 8usize)?);
+        if let Some(dir) = persist_dir {
+            cache = cache.with_persist_dir(dir.into());
+        }
+        config = config.with_cache(cache);
+    } else if persist_dir.is_some() {
+        return Err("--cache-persist requires --cache-mb to enable the cache".into());
     }
     Ok(config)
 }
@@ -175,6 +195,7 @@ fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
         config.epochs,
         config.threads_per_node,
     );
+    println!("daemon: read stack: {}", daemon.source_description());
     let t0 = std::time::Instant::now();
     daemon
         .serve(&plan, &node, &connect)

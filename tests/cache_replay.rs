@@ -96,3 +96,95 @@ fn epoch2_replay_with_disk_spill_tier() {
             .with_prefetch_depth(4),
     );
 }
+
+/// One run of the quickstart flow with a persistent cache over `spill`,
+/// returning (storage reads, cache hits, re-admitted blocks, payloads).
+fn run_persistent_epoch(
+    data: &std::path::Path,
+    spill: &std::path::Path,
+    epochs: u32,
+) -> (u64, u64, u64, BTreeMap<u64, Vec<u8>>) {
+    let config = EmlioConfig::default()
+        .with_batch_size(8)
+        .with_threads(2)
+        .with_epochs(epochs)
+        .with_cache(
+            CacheConfig::default()
+                .with_disk_bytes(32 << 20)
+                .with_persist_dir(spill.to_path_buf())
+                .with_policy(EvictPolicy::Lru)
+                .with_prefetch_depth(4),
+        );
+    let storage = vec![StorageSpec {
+        id: "storage-0".into(),
+        dataset_dir: data.to_path_buf(),
+    }];
+    let mut dep = EmlioService::launch(&storage, &config, "compute-0", None).expect("launch");
+    let mut payloads = BTreeMap::new();
+    let mut src = dep.receiver.source();
+    while let Some(batch) = src.next_batch() {
+        if batch.epoch == 0 {
+            for s in &batch.samples {
+                payloads.insert(s.sample_id, s.bytes.to_vec());
+            }
+        }
+    }
+    dep.join_daemons().expect("daemons finish");
+    let snap = dep.daemon_metrics[0].snapshot();
+    (
+        snap.storage_reads,
+        snap.cache_hits,
+        snap.cache_readmitted,
+        payloads,
+    )
+}
+
+#[test]
+fn restarted_daemon_serves_from_persistent_spill_index() {
+    let dir = TempDir::new("cache-restart");
+    let data = dir.path().join("data");
+    let spill = dir.path().join("spill");
+    let spec = DatasetSpec::tiny("cache-restart", 96);
+    build_tfrecord_dataset(&data, &spec, ShardSpec::Count(2)).expect("dataset conversion");
+
+    // Run 1 (cold): every unique block is read from storage once, then
+    // checkpointed to the persistent spill tier at the end of serve.
+    let (reads1, _, readmitted1, payloads1) = run_persistent_epoch(&data, &spill, 1);
+    assert!(reads1 > 0, "cold run reads storage");
+    assert_eq!(readmitted1, 0, "nothing to re-admit on a cold start");
+    assert_eq!(payloads1.len(), 96);
+
+    // Run 2 (a fresh daemon — restart): the spill index re-validates, the
+    // blocks re-admit, and the whole epoch is served with ZERO storage
+    // reads and byte-identical payloads.
+    let (reads2, hits2, readmitted2, payloads2) = run_persistent_epoch(&data, &spill, 1);
+    assert_eq!(reads2, 0, "restarted daemon never touches storage");
+    assert_eq!(
+        readmitted2, reads1,
+        "every block re-admitted from the index"
+    );
+    assert!(
+        hits2 >= reads1,
+        "every batch served from the persisted tier"
+    );
+    assert_eq!(payloads1, payloads2, "byte-identical across the restart");
+
+    // A corrupted spill file is re-read from storage, not served wrong.
+    let corrupt = std::fs::read_dir(&spill)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "blk"))
+        .expect("spill files persisted");
+    let mut bytes = std::fs::read(&corrupt).unwrap();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let (reads3, _, readmitted3, payloads3) = run_persistent_epoch(&data, &spill, 1);
+    assert_eq!(reads3, 1, "only the corrupt block is re-read");
+    assert_eq!(
+        readmitted3,
+        reads1 - 1,
+        "CRC check rejects the corrupt block"
+    );
+    assert_eq!(payloads1, payloads3, "delivery stays byte-identical");
+}

@@ -1,0 +1,55 @@
+//! Shared-storage contention: N daemons, each stacked as
+//! `cached -> metered -> nfs`, all reading through ONE emulated NFS mount
+//! (one wire, one token bucket). The per-daemon caches must keep the
+//! shared link's traffic at exactly one pass over the dataset per daemon
+//! no matter how many epochs stream, and the aggregate bytes-saved must
+//! account for every absorbed re-read. Runs the same harness the
+//! `fig_cache_ablation --smoke` CI job exercises.
+
+use emlio_bench::contention::{run, ContentionConfig};
+
+#[test]
+fn per_daemon_caches_absorb_repeat_epochs_on_a_shared_mount() {
+    let cfg = ContentionConfig {
+        daemons: 3,
+        epochs: 3,
+        samples: 60,
+        ..ContentionConfig::smoke()
+    };
+    let out = run(&cfg);
+
+    // Nothing was dropped under contention.
+    assert_eq!(out.batches_delivered, out.expected_batches, "{out:?}");
+
+    // The shared link carried each unique block exactly once per daemon
+    // (single-flight per cache), not once per epoch per daemon.
+    assert_eq!(
+        out.nfs_bytes_read,
+        cfg.daemons as u64 * out.dataset_bytes,
+        "shared-storage traffic bounded by unique bytes × daemons: {out:?}"
+    );
+
+    // Per-daemon hit rates: all repeat epochs hit, so at least (E-1)/E.
+    let floor = (cfg.epochs as f64 - 1.0) / cfg.epochs as f64;
+    for (d, rate) in out.per_daemon_hit_rate.iter().enumerate() {
+        assert!(
+            *rate >= floor - 1e-9,
+            "daemon {d} hit rate {rate:.3} below {floor:.3}: {out:?}"
+        );
+    }
+
+    // Aggregate bytes-saved: every daemon avoided re-reading the dataset
+    // (epochs - 1) times; prefetch wins in epoch 1 can only add, up to
+    // one more full pass.
+    let per_daemon_pass = out.dataset_bytes;
+    let floor_bytes = cfg.daemons as u64 * (cfg.epochs as u64 - 1) * per_daemon_pass;
+    let ceil_bytes = cfg.daemons as u64 * cfg.epochs as u64 * per_daemon_pass;
+    assert!(
+        out.aggregate_bytes_saved >= floor_bytes && out.aggregate_bytes_saved <= ceil_bytes,
+        "aggregate savings outside [{floor_bytes}, {ceil_bytes}]: {out:?}"
+    );
+    assert_eq!(
+        out.aggregate_bytes_saved,
+        out.per_daemon_bytes_saved.iter().sum::<u64>()
+    );
+}
