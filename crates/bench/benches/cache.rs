@@ -36,7 +36,9 @@ fn bench_policies(c: &mut Criterion) {
                 cache.set_plan(trace.clone());
                 for key in &trace {
                     let _ = cache
-                        .get_or_fetch::<std::io::Error, _>(*key, || Ok(vec![0u8; cfg.block_bytes]))
+                        .get_or_fetch::<std::io::Error, _, _>(*key, || {
+                            Ok(vec![0u8; cfg.block_bytes])
+                        })
                         .unwrap();
                 }
                 black_box(cache.stats().snapshot().hits)
@@ -130,7 +132,7 @@ fn run_sharded(cache: &Arc<ShardCache>, slices: &[Vec<BlockKey>], block_bytes: u
             scope.spawn(move || {
                 for key in slice {
                     let _ = cache
-                        .get_or_fetch::<std::io::Error, _>(*key, || Ok(vec![0u8; block_bytes]))
+                        .get_or_fetch::<std::io::Error, _, _>(*key, || Ok(vec![0u8; block_bytes]))
                         .unwrap();
                 }
             });

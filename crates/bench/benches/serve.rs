@@ -1,0 +1,184 @@
+//! Criterion A/B bench for the zero-copy serve path (this PR's tentpole).
+//!
+//! Serves the same warm-cache batches through both codec generations and
+//! reports per-batch throughput:
+//!
+//! * `copying` — the pre-change path: `read_block` → `decode_all` → owned
+//!   payload copies → `encode_batch` into one gathered buffer;
+//! * `zero_copy` — the shipped path: `read_batch` (refcounted payload
+//!   views) → `encode_batch_frame` (pooled header + spliced segments);
+//! * `decode/eager` vs `decode/lazy` — the receiver side: full `Value`
+//!   materialization vs the validating scan that defers sample decode.
+//!
+//! The allocation claim itself is asserted by `tests/alloc_smoke.rs`; this
+//! bench shows the wall-clock consequence on a warm cache.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use emlio_cache::{CacheConfig, CachedRangeReader, CachedSource, ShardCache};
+use emlio_core::wire::{self, encode_batch, encode_batch_frame};
+use emlio_core::BufferPool;
+use emlio_datagen::convert::build_tfrecord_dataset;
+use emlio_datagen::DatasetSpec;
+use emlio_msgpack::StrInterner;
+use emlio_tfrecord::record::decode_all;
+use emlio_tfrecord::{BlockKey, GlobalIndex, RangeSource, ShardSpec, TfrecordSource};
+use emlio_util::testutil::TempDir;
+
+const BATCH: usize = 16;
+const ORIGIN: &str = "bench-worker";
+
+struct Rig {
+    _dir: TempDir,
+    index: Arc<GlobalIndex>,
+    keys: Vec<BlockKey>,
+    pool: BufferPool,
+    stack: Arc<dyn RangeSource>,
+    reader: CachedRangeReader,
+}
+
+fn rig() -> Rig {
+    let dir = TempDir::new("bench-serve");
+    let spec = DatasetSpec::tiny("bench-serve", 64);
+    let index = Arc::new(build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(2)).unwrap());
+    let mut keys = Vec::new();
+    for shard in &index.shards {
+        let mut start = 0;
+        while start < shard.records.len() {
+            let end = (start + BATCH).min(shard.records.len());
+            keys.push(BlockKey {
+                shard_id: shard.shard_id,
+                start,
+                end,
+            });
+            start = end;
+        }
+    }
+    let pool = BufferPool::new();
+    let root = TfrecordSource::new(index.clone()).with_alloc(Arc::new(pool.clone()));
+    let cache = Arc::new(ShardCache::new(CacheConfig::default()).unwrap());
+    let stack: Arc<dyn RangeSource> = Arc::new(CachedSource::new(cache, Arc::new(root)));
+    let reader = CachedRangeReader::new(stack.clone());
+    // Warm every block into RAM so both variants measure the cache-hit path.
+    for key in &keys {
+        let _ = reader.read_batch(*key).unwrap();
+    }
+    Rig {
+        _dir: dir,
+        index,
+        keys,
+        pool,
+        stack,
+        reader,
+    }
+}
+
+fn payload_bytes(rig: &Rig) -> u64 {
+    rig.keys
+        .iter()
+        .flat_map(|k| &rig.index.shards[k.shard_id as usize].records[k.start..k.end])
+        .map(|m| m.length)
+        .sum()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let rig = rig();
+    let mut g = c.benchmark_group("serve_epoch");
+    g.throughput(Throughput::Bytes(payload_bytes(&rig)));
+
+    g.bench_function("copying", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for key in &rig.keys {
+                let read = rig.stack.read_block(key).unwrap();
+                let records = decode_all(&read.data, true).unwrap();
+                let metas = &rig.index.shards[key.shard_id as usize].records[key.start..key.end];
+                let owned: Vec<Vec<u8>> = records.iter().map(|r| r.payload.to_vec()).collect();
+                let samples: Vec<(u64, u32, &[u8])> = metas
+                    .iter()
+                    .zip(&owned)
+                    .map(|(m, p)| (m.sample_id, m.label, p.as_slice()))
+                    .collect();
+                let frame = Bytes::from(encode_batch(1, key.start as u64, ORIGIN, &samples));
+                total += frame.len();
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("zero_copy", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for key in &rig.keys {
+                let read = rig.reader.read_batch(*key).unwrap();
+                let metas = &rig.index.shards[key.shard_id as usize].records[key.start..key.end];
+                let samples: Vec<(u64, u32, Bytes)> = metas
+                    .iter()
+                    .zip(&read.payloads)
+                    .map(|(m, p)| (m.sample_id, m.label, p.clone()))
+                    .collect();
+                let frame = encode_batch_frame(1, key.start as u64, ORIGIN, &samples, &rig.pool);
+                total += frame.len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let rig = rig();
+    // Pre-encode one epoch of frames, gathered to contiguous wire bytes as
+    // the receiver would pull them off the socket.
+    let frames: Vec<Bytes> = rig
+        .keys
+        .iter()
+        .map(|key| {
+            let read = rig.reader.read_batch(*key).unwrap();
+            let metas = &rig.index.shards[key.shard_id as usize].records[key.start..key.end];
+            let samples: Vec<(u64, u32, Bytes)> = metas
+                .iter()
+                .zip(&read.payloads)
+                .map(|(m, p)| (m.sample_id, m.label, p.clone()))
+                .collect();
+            encode_batch_frame(1, key.start as u64, ORIGIN, &samples, &rig.pool).into_bytes()
+        })
+        .collect();
+    let wire_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+
+    let mut g = c.benchmark_group("decode_epoch");
+    g.throughput(Throughput::Bytes(wire_bytes));
+
+    g.bench_function("eager", |b| {
+        b.iter(|| {
+            let mut samples = 0usize;
+            for f in &frames {
+                match wire::decode(f).unwrap() {
+                    wire::WireMsg::Batch(batch) => samples += batch.samples.len(),
+                    wire::WireMsg::EndStream { .. } => unreachable!(),
+                }
+            }
+            black_box(samples)
+        })
+    });
+
+    g.bench_function("lazy", |b| {
+        let interner = StrInterner::new();
+        b.iter(|| {
+            let mut samples = 0usize;
+            for f in &frames {
+                match wire::decode_lazy(f, Some(&interner)).unwrap() {
+                    wire::LazyMsg::Batch(lb) => samples += lb.len(),
+                    wire::LazyMsg::EndStream { .. } => unreachable!(),
+                }
+            }
+            black_box(samples)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_decode);
+criterion_main!(benches);

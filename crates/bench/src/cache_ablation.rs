@@ -123,7 +123,7 @@ pub fn run_policy(
     for key in trace {
         let block_bytes = cfg.block_bytes;
         cache
-            .get_or_fetch::<std::io::Error, _>(*key, || Ok(vec![0u8; block_bytes]))
+            .get_or_fetch::<std::io::Error, _, _>(*key, || Ok(vec![0u8; block_bytes]))
             .expect("synthetic fetch");
     }
     let s = cache.stats().snapshot();

@@ -24,11 +24,48 @@
 //! residency maps and the ordering structures can diverge for the duration
 //! of one in-flight transition; every path re-validates against the
 //! authoritative side (ordering lock for accounting, slot for bytes).
+//!
+//! # The slot state machine
+//!
+//! Each resident key's `Slot` moves through four states:
+//!
+//! ```text
+//!              get_or_fetch (miss)            admit
+//!   (absent) ──────────────────────▶ Busy ──────────▶ Ram
+//!                                     │ ▲               │ evict
+//!                      fetch error /  │ │ promote       ▼
+//!                      failed promote │ │            Spilling
+//!                                     ▼ │  spill OK     │
+//!                                 (absent)◀─────────────┤ spill error
+//!                                         Disk ◀────────┘
+//! ```
+//!
+//! Invariants every transition preserves:
+//!
+//! * **`Busy` has exactly one owner.** The thread that installed the
+//!   placeholder (miss claim, prefetch claim, or disk promote) is the only
+//!   one that may replace or remove it; everyone else waits on the shard
+//!   condvar or treats the key as a miss. This is what makes fetches
+//!   single-flight.
+//! * **`Ram`/`Spilling` bytes are immutable and shared.** The slot holds a
+//!   refcounted [`Bytes`]; a hit clones the handle (refcount bump, no
+//!   copy) and the returned view stays valid even if the block is evicted,
+//!   spilled, or dropped while the caller still holds it.
+//! * **`Spilling` is readable.** Eviction flips `Ram → Spilling` *before*
+//!   the spill-file write so concurrent readers keep hitting the bytes
+//!   during the I/O; only after the write lands does the slot become
+//!   `Disk` (dropping the RAM bytes).
+//! * **Accounting follows ownership.** `ram_used`/`disk_used` and the
+//!   eviction orders live under the `Global` lock and may briefly disagree
+//!   with the slot maps mid-transition; whichever thread owns the
+//!   transitional state re-validates on landing (see
+//!   `ShardCache::admit_full` and `validate_disk_residency`).
 
 use crate::order::TierOrder;
 use crate::persist::{self, SpillEntry};
 use crate::policy::EvictPolicy;
 use crate::stats::CacheStats;
+use bytes::Bytes;
 use emlio_tfrecord::BlockKey;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -165,7 +202,7 @@ struct DiskMeta {
 /// Outcome of one residency-map resolution.
 enum Lookup {
     /// Served from a resident tier.
-    Hit(Arc<Vec<u8>>, Fetched),
+    Hit(Bytes, Fetched),
     /// Nothing resident (or a promote degraded to a miss).
     NotFound,
     /// The empty slot was claimed as a `Busy` single-flight placeholder;
@@ -173,12 +210,13 @@ enum Lookup {
     Claimed,
 }
 
-/// Residency state of one block within its lock shard.
+/// Residency state of one block within its lock shard (see the module
+/// docs for the transition diagram and its invariants).
 enum Slot {
-    /// Resident in RAM.
-    Ram(Arc<Vec<u8>>),
+    /// Resident in RAM; hits clone the `Bytes` handle without copying.
+    Ram(Bytes),
     /// Being spilled to disk by an evictor; bytes still readable.
-    Spilling(Arc<Vec<u8>>),
+    Spilling(Bytes),
     /// Resident in the disk spill tier.
     Disk(DiskMeta),
     /// A storage fetch or disk promote is in flight (single-flight
@@ -460,7 +498,11 @@ impl ShardCache {
     /// the plan cursor. Returns `None` on a miss (which is also counted).
     /// A fetch already in flight on another thread counts as a miss here
     /// (this entry point never blocks on other threads' fetches).
-    pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<u8>>> {
+    ///
+    /// A RAM hit returns the cached allocation itself (refcounted, no
+    /// copy); the view stays valid even if the block is evicted while the
+    /// caller holds it.
+    pub fn get(&self, key: &BlockKey) -> Option<Bytes> {
         self.demand_access(key);
         match self.lookup(key, /* wait_busy = */ false, /* claim = */ false) {
             Lookup::Hit(data, _) => Some(data),
@@ -474,19 +516,24 @@ impl ShardCache {
     /// Insert a block without demand-access accounting. A no-op when the
     /// key is already resident (either tier) or in flight — an unowned
     /// insert must never clobber another thread's single-flight slot.
-    pub fn insert(&self, key: BlockKey, data: Vec<u8>) {
+    pub fn insert(&self, key: BlockKey, data: impl Into<Bytes>) {
         if self.shard_for(&key).map.lock().get(&key).is_some() {
             return;
         }
-        self.admit_full(key, Arc::new(data), None, /* owns_slot = */ false);
+        self.admit_full(key, data.into(), None, /* owns_slot = */ false);
     }
 
     /// Demand lookup with single-flight fetch: on a miss, run `fetch` (at
     /// most once per missing key across all threads — concurrent callers
     /// block until the winner's fetch completes and then hit RAM).
-    pub fn get_or_fetch<E, F>(&self, key: BlockKey, fetch: F) -> Result<(Arc<Vec<u8>>, Fetched), E>
+    ///
+    /// Hits hand out the cached allocation itself as refcounted [`Bytes`];
+    /// the fetched value is admitted without copying (`Vec<u8>` converts
+    /// by taking ownership).
+    pub fn get_or_fetch<E, T, F>(&self, key: BlockKey, fetch: F) -> Result<(Bytes, Fetched), E>
     where
-        F: FnOnce() -> Result<Vec<u8>, E>,
+        T: Into<Bytes>,
+        F: FnOnce() -> Result<T, E>,
     {
         self.demand_access(&key);
         loop {
@@ -500,7 +547,7 @@ impl ShardCache {
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         match fetch() {
             Ok(data) => {
-                let data = Arc::new(data);
+                let data = data.into();
                 self.admit(key, data.clone());
                 Ok((data, Fetched::Storage))
             }
@@ -514,9 +561,10 @@ impl ShardCache {
     /// Load `key` ahead of demand: fetch and insert unless the block is
     /// already resident or being fetched. Never waits, never touches the
     /// demand cursor or hit/miss counters. Returns whether `fetch` ran.
-    pub fn prefetch<E, F>(&self, key: BlockKey, fetch: F) -> Result<bool, E>
+    pub fn prefetch<E, T, F>(&self, key: BlockKey, fetch: F) -> Result<bool, E>
     where
-        F: FnOnce() -> Result<Vec<u8>, E>,
+        T: Into<Bytes>,
+        F: FnOnce() -> Result<T, E>,
     {
         {
             let shard = self.shard_for(&key);
@@ -529,7 +577,7 @@ impl ShardCache {
         match fetch() {
             Ok(data) => {
                 self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
-                self.admit(key, Arc::new(data));
+                self.admit(key, data.into());
                 Ok(true)
             }
             Err(e) => {
@@ -557,7 +605,7 @@ impl ShardCache {
     /// single-flight placeholder in the same critical section.
     fn lookup(&self, key: &BlockKey, wait_busy: bool, claim: bool) -> Lookup {
         enum Action {
-            Hit(Arc<Vec<u8>>),
+            Hit(Bytes),
             Promote(DiskMeta),
             Wait,
             Empty,
@@ -607,7 +655,7 @@ impl ShardCache {
     /// Promote a disk-resident block back to RAM. Called holding the
     /// block's `Busy` slot; the spill-file read happens with no lock held.
     /// A vanished or corrupt spill file degrades to a miss.
-    fn promote(&self, key: &BlockKey, meta: DiskMeta) -> Option<(Arc<Vec<u8>>, Fetched)> {
+    fn promote(&self, key: &BlockKey, meta: DiskMeta) -> Option<(Bytes, Fetched)> {
         // Leave the disk tier first: whoever removes the key from the disk
         // order owns its accounting (a racing disk evictor that already
         // popped it will have deducted instead — and may delete the file
@@ -631,7 +679,7 @@ impl ShardCache {
         self.stats
             .bytes_saved
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        let data = Arc::new(data);
+        let data = Bytes::from(data);
         // Admission may decline (Belady bypass): the block then *stays on
         // disk* — only a successful RAM admission retires the spill file.
         if self.admit_full(*key, data.clone(), Some(&meta), /* owns_slot = */ true) {
@@ -642,7 +690,7 @@ impl ShardCache {
 
     /// Admit `data` into the RAM tier from a path that owns the key's
     /// `Busy` slot (see [`ShardCache::admit_full`]).
-    fn admit(&self, key: BlockKey, data: Arc<Vec<u8>>) {
+    fn admit(&self, key: BlockKey, data: Bytes) {
         self.admit_full(key, data, None, /* owns_slot = */ true);
     }
 
@@ -658,7 +706,7 @@ impl ShardCache {
     fn admit_full(
         &self,
         key: BlockKey,
-        data: Arc<Vec<u8>>,
+        data: Bytes,
         disk_fallback: Option<&DiskMeta>,
         owns_slot: bool,
     ) -> bool {
@@ -881,7 +929,7 @@ impl ShardCache {
         let dir = self.spill_dir.as_ref().expect("spillable implies dir");
         let path = dir.join(persist::spill_file_name(key));
         let crc = persist::block_crc(&data);
-        if std::fs::write(&path, data.as_slice()).is_err() {
+        if std::fs::write(&path, &data[..]).is_err() {
             // Spill failure just loses the block; demand will re-read it.
             let mut g = self.global.lock();
             if g.disk_order.remove(key).is_some() {
@@ -965,7 +1013,7 @@ impl ShardCache {
         }
         let dir = self.spill_dir.as_ref().expect("persist implies spill dir");
         // Snapshot RAM residents and live disk entries shard by shard.
-        let mut ram_blocks: Vec<(BlockKey, Arc<Vec<u8>>)> = Vec::new();
+        let mut ram_blocks: Vec<(BlockKey, Bytes)> = Vec::new();
         let mut entries: Vec<SpillEntry> = Vec::new();
         for shard in self.shards.iter() {
             let map = shard.map.lock();
@@ -1015,7 +1063,7 @@ impl ShardCache {
                 continue;
             }
             let path = dir.join(persist::spill_file_name(&key));
-            std::fs::write(&path, data.as_slice())?;
+            std::fs::write(&path, &data[..])?;
             budget -= len;
             checkpointed.insert(
                 key,
@@ -1169,12 +1217,12 @@ mod tests {
         cache.set_plan(vec![key(0), key(1), key(2), key(3), key(0), key(1), key(3)]);
         for i in 0..3 {
             let (_, from) = cache
-                .get_or_fetch::<std::io::Error, _>(key(i), || Ok(block(i, 100)))
+                .get_or_fetch::<std::io::Error, _, _>(key(i), || Ok(block(i, 100)))
                 .unwrap();
             assert_eq!(from, Fetched::Storage);
         }
         let (_, from) = cache
-            .get_or_fetch::<std::io::Error, _>(key(3), || Ok(block(3, 100)))
+            .get_or_fetch::<std::io::Error, _, _>(key(3), || Ok(block(3, 100)))
             .unwrap();
         assert_eq!(from, Fetched::Storage);
         assert!(!cache.contains(&key(2)), "dead block evicted first");
@@ -1201,7 +1249,7 @@ mod tests {
             cache.set_plan(plan.clone());
             for k in &plan[..3] {
                 cache
-                    .get_or_fetch::<std::io::Error, _>(*k, || Ok(vec![0u8; 100]))
+                    .get_or_fetch::<std::io::Error, _, _>(*k, || Ok(vec![0u8; 100]))
                     .unwrap();
             }
             cache
@@ -1250,7 +1298,7 @@ mod tests {
         let mut fetches = 0u64;
         for k in &plan {
             cache
-                .get_or_fetch::<std::io::Error, _>(*k, || {
+                .get_or_fetch::<std::io::Error, _, _>(*k, || {
                     fetches += 1;
                     Ok(vec![k.start as u8; 100])
                 })
@@ -1323,7 +1371,7 @@ mod tests {
             let fetches = fetches.clone();
             handles.push(std::thread::spawn(move || {
                 let (data, _) = cache
-                    .get_or_fetch::<std::io::Error, _>(key(0), || {
+                    .get_or_fetch::<std::io::Error, _, _>(key(0), || {
                         fetches.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(std::time::Duration::from_millis(20));
                         Ok(block(0, 64))
@@ -1345,12 +1393,12 @@ mod tests {
     fn fetch_error_propagates_and_clears_flight() {
         let cache = ram_only(1024, EvictPolicy::Lru);
         let err = cache
-            .get_or_fetch::<String, _>(key(0), || Err("boom".to_string()))
+            .get_or_fetch::<String, _, _>(key(0), || Err::<Vec<u8>, _>("boom".to_string()))
             .unwrap_err();
         assert_eq!(err, "boom");
         // The key is fetchable again afterwards.
         let (data, _) = cache
-            .get_or_fetch::<String, _>(key(0), || Ok(block(0, 10)))
+            .get_or_fetch::<String, _, _>(key(0), || Ok(block(0, 10)))
             .unwrap();
         assert_eq!(data.len(), 10);
     }
@@ -1388,7 +1436,7 @@ mod tests {
         assert_eq!(cache.disk_keys(), (0..4).map(key).collect::<Vec<_>>());
         for i in 0..4 {
             let (data, from) = cache
-                .get_or_fetch::<std::io::Error, _>(key(i), || {
+                .get_or_fetch::<std::io::Error, Vec<u8>, _>(key(i), || {
                     panic!("storage fetch despite persisted block")
                 })
                 .unwrap();

@@ -136,7 +136,7 @@ mod tests {
         // Consume the whole plan; every demand access must eventually hit.
         for k in &seq {
             let (_, _) = cache
-                .get_or_fetch::<io::Error, _>(*k, || Ok(vec![0; 128]))
+                .get_or_fetch::<io::Error, _, _>(*k, || Ok(vec![0; 128]))
                 .unwrap();
         }
         pf.join();

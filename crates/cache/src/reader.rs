@@ -7,16 +7,22 @@
 //! metrics layer. It no longer knows which concrete backend or cache it is
 //! reading through — that is the point of the stack.
 
+use bytes::Bytes;
 use emlio_tfrecord::record::decode_all;
 use emlio_tfrecord::source::{BlockKey, RangeSource, ReadOrigin};
 use emlio_tfrecord::RecordError;
 use std::sync::Arc;
 
 /// Result of one decoded batch read.
+///
+/// Payloads are zero-copy [`Bytes`] views into the block buffer the read
+/// returned — on a cache hit, into the cache's resident allocation itself.
+/// Holding any payload pins the whole block; consumers should hand the
+/// slices onward (e.g. into wire frames) or drop them promptly.
 #[derive(Debug)]
 pub struct RangeRead {
-    /// Decoded record payloads, in range order.
-    pub payloads: Vec<Vec<u8>>,
+    /// Decoded record payloads, in range order (views into one block).
+    pub payloads: Vec<Bytes>,
     /// Which layer of the stack satisfied the read.
     pub origin: ReadOrigin,
     /// Raw block size in bytes.
@@ -63,7 +69,12 @@ impl CachedRangeReader {
     pub fn read_batch(&self, key: BlockKey) -> Result<RangeRead, RecordError> {
         let read = self.source.read_block(&key)?;
         let records = decode_all(&read.data, self.verify_crc)?;
-        let payloads = records.into_iter().map(|r| r.payload.to_vec()).collect();
+        // Slice each payload out of the shared block: refcount bumps, no
+        // per-record memcpy.
+        let payloads = records
+            .iter()
+            .map(|r| read.data.slice_ref(r.payload))
+            .collect();
         Ok(RangeRead {
             payloads,
             origin: read.origin,

@@ -35,20 +35,19 @@ impl CachedSource {
         &self.inner
     }
 
-    /// Read `key` through the inner source, unwrapping the `Arc` without a
-    /// copy when (as always for fresh backing reads) it is unshared.
-    fn fetch_inner(&self, key: &BlockKey) -> Result<(Vec<u8>, u64), RecordError> {
+    /// Read `key` through the inner source. The returned `Bytes` are
+    /// admitted into the cache as-is — no copy between the backing read
+    /// and the cache tier.
+    fn fetch_inner(&self, key: &BlockKey) -> Result<(bytes::Bytes, u64), RecordError> {
         let read = self.inner.read_block(key)?;
-        let nanos = read.read_nanos;
-        let bytes = Arc::try_unwrap(read.data).unwrap_or_else(|arc| (*arc).clone());
-        Ok((bytes, nanos))
+        Ok((read.data, read.read_nanos))
     }
 }
 
 impl RangeSource for CachedSource {
     fn read_block(&self, key: &BlockKey) -> Result<BlockRead, RecordError> {
         let mut inner_nanos = 0u64;
-        let (data, from) = self.cache.get_or_fetch::<RecordError, _>(*key, || {
+        let (data, from) = self.cache.get_or_fetch::<RecordError, _, _>(*key, || {
             let (bytes, nanos) = self.fetch_inner(key)?;
             inner_nanos = nanos;
             Ok(bytes)
@@ -70,7 +69,7 @@ impl RangeSource for CachedSource {
 
     fn prefetch_block(&self, key: &BlockKey) -> Result<bool, RecordError> {
         self.cache
-            .prefetch::<RecordError, _>(*key, || Ok(self.fetch_inner(key)?.0))
+            .prefetch::<RecordError, _, _>(*key, || Ok(self.fetch_inner(key)?.0))
     }
 
     fn describe(&self) -> String {
@@ -114,7 +113,7 @@ mod tests {
 
         let first = src.read_block(&key(1)).unwrap();
         assert_eq!(first.origin, ReadOrigin::CacheMiss);
-        assert_eq!(first.data.as_slice(), &[1u8; 64]);
+        assert_eq!(&first.data[..], &[1u8; 64]);
         let second = src.read_block(&key(1)).unwrap();
         assert_eq!(second.origin, ReadOrigin::Cache);
         assert_eq!(second.read_nanos, 0);

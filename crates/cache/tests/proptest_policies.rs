@@ -31,7 +31,7 @@ fn replay(policy: EvictPolicy, capacity_blocks: u64, trace: &[u8], plan: bool) -
     }
     for &i in trace {
         cache
-            .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+            .get_or_fetch::<std::io::Error, _, _>(key(i), || Ok(vec![i; BLOCK as usize]))
             .unwrap();
     }
     cache
@@ -61,7 +61,7 @@ proptest! {
         cache.set_plan(trace.iter().map(|&i| key(i)).collect());
         for &i in &trace {
             cache
-                .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+                .get_or_fetch::<std::io::Error, _, _>(key(i), || Ok(vec![i; BLOCK as usize]))
                 .unwrap();
             prop_assert!(cache.ram_bytes_used() <= cap_blocks * BLOCK);
             prop_assert!(cache.disk_bytes_used() <= disk_blocks * BLOCK);
@@ -85,7 +85,7 @@ proptest! {
         let mut model: Vec<u8> = Vec::new();
         for &i in &trace {
             cache
-                .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+                .get_or_fetch::<std::io::Error, _, _>(key(i), || Ok(vec![i; BLOCK as usize]))
                 .unwrap();
             model.retain(|&k| k != i);
             model.push(i);
@@ -118,7 +118,7 @@ proptest! {
             let (now, next) = (w[0], w[1]);
             let next_resident_before = cache.contains(&key(next));
             cache
-                .get_or_fetch::<std::io::Error, _>(key(now), || Ok(vec![now; BLOCK as usize]))
+                .get_or_fetch::<std::io::Error, _, _>(key(now), || Ok(vec![now; BLOCK as usize]))
                 .unwrap();
             if next_resident_before && next != now {
                 prop_assert!(
@@ -152,7 +152,7 @@ proptest! {
             cache.set_plan(trace.iter().map(|&i| key(i)).collect());
             for &i in &trace {
                 cache
-                    .get_or_fetch::<std::io::Error, _>(key(i), || Ok(vec![i; BLOCK as usize]))
+                    .get_or_fetch::<std::io::Error, _, _>(key(i), || Ok(vec![i; BLOCK as usize]))
                     .unwrap();
             }
             cache.stats().snapshot()

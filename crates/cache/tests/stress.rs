@@ -70,7 +70,7 @@ fn hammer(policy: EvictPolicy, lock_shards: usize) {
                     0..=6 => {
                         demand_ops.fetch_add(1, Ordering::Relaxed);
                         let (data, _) = cache
-                            .get_or_fetch::<std::io::Error, _>(k, || {
+                            .get_or_fetch::<std::io::Error, _, _>(k, || {
                                 Ok(vec![k.shard_id as u8; BLOCK_BYTES])
                             })
                             .unwrap();
@@ -85,7 +85,7 @@ fn hammer(policy: EvictPolicy, lock_shards: usize) {
                     8 => cache.insert(k, vec![k.shard_id as u8; BLOCK_BYTES]),
                     // Prefetches racing demand.
                     _ => {
-                        let _ = cache.prefetch::<std::io::Error, _>(k, || {
+                        let _ = cache.prefetch::<std::io::Error, _, _>(k, || {
                             Ok(vec![k.shard_id as u8; BLOCK_BYTES])
                         });
                     }

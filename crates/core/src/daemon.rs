@@ -20,14 +20,14 @@
 use crate::config::EmlioConfig;
 use crate::metrics::DataPathMetrics;
 use crate::plan::{BatchRange, Plan};
+use crate::pool::BufferPool;
 use crate::wire;
 use bytes::Bytes;
 use emlio_cache::{BlockKey, CachedRangeReader, CachedSource, Prefetcher, ReadOrigin, ShardCache};
 use emlio_tfrecord::source::{BlockRead, RangeSource, TfrecordSource};
 use emlio_tfrecord::{GlobalIndex, RecordError};
-use emlio_zmq::{Endpoint, PushSocket, SocketOptions, ZmqError};
+use emlio_zmq::{Endpoint, Frame, PushSocket, SocketOptions, ZmqError};
 use std::fmt;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -116,30 +116,50 @@ pub struct EmlioDaemon {
     /// The caching layer of the stack, when configured (prefetcher handle,
     /// plan installation, stats reconciliation).
     cached: Option<Arc<CachedSource>>,
+    /// Block/header buffer pool shared by the backing reads (via the
+    /// [`emlio_tfrecord::BlockAlloc`] seam) and the wire encoder.
+    pool: BufferPool,
 }
 
 impl EmlioDaemon {
     /// Open the dataset at `dataset_dir` (must contain shard + index
     /// files) over the default local-disk backing store.
+    ///
+    /// Block reads draw their buffers from the daemon's [`BufferPool`], so
+    /// steady-state epochs recycle the same allocations end to end.
     pub fn open(
         id: &str,
         dataset_dir: &std::path::Path,
         config: EmlioConfig,
     ) -> Result<EmlioDaemon, DaemonError> {
         let index = Arc::new(GlobalIndex::load_dir(dataset_dir)?);
-        let base: Arc<dyn RangeSource> = Arc::new(TfrecordSource::new(index.clone()));
-        Self::open_with_base(id, index, config, base)
+        let pool = BufferPool::new();
+        let base: Arc<dyn RangeSource> =
+            Arc::new(TfrecordSource::new(index.clone()).with_alloc(Arc::new(pool.clone())));
+        Self::open_with_base_pooled(id, index, config, base, pool)
     }
 
     /// Open over a caller-supplied backing source — the seam for reading
     /// through `emlio-netem`'s `NfsSource` (shared remote storage) or any
     /// other [`RangeSource`]. The daemon layers its metering and (when
-    /// configured) cache on top of `base`.
+    /// configured) cache on top of `base`. The daemon's pool still backs
+    /// wire-encoding buffers; pass it into the base source's `BlockAlloc`
+    /// seam (as [`EmlioDaemon::open`] does) to pool block reads too.
     pub fn open_with_base(
         id: &str,
         index: Arc<GlobalIndex>,
         config: EmlioConfig,
         base: Arc<dyn RangeSource>,
+    ) -> Result<EmlioDaemon, DaemonError> {
+        Self::open_with_base_pooled(id, index, config, base, BufferPool::new())
+    }
+
+    fn open_with_base_pooled(
+        id: &str,
+        index: Arc<GlobalIndex>,
+        config: EmlioConfig,
+        base: Arc<dyn RangeSource>,
+        pool: BufferPool,
     ) -> Result<EmlioDaemon, DaemonError> {
         let metrics = DataPathMetrics::shared();
         let metered: Arc<dyn RangeSource> = Arc::new(MeteredSource::new(base, metrics.clone()));
@@ -161,7 +181,13 @@ impl EmlioDaemon {
             metrics,
             source,
             cached,
+            pool,
         })
+    }
+
+    /// The daemon's buffer pool (shared with the read stack).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// The daemon's shard index.
@@ -266,7 +292,13 @@ impl EmlioDaemon {
             self.metrics.set_cache_evictions(s.evictions);
             self.metrics.set_cache_disk_hits(s.disk_hits);
             self.metrics.set_cache_readmitted(s.readmitted);
+            // RAM-tier hits hand the cached `Bytes` straight into the wire
+            // frame — not one payload byte is copied. Disk-tier hits re-read
+            // the spill file, so they are excluded.
+            self.metrics.set_zero_copy_hits(s.hits - s.disk_hits);
         }
+        let ps = self.pool.stats();
+        self.metrics.set_pool_counters(ps.pool_alloc, ps.pool_reuse);
         result
     }
 
@@ -317,14 +349,14 @@ impl EmlioDaemon {
     }
 
     /// Read one planned range through the source stack and serialize it
-    /// into one wire frame.
+    /// into one scatter frame (pooled header buffer + aliased payloads).
     fn assemble_batch(
         &self,
         range: &BatchRange,
         epoch: u32,
         origin: &str,
         reader: &CachedRangeReader,
-    ) -> Result<Bytes, DaemonError> {
+    ) -> Result<Frame, DaemonError> {
         let shard = self
             .index
             .shards
@@ -354,19 +386,21 @@ impl EmlioDaemon {
 
         debug_assert_eq!(read.payloads.len(), range.len());
         let metas = &shard.records[range.start..range.end];
-        let samples: Vec<(u64, u32, &[u8])> = metas
+        // Payloads are refcounted slices of the block buffer; the frame
+        // aliases them rather than copying (scatter framing writes them to
+        // the socket directly).
+        let samples: Vec<(u64, u32, Bytes)> = metas
             .iter()
             .zip(&read.payloads)
-            .map(|(m, p)| (m.sample_id, m.label, p.as_slice()))
+            .map(|(m, p)| (m.sample_id, m.label, p.clone()))
             .collect();
 
         let t_ser = Instant::now();
-        let frame = wire::encode_batch(epoch, range.batch_id, origin, &samples);
+        let frame = wire::encode_batch_frame(epoch, range.batch_id, origin, &samples, &self.pool);
         self.metrics
             .add_codec_nanos(t_ser.elapsed().as_nanos() as u64);
         self.metrics.record_batch(samples.len() as u64, read.bytes);
-        let _ = self.metrics.bytes.load(Ordering::Relaxed);
-        Ok(Bytes::from(frame))
+        Ok(frame)
     }
 }
 

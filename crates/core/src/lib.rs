@@ -29,6 +29,7 @@ pub mod config;
 pub mod daemon;
 pub mod metrics;
 pub mod plan;
+pub mod pool;
 pub mod receiver;
 pub mod service;
 pub mod wire;
@@ -37,6 +38,7 @@ pub use config::{Coverage, EmlioConfig};
 pub use daemon::EmlioDaemon;
 pub use metrics::{DataPathMetrics, MetricsSnapshot};
 pub use plan::{BatchRange, EpochPlan, NodePlan, Plan};
-pub use receiver::{EmlioReceiver, ReceiverConfig};
+pub use pool::{BufferPool, PoolBuf, PoolStats};
+pub use receiver::{EmlioReceiver, LazyQueueSource, ReceiverConfig};
 pub use service::EmlioService;
-pub use wire::WireMsg;
+pub use wire::{LazyBatch, LazyMsg, WireMsg};

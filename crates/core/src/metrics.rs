@@ -32,6 +32,14 @@ pub struct DataPathMetrics {
     pub cache_readmitted: AtomicU64,
     /// Storage bytes *not* re-read thanks to cache hits.
     pub cache_bytes_saved: AtomicU64,
+    /// Block buffers handed out by allocating fresh memory (pool misses).
+    pub pool_alloc: AtomicU64,
+    /// Block buffers handed out from the pool's free lists (no allocation).
+    pub pool_reuse: AtomicU64,
+    /// Batch reads served from RAM-tier cache hits without copying a single
+    /// payload byte (subset of `cache_hits`; disk-tier hits re-enter RAM
+    /// and are excluded).
+    pub zero_copy_hits: AtomicU64,
 }
 
 impl DataPathMetrics {
@@ -92,6 +100,18 @@ impl DataPathMetrics {
         self.cache_readmitted.store(total, Ordering::Relaxed);
     }
 
+    /// Reconcile the buffer-pool counters with the pool's own totals (the
+    /// pool is the source of truth; recycling happens off the data path).
+    pub fn set_pool_counters(&self, alloc: u64, reuse: u64) {
+        self.pool_alloc.store(alloc, Ordering::Relaxed);
+        self.pool_reuse.store(reuse, Ordering::Relaxed);
+    }
+
+    /// Reconcile the zero-copy serve counter (RAM-tier cache hits).
+    pub fn set_zero_copy_hits(&self, total: u64) {
+        self.zero_copy_hits.store(total, Ordering::Relaxed);
+    }
+
     /// Plain-value copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -107,6 +127,9 @@ impl DataPathMetrics {
             cache_disk_hits: self.cache_disk_hits.load(Ordering::Relaxed),
             cache_readmitted: self.cache_readmitted.load(Ordering::Relaxed),
             cache_bytes_saved: self.cache_bytes_saved.load(Ordering::Relaxed),
+            pool_alloc: self.pool_alloc.load(Ordering::Relaxed),
+            pool_reuse: self.pool_reuse.load(Ordering::Relaxed),
+            zero_copy_hits: self.zero_copy_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -138,6 +161,12 @@ pub struct MetricsSnapshot {
     pub cache_readmitted: u64,
     /// Storage bytes not re-read thanks to hits.
     pub cache_bytes_saved: u64,
+    /// Block buffers served by fresh allocation.
+    pub pool_alloc: u64,
+    /// Block buffers served from pool free lists.
+    pub pool_reuse: u64,
+    /// Batch reads served zero-copy from RAM-tier cache hits.
+    pub zero_copy_hits: u64,
 }
 
 impl MetricsSnapshot {
@@ -196,5 +225,17 @@ mod tests {
         assert_eq!(s.cache_bytes_saved, 8192);
         assert!((s.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert!(s.cache_summary().contains("66.7% hit rate"));
+    }
+
+    #[test]
+    fn pool_and_zero_copy_counters_reconcile() {
+        let m = DataPathMetrics::shared();
+        m.set_pool_counters(3, 97);
+        m.set_zero_copy_hits(88);
+        let s = m.snapshot();
+        assert_eq!((s.pool_alloc, s.pool_reuse, s.zero_copy_hits), (3, 97, 88));
+        // Reconciliation overwrites rather than accumulates.
+        m.set_pool_counters(4, 196);
+        assert_eq!(m.snapshot().pool_reuse, 196);
     }
 }

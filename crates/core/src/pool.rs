@@ -1,0 +1,429 @@
+//! [`BufferPool`] — slab-style reuse of block-sized read buffers.
+//!
+//! Every demand read used to allocate a fresh `Vec<u8>` the size of a block
+//! (tens of MiB under the paper's `B`-record batching), memcpy it around,
+//! and free it after send. Steady-state serving is a loop over identically
+//! sized buffers, which is exactly what a size-classed free list is for —
+//! the same over-allocate-and-reuse scheme GPU allocators (e.g. kubecl's
+//! `ExclusiveMemoryPool`) use for device memory, applied to host I/O
+//! buffers.
+//!
+//! # Design
+//!
+//! * Power-of-two **size classes** from 4 KiB to 64 MiB. [`BufferPool::get`]
+//!   rounds the request up to its class and hands back a [`PoolBuf`] whose
+//!   capacity is the full class size (over-allocation is what makes reuse
+//!   hit: every same-class request fits every recycled buffer).
+//! * Per-class free lists behind their own mutexes, each retaining at most
+//!   a bounded number of idle buffers — a runaway burst cannot pin
+//!   unbounded memory after it subsides.
+//! * [`PoolBuf::freeze`] converts the filled buffer into a refcounted
+//!   [`Bytes`] whose owner returns the allocation to the pool **when the
+//!   last view drops**. Cache slots, in-flight frames, and receiver slices
+//!   can all alias the buffer; recycling waits for every one of them.
+//! * Requests above the largest class fall back to the system allocator
+//!   (counted in [`PoolStats::unpooled`]); pooling pathological sizes would
+//!   just hoard memory.
+//!
+//! The pool plugs into the read stack as a
+//! [`BlockAlloc`]: `TfrecordSource` takes its
+//! block buffers from the pool and seals them into pooled `Bytes`, so the
+//! whole zero-copy chain (cache slot → frame segment → receiver slice) sits
+//! on recycled memory without any layer knowing about the pool.
+
+use bytes::Bytes;
+use emlio_tfrecord::BlockAlloc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Smallest size class: 4 KiB.
+pub const MIN_CLASS_BYTES: usize = 4 << 10;
+/// Largest size class: 64 MiB. Bigger requests bypass the pool.
+pub const MAX_CLASS_BYTES: usize = 64 << 20;
+/// Idle buffers retained per class before recycles start freeing.
+pub const DEFAULT_RETAIN_PER_CLASS: usize = 8;
+
+const N_CLASSES: usize = (MAX_CLASS_BYTES / MIN_CLASS_BYTES).trailing_zeros() as usize + 1;
+
+/// Counters describing pool behaviour since construction.
+///
+/// `pool_reuse / (pool_reuse + pool_alloc)` is the hit rate; a warmed-up
+/// steady-state serve loop should push it toward 1.0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out by allocating fresh memory.
+    pub pool_alloc: u64,
+    /// Buffers handed out from a free list (no allocation).
+    pub pool_reuse: u64,
+    /// Buffers returned to a free list on last-view drop.
+    pub recycled: u64,
+    /// Requests too large for any class, served unpooled.
+    pub unpooled: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    pool_alloc: AtomicU64,
+    pool_reuse: AtomicU64,
+    recycled: AtomicU64,
+    unpooled: AtomicU64,
+}
+
+struct PoolInner {
+    /// `classes[i]` holds idle buffers of capacity `MIN_CLASS_BYTES << i`.
+    classes: Vec<Mutex<Vec<Vec<u8>>>>,
+    retain_per_class: usize,
+    counters: Counters,
+}
+
+impl PoolInner {
+    /// Index of the smallest class with `size >= len`, if any.
+    fn class_of(&self, len: usize) -> Option<usize> {
+        if len > MAX_CLASS_BYTES {
+            return None;
+        }
+        let size = len.max(MIN_CLASS_BYTES).next_power_of_two();
+        Some((size / MIN_CLASS_BYTES).trailing_zeros() as usize)
+    }
+
+    fn class_size(&self, idx: usize) -> usize {
+        MIN_CLASS_BYTES << idx
+    }
+
+    fn take(&self, min_capacity: usize) -> Vec<u8> {
+        let Some(idx) = self.class_of(min_capacity) else {
+            self.counters.unpooled.fetch_add(1, Ordering::Relaxed);
+            return Vec::with_capacity(min_capacity);
+        };
+        if let Some(mut buf) = self.classes[idx].lock().unwrap().pop() {
+            buf.clear();
+            self.counters.pool_reuse.fetch_add(1, Ordering::Relaxed);
+            return buf;
+        }
+        self.counters.pool_alloc.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(self.class_size(idx))
+    }
+
+    /// Return `vec` to its class if it is pool-shaped and there is room.
+    fn recycle(&self, mut vec: Vec<u8>) {
+        let cap = vec.capacity();
+        if let Some(idx) = self.class_of(cap) {
+            if self.class_size(idx) == cap {
+                let mut list = self.classes[idx].lock().unwrap();
+                if list.len() < self.retain_per_class {
+                    vec.clear();
+                    list.push(vec);
+                    self.counters.recycled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// The shared owner behind a frozen pooled buffer: when the last `Bytes`
+/// view drops, the allocation goes back to the pool's free list.
+struct Recycled {
+    vec: Vec<u8>,
+    pool: Weak<PoolInner>,
+}
+
+impl AsRef<[u8]> for Recycled {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl Drop for Recycled {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.recycle(std::mem::take(&mut self.vec));
+        }
+    }
+}
+
+/// A size-classed free-list pool of block buffers. Cheap to clone (shared
+/// handle); see the [module docs](self) for the design.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// Pool retaining [`DEFAULT_RETAIN_PER_CLASS`] idle buffers per class.
+    pub fn new() -> BufferPool {
+        BufferPool::with_retention(DEFAULT_RETAIN_PER_CLASS)
+    }
+
+    /// Pool retaining at most `retain_per_class` idle buffers per class.
+    pub fn with_retention(retain_per_class: usize) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                classes: (0..N_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+                retain_per_class,
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// An empty writable buffer with capacity ≥ `min_capacity`.
+    ///
+    /// Reuses a free-listed allocation when one exists. Dropping the
+    /// [`PoolBuf`] unfrozen recycles it immediately; freezing defers the
+    /// recycle until the last `Bytes` view drops.
+    pub fn get(&self, min_capacity: usize) -> PoolBuf {
+        PoolBuf {
+            vec: Some(self.inner.take(min_capacity)),
+            pool: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.inner.counters;
+        PoolStats {
+            pool_alloc: c.pool_alloc.load(Ordering::Relaxed),
+            pool_reuse: c.pool_reuse.load(Ordering::Relaxed),
+            recycled: c.recycled.load(Ordering::Relaxed),
+            unpooled: c.unpooled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Idle buffers currently parked across all free lists.
+    pub fn idle_buffers(&self) -> usize {
+        self.inner
+            .classes
+            .iter()
+            .map(|c| c.lock().unwrap().len())
+            .sum()
+    }
+
+    /// Seal a `Vec<u8>` (typically one handed out by
+    /// [`BlockAlloc::take`]) into `Bytes`, recycling on last drop.
+    fn seal_vec(&self, buf: Vec<u8>) -> Bytes {
+        if buf.is_empty() {
+            // Nothing to view; recycle the capacity right away.
+            self.inner.recycle(buf);
+            return Bytes::new();
+        }
+        Bytes::from_owner(Recycled {
+            vec: buf,
+            pool: Arc::downgrade(&self.inner),
+        })
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::new()
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "BufferPool(reuse {} / alloc {}, {} idle)",
+            s.pool_reuse,
+            s.pool_alloc,
+            self.idle_buffers()
+        )
+    }
+}
+
+/// The read stack's allocation seam: block reads draw from the pool and
+/// seal into pooled `Bytes` without `emlio-tfrecord` depending on this
+/// crate.
+impl BlockAlloc for BufferPool {
+    fn take(&self, min_capacity: usize) -> Vec<u8> {
+        self.inner.take(min_capacity)
+    }
+
+    fn seal(&self, buf: Vec<u8>) -> Bytes {
+        self.seal_vec(buf)
+    }
+}
+
+/// A writable buffer on loan from a [`BufferPool`].
+///
+/// Dereferences to `Vec<u8>` for filling. Exactly one of two things ends
+/// the loan: [`PoolBuf::freeze`] (hand the contents out as shared `Bytes`,
+/// recycle when the last view drops) or `Drop` (recycle immediately).
+pub struct PoolBuf {
+    vec: Option<Vec<u8>>,
+    pool: Weak<PoolInner>,
+}
+
+impl PoolBuf {
+    /// Freeze the filled contents into refcounted [`Bytes`].
+    ///
+    /// The allocation returns to the pool when the last view (including
+    /// every `slice_ref`/clone) drops. An empty buffer freezes to
+    /// [`Bytes::new`] and recycles immediately — no allocation escapes.
+    pub fn freeze(mut self) -> Bytes {
+        let vec = self.vec.take().expect("PoolBuf frozen once");
+        if vec.is_empty() {
+            if let Some(pool) = self.pool.upgrade() {
+                pool.recycle(vec);
+            }
+            return Bytes::new();
+        }
+        Bytes::from_owner(Recycled {
+            vec,
+            pool: self.pool.clone(),
+        })
+    }
+}
+
+impl std::ops::Deref for PoolBuf {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        self.vec.as_ref().expect("PoolBuf not frozen")
+    }
+}
+
+impl std::ops::DerefMut for PoolBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.vec.as_mut().expect("PoolBuf not frozen")
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        if let (Some(vec), Some(pool)) = (self.vec.take(), self.pool.upgrade()) {
+            pool.recycle(vec);
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.vec {
+            Some(v) => write!(f, "PoolBuf({} / {} bytes)", v.len(), v.capacity()),
+            None => write!(f, "PoolBuf(frozen)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_reuses() {
+        let pool = BufferPool::new();
+        let mut buf = pool.get(10_000);
+        assert!(buf.capacity() >= 10_000);
+        let cap = buf.capacity();
+        buf.extend_from_slice(&[42u8; 10_000]);
+        let bytes = buf.freeze();
+        assert_eq!(&bytes[..], &[42u8; 10_000][..]);
+        let slice = bytes.slice(10..20);
+        drop(bytes);
+        assert_eq!(pool.stats().recycled, 0, "slice still pins the buffer");
+        drop(slice);
+        assert_eq!(pool.stats().recycled, 1);
+
+        // Next same-class request reuses the exact allocation.
+        let again = pool.get(cap);
+        assert_eq!(again.capacity(), cap);
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+        let s = pool.stats();
+        assert_eq!((s.pool_alloc, s.pool_reuse), (1, 1));
+    }
+
+    #[test]
+    fn classes_round_up_to_powers_of_two() {
+        let pool = BufferPool::new();
+        assert_eq!(pool.get(1).capacity(), MIN_CLASS_BYTES);
+        assert_eq!(pool.get(MIN_CLASS_BYTES).capacity(), MIN_CLASS_BYTES);
+        assert_eq!(
+            pool.get(MIN_CLASS_BYTES + 1).capacity(),
+            2 * MIN_CLASS_BYTES
+        );
+        assert_eq!(pool.get(MAX_CLASS_BYTES).capacity(), MAX_CLASS_BYTES);
+    }
+
+    #[test]
+    fn oversized_requests_bypass_the_pool() {
+        let pool = BufferPool::new();
+        let buf = pool.get(MAX_CLASS_BYTES + 1);
+        assert!(buf.capacity() > MAX_CLASS_BYTES);
+        drop(buf);
+        let s = pool.stats();
+        assert_eq!(s.unpooled, 1);
+        assert_eq!(s.pool_alloc, 0);
+        assert_eq!(s.recycled, 0, "non-class capacity is not retained");
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = BufferPool::with_retention(2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.get(100)).collect();
+        drop(bufs);
+        assert_eq!(pool.idle_buffers(), 2);
+        assert_eq!(pool.stats().recycled, 2, "the other three were freed");
+    }
+
+    #[test]
+    fn empty_freeze_allocates_nothing_and_recycles() {
+        let pool = BufferPool::new();
+        let buf = pool.get(4096);
+        let bytes = buf.freeze();
+        assert!(bytes.is_empty());
+        assert_eq!(pool.idle_buffers(), 1, "capacity went straight back");
+    }
+
+    #[test]
+    fn block_alloc_seam_matches_direct_use() {
+        let pool = BufferPool::new();
+        let alloc: &dyn BlockAlloc = &pool;
+        let mut v = alloc.take(8192);
+        v.extend_from_slice(b"block");
+        let sealed = alloc.seal(v);
+        assert_eq!(&sealed[..], b"block");
+        drop(sealed);
+        assert_eq!(pool.stats().recycled, 1);
+        // Empty seal is the zero-length regression: no allocation escapes.
+        let sealed = alloc.seal(alloc.take(4096));
+        assert!(sealed.is_empty());
+        assert_eq!(pool.idle_buffers(), 2);
+    }
+
+    #[test]
+    fn pool_death_orphans_outstanding_buffers_gracefully() {
+        let pool = BufferPool::new();
+        let mut buf = pool.get(4096);
+        buf.push(1);
+        let bytes = buf.freeze();
+        drop(pool);
+        // The view stays valid; the recycle on last drop is a no-op.
+        assert_eq!(&bytes[..], &[1]);
+        drop(bytes);
+    }
+
+    #[test]
+    fn concurrent_take_and_recycle() {
+        let pool = BufferPool::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200usize {
+                        let mut b = pool.get(1 << (12 + (i % 4)));
+                        b.push(t as u8);
+                        let frozen = b.freeze();
+                        assert_eq!(frozen[0], t as u8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.pool_alloc + s.pool_reuse, 8 * 200);
+        assert!(s.pool_reuse > 0, "steady state must reuse");
+    }
+}

@@ -1,15 +1,25 @@
 //! The EMLIO Receiver — Algorithm 3's compute-side intake.
 //!
-//! Binds a PULL socket, spawns the `zmq_receiver` thread that deserializes
-//! incoming msgpack frames into [`RawBatch`]es and pushes them into a shared
-//! bounded queue, and exposes that queue as a DALI `external_source`.
-//! Batches from any stream are accepted in whatever order they arrive —
-//! out-of-order prefetching is what keeps tail latency bounded under RTT.
+//! Binds a PULL socket, spawns the `zmq_receiver` thread that *scans*
+//! incoming msgpack frames into [`LazyBatch`]es and pushes them into a
+//! shared bounded queue, and exposes that queue as a DALI
+//! `external_source`. Batches from any stream are accepted in whatever
+//! order they arrive — out-of-order prefetching is what keeps tail latency
+//! bounded under RTT.
+//!
+//! The intake thread validates every frame but never materializes sample
+//! payloads: [`wire::decode_lazy`] walks the structure in place, the
+//! `LazyBatch` crosses the queue owning the frame, and
+//! [`LazyQueueSource::next_batch`] materializes the [`RawBatch`] on the
+//! *consumer* thread (refcount bumps into the frame, still no copies).
+//! Repeated origin strings are deduplicated through a shared
+//! [`StrInterner`].
 
 use crate::metrics::DataPathMetrics;
-use crate::wire::{self, WireMsg};
+use crate::wire::{self, LazyBatch, LazyMsg};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use emlio_pipeline::{QueueSource, RawBatch};
+use emlio_msgpack::StrInterner;
+use emlio_pipeline::{ExternalSource, RawBatch};
 use emlio_zmq::{Endpoint, PullSocket, SocketOptions, ZmqError};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -43,7 +53,7 @@ impl ReceiverConfig {
 
 /// A bound, running receiver.
 pub struct EmlioReceiver {
-    rx: Receiver<RawBatch>,
+    rx: Receiver<LazyBatch>,
     endpoint: Endpoint,
     metrics: Arc<DataPathMetrics>,
     streams_seen: Arc<AtomicU32>,
@@ -89,13 +99,15 @@ impl EmlioReceiver {
 
     /// A DALI `external_source` over the shared queue. The stream ends once
     /// every expected sender has sent its end-of-stream marker and the queue
-    /// has drained.
-    pub fn source(&self) -> QueueSource {
-        QueueSource::new(self.rx.clone())
+    /// has drained. Samples materialize on the calling (consumer) thread,
+    /// not on the intake thread.
+    pub fn source(&self) -> LazyQueueSource {
+        LazyQueueSource::new(self.rx.clone())
     }
 
-    /// Raw access to the shared queue (for non-pipeline consumers).
-    pub fn queue(&self) -> Receiver<RawBatch> {
+    /// Raw access to the shared queue of validated-but-unmaterialized
+    /// batches (for non-pipeline consumers).
+    pub fn queue(&self) -> Receiver<LazyBatch> {
         self.rx.clone()
     }
 
@@ -135,14 +147,35 @@ impl Drop for EmlioReceiver {
     }
 }
 
+/// An `external_source` that receives [`LazyBatch`]es and materializes
+/// them on the consuming thread — the decode cost lands where the trainer
+/// already is, not on the shared intake thread.
+pub struct LazyQueueSource {
+    rx: Receiver<LazyBatch>,
+}
+
+impl LazyQueueSource {
+    /// Wrap a channel of scanned batches.
+    pub fn new(rx: Receiver<LazyBatch>) -> LazyQueueSource {
+        LazyQueueSource { rx }
+    }
+}
+
+impl ExternalSource for LazyQueueSource {
+    fn next_batch(&mut self) -> Option<RawBatch> {
+        self.rx.recv().ok().map(|lb| lb.materialize())
+    }
+}
+
 fn receive_loop(
     pull: PullSocket,
-    tx: Sender<RawBatch>,
+    tx: Sender<LazyBatch>,
     metrics: Arc<DataPathMetrics>,
     streams_seen: Arc<AtomicU32>,
     shutdown: Arc<AtomicBool>,
     expected_streams: u32,
 ) -> Result<(), ZmqError> {
+    let interner = StrInterner::new();
     let mut ended = 0u32;
     while ended < expected_streams {
         if shutdown.load(Ordering::SeqCst) {
@@ -152,15 +185,15 @@ fn receive_loop(
             Some(f) => f,
             None => continue,
         };
-        match wire::decode(&frame) {
-            Ok(WireMsg::Batch(batch)) => {
-                metrics.record_batch(batch.samples.len() as u64, batch.payload_bytes());
+        match wire::decode_lazy(&frame, Some(&interner)) {
+            Ok(LazyMsg::Batch(batch)) => {
+                metrics.record_batch(batch.len() as u64, batch.payload_bytes());
                 if tx.send(batch).is_err() {
                     // Consumer went away; drain politely and stop.
                     return Ok(());
                 }
             }
-            Ok(WireMsg::EndStream { .. }) => {
+            Ok(LazyMsg::EndStream { .. }) => {
                 ended += 1;
                 streams_seen.store(ended, Ordering::SeqCst);
             }
@@ -187,8 +220,8 @@ fn receive_loop(
         match pull.recv_timeout(Duration::from_millis(20))? {
             Some(frame) => {
                 quiet_ticks = 0;
-                if let Ok(WireMsg::Batch(batch)) = wire::decode(&frame) {
-                    metrics.record_batch(batch.samples.len() as u64, batch.payload_bytes());
+                if let Ok(LazyMsg::Batch(batch)) = wire::decode_lazy(&frame, Some(&interner)) {
+                    metrics.record_batch(batch.len() as u64, batch.payload_bytes());
                     if tx.send(batch).is_err() {
                         return Ok(());
                     }
@@ -269,6 +302,29 @@ mod tests {
         assert_eq!(receiver.streams_seen(), 1);
         let snap = receiver.metrics().snapshot();
         assert_eq!((snap.batches, snap.samples), (3, 3));
+        receiver.join().unwrap();
+    }
+
+    #[test]
+    fn queue_carries_lazy_batches_with_interned_origins() {
+        let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+        let ep = receiver.endpoint().clone();
+        let queue = receiver.queue();
+        push_batches(&ep, "same-origin", vec![4, 5, 6]);
+
+        let mut origins = Vec::new();
+        let mut ids = Vec::new();
+        while let Ok(lb) = queue.recv() {
+            origins.push(lb.origin().clone());
+            assert_eq!(lb.len(), 1);
+            assert_eq!(lb.payload_bytes(), 16);
+            ids.push(lb.materialize().batch_id);
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, vec![4, 5, 6]);
+        // One shared Arc<str> across all frames of the stream.
+        assert!(Arc::ptr_eq(&origins[0], &origins[1]));
+        assert!(Arc::ptr_eq(&origins[1], &origins[2]));
         receiver.join().unwrap();
     }
 

@@ -13,11 +13,25 @@
 //!
 //! Decoding is zero-copy for the dominant payload: sample `data` fields are
 //! [`bytes::Bytes`] slices of the received frame, not copies.
+//!
+//! Two generations of codec share this schema, byte-identical on the wire:
+//!
+//! * the eager pair [`encode_batch`] / [`decode`] — one contiguous buffer
+//!   out, one fully materialized [`WireMsg`] in;
+//! * the zero-copy pair [`encode_batch_frame`] / [`decode_lazy`] — headers
+//!   go into a pooled buffer cut into segments interleaved with refcounted
+//!   payload slices (no payload memcpy on send), and the receiver gets a
+//!   [`LazyBatch`] that has *validated* the whole message but materializes
+//!   samples only when [`LazyBatch::materialize`] is called on the consumer
+//!   side.
 
+use crate::pool::BufferPool;
 use bytes::Bytes;
-use emlio_msgpack::{DecodeError, Decoder, Encoder};
+use emlio_msgpack::{DecodeError, Decoder, Encoder, StrInterner};
 use emlio_pipeline::{RawBatch, RawSample};
+use emlio_zmq::Frame;
 use std::fmt;
+use std::sync::Arc;
 
 /// A decoded wire message.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +106,57 @@ pub fn encode_batch(
     buf
 }
 
+/// Serialize a batch as a scatter [`Frame`]: all msgpack headers in one
+/// pooled buffer, each sample payload spliced in as a refcounted [`Bytes`]
+/// segment. Wire bytes are identical to [`encode_batch`], but no payload
+/// byte is copied and the header buffer is recycled after send.
+pub fn encode_batch_frame(
+    epoch: u32,
+    batch_id: u64,
+    origin: &str,
+    samples: &[(u64, u32, Bytes)],
+    pool: &BufferPool,
+) -> Frame {
+    let mut hdr = pool.get(64 + origin.len() + samples.len() * 40);
+    // `cuts[i]` = header offset where sample i's payload splices in.
+    let mut cuts = Vec::with_capacity(samples.len());
+    {
+        let mut e = Encoder::new(&mut hdr);
+        e.write_map_len(4);
+        e.write_str("epoch");
+        e.write_uint(epoch as u64);
+        e.write_str("batch_id");
+        e.write_uint(batch_id);
+        e.write_str("origin");
+        e.write_str(origin);
+        e.write_str("samples");
+        e.write_array_len(samples.len());
+    }
+    for (id, label, data) in samples {
+        let mut e = Encoder::new(&mut hdr);
+        e.write_map_len(3);
+        e.write_str("id");
+        e.write_uint(*id);
+        e.write_str("label");
+        e.write_uint(*label as u64);
+        e.write_str("data");
+        e.write_bin_len(data.len());
+        cuts.push(hdr.len());
+    }
+    let hdr = hdr.freeze();
+    let mut segments = Vec::with_capacity(samples.len() * 2 + 1);
+    let mut prev = 0usize;
+    for ((_, _, data), cut) in samples.iter().zip(&cuts) {
+        segments.push(hdr.slice(prev..*cut));
+        segments.push(data.clone());
+        prev = *cut;
+    }
+    if samples.is_empty() {
+        segments.push(hdr);
+    }
+    Frame::from_segments(segments)
+}
+
 /// Serialize an end-of-stream control message.
 pub fn encode_end_stream(origin: &str, batches_sent: u64) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
@@ -106,32 +171,148 @@ pub fn encode_end_stream(origin: &str, batches_sent: u64) -> Vec<u8> {
     buf
 }
 
-/// Decode one wire frame. Sample payloads alias `frame` (zero-copy).
-pub fn decode(frame: &Bytes) -> Result<WireMsg, WireError> {
+/// A scanned-but-not-materialized wire message from [`decode_lazy`].
+#[derive(Debug, Clone)]
+pub enum LazyMsg {
+    /// A data batch, payloads still inside the frame.
+    Batch(LazyBatch),
+    /// End-of-stream marker from one daemon worker.
+    EndStream {
+        /// Daemon/worker identity (interned when an interner is supplied).
+        origin: Arc<str>,
+        /// Batches that worker sent in total.
+        batches_sent: u64,
+    },
+}
+
+/// A batch whose structure has been fully validated but whose samples
+/// still live inside the received frame.
+///
+/// The scan in [`decode_lazy`] walks every field — so a `LazyBatch` in hand
+/// means the frame is well-formed, truncation-free, and schema-conformant —
+/// but allocates nothing per sample. Header accessors are free;
+/// [`LazyBatch::materialize`] builds the [`RawBatch`] (one `Vec` plus a
+/// refcount bump per payload) and is intended to run on the *consumer*
+/// thread, off the receive loop.
+#[derive(Debug, Clone)]
+pub struct LazyBatch {
+    frame: Bytes,
+    epoch: u32,
+    batch_id: u64,
+    origin: Arc<str>,
+    n_samples: usize,
+    /// Frame offset of the samples array header.
+    samples_at: usize,
+    payload_bytes: u64,
+}
+
+impl LazyBatch {
+    /// Epoch this batch belongs to.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Plan-assigned batch id.
+    pub fn batch_id(&self) -> u64 {
+        self.batch_id
+    }
+
+    /// Sending worker identity.
+    pub fn origin(&self) -> &Arc<str> {
+        &self.origin
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.n_samples
+    }
+
+    /// True if the batch carries no samples.
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+
+    /// Total payload bytes across all samples (header metadata excluded).
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Decode the samples into a [`RawBatch`]. Payload bytes alias the
+    /// frame (refcount bumps, no copies); the scan already validated the
+    /// structure, so this cannot fail.
+    pub fn materialize(&self) -> RawBatch {
+        let mut d = Decoder::new(&self.frame[self.samples_at..]);
+        let n = d.read_array_len().expect("validated by decode_lazy");
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut id = 0u64;
+            let mut label = 0u32;
+            let mut data = Bytes::new();
+            let fields = d.read_map_len().expect("validated");
+            for _ in 0..fields {
+                match d.read_str().expect("validated") {
+                    "id" => id = d.read_u64().expect("validated"),
+                    "label" => label = d.read_u64().expect("validated") as u32,
+                    "data" => {
+                        data = self.frame.slice_ref(d.read_bin().expect("validated"));
+                    }
+                    _ => unreachable!("validated by decode_lazy"),
+                }
+            }
+            samples.push(RawSample {
+                bytes: data,
+                label,
+                sample_id: id,
+            });
+        }
+        RawBatch {
+            epoch: self.epoch,
+            batch_id: self.batch_id,
+            samples,
+        }
+    }
+}
+
+/// Scan one wire frame: validate the full structure (schema, types,
+/// truncation — everything [`decode`] would reject, this rejects) while
+/// materializing only the envelope. Sample payloads stay in `frame` until
+/// [`LazyBatch::materialize`].
+///
+/// `interner` deduplicates the origin string — across an epoch each worker
+/// sends thousands of frames carrying the same origin, which interning
+/// collapses to one shared `Arc<str>`.
+pub fn decode_lazy(frame: &Bytes, interner: Option<&StrInterner>) -> Result<LazyMsg, WireError> {
     let mut d = Decoder::new(frame);
     let n_fields = d.read_map_len()?;
     let mut epoch: Option<u64> = None;
     let mut batch_id: Option<u64> = None;
-    let mut origin: Option<String> = None;
-    let mut ctrl: Option<String> = None;
+    let mut origin: Option<Arc<str>> = None;
+    let mut ctrl: Option<&str> = None;
     let mut batches_sent: Option<u64> = None;
-    let mut samples: Option<Vec<RawSample>> = None;
+    let mut samples: Option<(usize, usize, u64)> = None; // (at, n, payload_bytes)
 
     for _ in 0..n_fields {
         let key = d.read_str()?;
         match key {
             "epoch" => epoch = Some(d.read_u64()?),
             "batch_id" => batch_id = Some(d.read_u64()?),
-            "origin" => origin = Some(d.read_str()?.to_string()),
-            "ctrl" => ctrl = Some(d.read_str()?.to_string()),
+            "origin" => {
+                let s = d.read_str()?;
+                origin = Some(match interner {
+                    Some(i) => i.intern(s),
+                    None => Arc::from(s),
+                });
+            }
+            "ctrl" => ctrl = Some(d.read_str()?),
             "batches_sent" => batches_sent = Some(d.read_u64()?),
             "samples" => {
+                let at = d.position();
                 let n = d.read_array_len()?;
-                let mut out = Vec::with_capacity(n);
+                let mut payload = 0u64;
                 for i in 0..n {
-                    out.push(decode_sample(&mut d, frame, i)?);
+                    payload += scan_sample(&mut d, i)?;
                 }
-                samples = Some(out);
+                samples = Some((at, n, payload));
             }
             other => {
                 return Err(WireError::Schema(format!("unknown field {other:?}")));
@@ -144,38 +325,46 @@ pub fn decode(frame: &Bytes) -> Result<WireMsg, WireError> {
         if ctrl != "end_stream" {
             return Err(WireError::Schema(format!("unknown ctrl {ctrl:?}")));
         }
-        return Ok(WireMsg::EndStream {
+        return Ok(LazyMsg::EndStream {
             origin: origin.ok_or_else(|| WireError::Schema("ctrl needs origin".into()))?,
             batches_sent: batches_sent
                 .ok_or_else(|| WireError::Schema("ctrl needs batches_sent".into()))?,
         });
     }
-    Ok(WireMsg::Batch(RawBatch {
+    let (samples_at, n_samples, payload_bytes) =
+        samples.ok_or_else(|| WireError::Schema("missing samples".into()))?;
+    Ok(LazyMsg::Batch(LazyBatch {
+        frame: frame.clone(),
         epoch: epoch.ok_or_else(|| WireError::Schema("missing epoch".into()))? as u32,
         batch_id: batch_id.ok_or_else(|| WireError::Schema("missing batch_id".into()))?,
-        samples: samples.ok_or_else(|| WireError::Schema("missing samples".into()))?,
+        origin: origin.ok_or_else(|| WireError::Schema("missing origin".into()))?,
+        n_samples,
+        samples_at,
+        payload_bytes,
     }))
 }
 
-fn decode_sample(d: &mut Decoder<'_>, frame: &Bytes, idx: usize) -> Result<RawSample, WireError> {
+/// Validate one sample map without building anything; returns its payload
+/// length.
+fn scan_sample(d: &mut Decoder<'_>, idx: usize) -> Result<u64, WireError> {
     let n = d.read_map_len()?;
     if n != 3 {
         return Err(WireError::Schema(format!(
             "sample {idx}: expected 3 fields"
         )));
     }
-    let mut id = None;
-    let mut label = None;
-    let mut data: Option<Bytes> = None;
+    let (mut id, mut label, mut payload) = (false, false, None);
     for _ in 0..3 {
         match d.read_str()? {
-            "id" => id = Some(d.read_u64()?),
-            "label" => label = Some(d.read_u64()? as u32),
-            "data" => {
-                let slice = d.read_bin()?;
-                // Zero-copy: the sample aliases the frame's allocation.
-                data = Some(frame.slice_ref(slice));
+            "id" => {
+                d.read_u64()?;
+                id = true;
             }
+            "label" => {
+                d.read_u64()?;
+                label = true;
+            }
+            "data" => payload = Some(d.read_bin()?.len() as u64),
             other => {
                 return Err(WireError::Schema(format!(
                     "sample {idx}: unknown field {other:?}"
@@ -183,11 +372,29 @@ fn decode_sample(d: &mut Decoder<'_>, frame: &Bytes, idx: usize) -> Result<RawSa
             }
         }
     }
-    Ok(RawSample {
-        bytes: data.ok_or_else(|| WireError::Schema(format!("sample {idx}: no data")))?,
-        label: label.ok_or_else(|| WireError::Schema(format!("sample {idx}: no label")))?,
-        sample_id: id.ok_or_else(|| WireError::Schema(format!("sample {idx}: no id")))?,
-    })
+    if !id {
+        return Err(WireError::Schema(format!("sample {idx}: no id")));
+    }
+    if !label {
+        return Err(WireError::Schema(format!("sample {idx}: no label")));
+    }
+    payload.ok_or_else(|| WireError::Schema(format!("sample {idx}: no data")))
+}
+
+/// Decode one wire frame eagerly. Sample payloads alias `frame`
+/// (zero-copy). This is `decode_lazy` + immediate materialization; the two
+/// accept and reject exactly the same inputs.
+pub fn decode(frame: &Bytes) -> Result<WireMsg, WireError> {
+    match decode_lazy(frame, None)? {
+        LazyMsg::Batch(lb) => Ok(WireMsg::Batch(lb.materialize())),
+        LazyMsg::EndStream {
+            origin,
+            batches_sent,
+        } => Ok(WireMsg::EndStream {
+            origin: origin.to_string(),
+            batches_sent,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +425,94 @@ mod tests {
             let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
             assert!(frame_range.contains(&(s.bytes.as_ptr() as usize)));
         }
+    }
+
+    #[test]
+    fn scatter_encode_is_wire_identical_to_eager_encode() {
+        let pool = BufferPool::new();
+        let payloads: Vec<Bytes> = (0..5u8)
+            .map(|i| Bytes::from(vec![i; 50 + i as usize]))
+            .collect();
+        let owned: Vec<(u64, u32, Bytes)> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, (i % 2) as u32, p.clone()))
+            .collect();
+        let borrowed: Vec<(u64, u32, &[u8])> =
+            owned.iter().map(|(i, l, p)| (*i, *l, &p[..])).collect();
+
+        let frame = encode_batch_frame(9, 123, "daemon-2/t0", &owned, &pool);
+        let eager = encode_batch(9, 123, "daemon-2/t0", &borrowed);
+        assert_eq!(&frame.clone().into_bytes()[..], &eager[..]);
+
+        // Payload segments alias the callers' Bytes — no memcpy happened.
+        let segs = frame.segments();
+        assert_eq!(segs.len(), 2 * owned.len());
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(segs[2 * i + 1].as_ptr(), p.as_ptr());
+        }
+
+        // Empty batch: pure header frame, still wire-identical.
+        let frame = encode_batch_frame(0, 0, "d", &[], &pool);
+        assert_eq!(&frame.into_bytes()[..], &encode_batch(0, 0, "d", &[])[..]);
+    }
+
+    #[test]
+    fn lazy_decode_validates_eagerly_materializes_lazily() {
+        let payloads: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 200]).collect();
+        let samples: Vec<(u64, u32, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, 0u32, p.as_slice()))
+            .collect();
+        let frame = Bytes::from(encode_batch(1, 5, "w", &samples));
+
+        let LazyMsg::Batch(lb) = decode_lazy(&frame, None).unwrap() else {
+            panic!("expected batch");
+        };
+        assert_eq!((lb.epoch(), lb.batch_id(), lb.len()), (1, 5, 4));
+        assert_eq!(&**lb.origin(), "w");
+        assert_eq!(lb.payload_bytes(), 800);
+
+        let batch = lb.materialize();
+        let WireMsg::Batch(eager) = decode(&frame).unwrap() else {
+            panic!()
+        };
+        assert_eq!(batch, eager, "lazy materialization == eager decode");
+        for s in &batch.samples {
+            let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+            assert!(frame_range.contains(&(s.bytes.as_ptr() as usize)));
+        }
+
+        // Lazy rejects exactly what eager rejects, at scan time.
+        for cut in 0..frame.len() {
+            let prefix = Bytes::from(frame[..cut].to_vec());
+            assert!(decode_lazy(&prefix, None).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn interner_shares_origin_across_frames() {
+        let interner = StrInterner::new();
+        let frames: Vec<Bytes> = (0..3)
+            .map(|i| Bytes::from(encode_batch(0, i, "daemon-0/t3", &[])))
+            .collect();
+        let origins: Vec<Arc<str>> = frames
+            .iter()
+            .map(|f| match decode_lazy(f, Some(&interner)).unwrap() {
+                LazyMsg::Batch(b) => b.origin().clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert!(Arc::ptr_eq(&origins[0], &origins[1]));
+        assert!(Arc::ptr_eq(&origins[1], &origins[2]));
+
+        // End-stream origins intern through the same table.
+        let es = Bytes::from(encode_end_stream("daemon-0/t3", 7));
+        let LazyMsg::EndStream { origin, .. } = decode_lazy(&es, Some(&interner)).unwrap() else {
+            panic!()
+        };
+        assert!(Arc::ptr_eq(&origin, &origins[0]));
     }
 
     #[test]

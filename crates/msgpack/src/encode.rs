@@ -147,7 +147,17 @@ impl<'a> Encoder<'a> {
     /// Write a binary blob. This is the hot call on the daemon's serialize
     /// path (raw image bytes), so it is a marker + single `extend_from_slice`.
     pub fn write_bin(&mut self, v: &[u8]) {
-        let len = v.len();
+        self.write_bin_len(v.len());
+        self.out.extend_from_slice(v);
+    }
+
+    /// Write only a bin header (marker + length) for a payload of `len`
+    /// bytes the caller will transmit out-of-band. This is the zero-copy
+    /// framing hook: the daemon writes headers into a small pooled buffer
+    /// and hands payload slices to the transport as separate refcounted
+    /// segments, producing the same wire bytes as [`Encoder::write_bin`]
+    /// without ever copying the payload.
+    pub fn write_bin_len(&mut self, len: usize) {
         if len <= u8::MAX as usize {
             self.out.push(BIN8);
             self.out.push(len as u8);
@@ -158,7 +168,6 @@ impl<'a> Encoder<'a> {
             self.out.push(BIN32);
             self.out.extend_from_slice(&(len as u32).to_be_bytes());
         }
-        self.out.extend_from_slice(v);
     }
 
     /// Write an array header; the caller then writes `len` elements.

@@ -1,0 +1,132 @@
+//! A small bounded string interner for repeated wire strings.
+//!
+//! The receive path decodes the same handful of strings millions of times
+//! per epoch — field keys (`"epoch"`, `"samples"`, …) and origin/shard ids.
+//! Eagerly decoding each occurrence into a fresh `String` is an allocation
+//! per string per message. [`StrInterner`] deduplicates them into shared
+//! `Arc<str>`s: the first occurrence allocates once, every repeat is a
+//! refcount bump.
+//!
+//! The table is bounded ([`StrInterner::with_capacity`]): once full, unseen
+//! strings are still returned as fresh `Arc<str>`s but not retained, so a
+//! hostile peer streaming unique strings cannot grow the table without
+//! limit. Lookups take `&str` directly (no allocation on the hit path).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Default maximum number of distinct strings retained.
+pub const DEFAULT_INTERNER_CAPACITY: usize = 1024;
+
+/// Thread-safe, bounded `&str → Arc<str>` deduplicator.
+pub struct StrInterner {
+    table: Mutex<HashSet<Arc<str>>>,
+    capacity: usize,
+}
+
+impl StrInterner {
+    /// Interner bounded at [`DEFAULT_INTERNER_CAPACITY`] entries.
+    pub fn new() -> StrInterner {
+        StrInterner::with_capacity(DEFAULT_INTERNER_CAPACITY)
+    }
+
+    /// Interner retaining at most `capacity` distinct strings.
+    pub fn with_capacity(capacity: usize) -> StrInterner {
+        StrInterner {
+            table: Mutex::new(HashSet::new()),
+            capacity,
+        }
+    }
+
+    /// Return the shared `Arc<str>` for `s`, allocating only on first sight.
+    ///
+    /// Repeats of the same string return clones of one allocation (pointer
+    /// equal under [`Arc::ptr_eq`]). Past capacity, unseen strings get a
+    /// fresh unshared `Arc<str>` and are not remembered.
+    pub fn intern(&self, s: &str) -> Arc<str> {
+        let mut table = self.table.lock().unwrap();
+        // `Arc<str>: Borrow<str>`, so the hit path hashes `s` in place —
+        // no temporary allocation to probe the set.
+        if let Some(hit) = table.get(s) {
+            return hit.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        if table.len() < self.capacity {
+            table.insert(arc.clone());
+        }
+        arc
+    }
+
+    /// Number of distinct strings currently retained.
+    pub fn len(&self) -> usize {
+        self.table.lock().unwrap().len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for StrInterner {
+    fn default() -> StrInterner {
+        StrInterner::new()
+    }
+}
+
+impl std::fmt::Debug for StrInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StrInterner({}/{} entries)", self.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeats_share_one_allocation() {
+        let i = StrInterner::new();
+        let a = i.intern("shard-03");
+        let b = i.intern("shard-03");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "shard-03");
+        assert_eq!(i.len(), 1);
+        let c = i.intern("shard-04");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_the_table() {
+        let i = StrInterner::with_capacity(2);
+        i.intern("a");
+        i.intern("b");
+        let c1 = i.intern("c"); // over capacity: returned but not retained
+        let c2 = i.intern("c");
+        assert_eq!(i.len(), 2);
+        assert!(!Arc::ptr_eq(&c1, &c2), "unretained strings are not shared");
+        // Retained entries still dedupe.
+        assert!(Arc::ptr_eq(&i.intern("a"), &i.intern("a")));
+    }
+
+    #[test]
+    fn concurrent_intern_is_consistent() {
+        let i = Arc::new(StrInterner::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let i = i.clone();
+                std::thread::spawn(move || {
+                    for n in 0..100 {
+                        let s = format!("key-{}", n % 10);
+                        assert_eq!(&*i.intern(&s), s.as_str());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(i.len(), 10);
+    }
+}

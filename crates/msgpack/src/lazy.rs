@@ -1,0 +1,424 @@
+//! Lazy, cursor-based views over encoded MessagePack.
+//!
+//! [`crate::Decoder::read_value`] materializes an owned [`Value`] tree —
+//! every str becomes a `String`, every bin a `Vec<u8>`. On the receiver's
+//! hot path that is pure waste: the trainer only ever touches a few header
+//! fields per batch, and the big `bin` payloads should stay inside the wire
+//! buffer until (if ever) someone asks for them.
+//!
+//! [`LazyValueRef`] is the alternative: a validated *span* of the input that
+//! is known to contain exactly one value. Construction runs
+//! [`crate::Decoder::skip_value`] once — so truncation and invalid markers
+//! are rejected up front, exactly as eagerly decoding would — but nothing is
+//! copied or allocated. Scalars decode on access; containers hand out lazy
+//! iterators whose items are themselves `LazyValueRef`s borrowing the same
+//! buffer.
+//!
+//! ```
+//! use emlio_msgpack::{lazy::LazyValueRef, to_vec, Value};
+//!
+//! let bytes = to_vec(&Value::Map(vec![
+//!     (Value::from("id"), Value::from(7u64)),
+//!     (Value::from("data"), Value::Bin(vec![0; 1 << 20])),
+//! ]));
+//! let v = LazyValueRef::parse(&bytes).unwrap();
+//! // Only the 2-byte "id" key and its fixint are ever decoded here; the
+//! // megabyte of payload is never touched.
+//! assert_eq!(v.get("id").unwrap().unwrap().as_u64().unwrap(), 7);
+//! ```
+
+use crate::decode::{DecodeError, Decoder};
+use crate::value::Value;
+
+/// The type family of a value, readable from its first marker byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// `nil`.
+    Nil,
+    /// `true` / `false`.
+    Bool,
+    /// Any integer family (positive or negative).
+    Int,
+    /// `float32` / `float64`.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Raw bytes.
+    Bin,
+    /// Array.
+    Arr,
+    /// Map.
+    Map,
+    /// Extension (including timestamps).
+    Ext,
+}
+
+/// A borrowed span of encoded MessagePack holding exactly one value.
+///
+/// Validated on construction (structure, truncation, markers) but decoded
+/// only on access. Cloning is a pointer copy; nothing owns heap memory.
+#[derive(Clone, Copy)]
+pub struct LazyValueRef<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> LazyValueRef<'a> {
+    /// Parse `buf` as exactly one value (trailing bytes are an error).
+    pub fn parse(buf: &'a [u8]) -> Result<LazyValueRef<'a>, DecodeError> {
+        let (v, rest) = Self::parse_prefix(buf)?;
+        if rest.is_empty() {
+            Ok(v)
+        } else {
+            Err(DecodeError::TrailingBytes {
+                at: buf.len() - rest.len(),
+                remaining: rest.len(),
+            })
+        }
+    }
+
+    /// Parse one value off the front of `buf`, returning it and the rest.
+    pub fn parse_prefix(buf: &'a [u8]) -> Result<(LazyValueRef<'a>, &'a [u8]), DecodeError> {
+        let mut d = Decoder::new(buf);
+        d.skip_value()?;
+        let end = d.position();
+        Ok((LazyValueRef { buf: &buf[..end] }, &buf[end..]))
+    }
+
+    /// The raw encoded bytes of this value (marker through payload).
+    pub fn as_encoded(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Which type family this value belongs to.
+    pub fn kind(&self) -> ValueKind {
+        match self.buf[0] {
+            0x00..=0x7f | 0xe0..=0xff => ValueKind::Int,
+            0x80..=0x8f | 0xde | 0xdf => ValueKind::Map,
+            0x90..=0x9f | 0xdc | 0xdd => ValueKind::Arr,
+            0xa0..=0xbf | 0xd9..=0xdb => ValueKind::Str,
+            0xc0 => ValueKind::Nil,
+            0xc2 | 0xc3 => ValueKind::Bool,
+            0xc4..=0xc6 => ValueKind::Bin,
+            0xc7..=0xc9 | 0xd4..=0xd8 => ValueKind::Ext,
+            0xca | 0xcb => ValueKind::Float,
+            0xcc..=0xd3 => ValueKind::Int,
+            // parse() already rejected 0xc1; unreachable for valid refs.
+            _ => ValueKind::Nil,
+        }
+    }
+
+    /// True if this value is nil.
+    pub fn is_nil(&self) -> bool {
+        self.kind() == ValueKind::Nil
+    }
+
+    /// Decode as bool.
+    pub fn as_bool(&self) -> Result<bool, DecodeError> {
+        Decoder::new(self.buf).read_bool()
+    }
+
+    /// Decode as u64 (any integer family; negatives error).
+    pub fn as_u64(&self) -> Result<u64, DecodeError> {
+        Decoder::new(self.buf).read_u64()
+    }
+
+    /// Decode as i64 (any integer family in range).
+    pub fn as_i64(&self) -> Result<i64, DecodeError> {
+        Decoder::new(self.buf).read_i64()
+    }
+
+    /// Decode as f64 (either float width; integers are not coerced).
+    pub fn as_f64(&self) -> Result<f64, DecodeError> {
+        Decoder::new(self.buf).read_f64()
+    }
+
+    /// Borrow the str payload (UTF-8 validated here, not at parse time).
+    pub fn as_str(&self) -> Result<&'a str, DecodeError> {
+        Decoder::new(self.buf).read_str()
+    }
+
+    /// Borrow the bin payload — the zero-copy accessor for batch data.
+    pub fn as_bin(&self) -> Result<&'a [u8], DecodeError> {
+        Decoder::new(self.buf).read_bin()
+    }
+
+    /// Borrow an extension as `(type tag, payload)`.
+    pub fn as_ext(&self) -> Result<(i8, &'a [u8]), DecodeError> {
+        Decoder::new(self.buf).read_ext()
+    }
+
+    /// Number of elements if this is an array, entries if a map.
+    pub fn container_len(&self) -> Result<usize, DecodeError> {
+        let mut d = Decoder::new(self.buf);
+        match self.kind() {
+            ValueKind::Arr => d.read_array_len(),
+            ValueKind::Map => d.read_map_len(),
+            _ => Err(DecodeError::TypeMismatch {
+                at: 0,
+                expected: "array or map",
+                marker: self.buf[0],
+            }),
+        }
+    }
+
+    /// Iterate array elements lazily, without decoding any of them.
+    pub fn array_iter(&self) -> Result<LazyArrayIter<'a>, DecodeError> {
+        let mut d = Decoder::new(self.buf);
+        let remaining = d.read_array_len()?;
+        Ok(LazyArrayIter {
+            rest: &self.buf[d.position()..],
+            remaining,
+        })
+    }
+
+    /// Iterate map entries lazily as `(key, value)` pairs.
+    pub fn map_iter(&self) -> Result<LazyMapIter<'a>, DecodeError> {
+        let mut d = Decoder::new(self.buf);
+        let remaining = d.read_map_len()?;
+        Ok(LazyMapIter {
+            rest: &self.buf[d.position()..],
+            remaining,
+        })
+    }
+
+    /// Look up a map entry by string key, decoding only the keys walked.
+    ///
+    /// Returns `Ok(None)` if no str key matches. Non-str keys are skipped,
+    /// not errors — the wire schema allows heterogeneous maps.
+    pub fn get(&self, key: &str) -> Result<Option<LazyValueRef<'a>>, DecodeError> {
+        for entry in self.map_iter()? {
+            let (k, v) = entry?;
+            if k.kind() == ValueKind::Str && k.as_str()? == key {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Materialize the owned [`Value`] tree — the escape hatch back to the
+    /// eager world. Allocates; use only off the hot path.
+    pub fn to_value(&self) -> Result<Value, DecodeError> {
+        crate::from_slice(self.buf)
+    }
+}
+
+impl std::fmt::Debug for LazyValueRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LazyValueRef({:?}, {} bytes)",
+            self.kind(),
+            self.buf.len()
+        )
+    }
+}
+
+/// Lazy iterator over array elements. Items borrow the parent buffer.
+pub struct LazyArrayIter<'a> {
+    rest: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> Iterator for LazyArrayIter<'a> {
+    type Item = Result<LazyValueRef<'a>, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match LazyValueRef::parse_prefix(self.rest) {
+            Ok((v, rest)) => {
+                self.rest = rest;
+                Some(Ok(v))
+            }
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LazyArrayIter<'_> {}
+
+/// Lazy iterator over map entries. Items borrow the parent buffer.
+pub struct LazyMapIter<'a> {
+    rest: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> Iterator for LazyMapIter<'a> {
+    type Item = Result<(LazyValueRef<'a>, LazyValueRef<'a>), DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (k, rest) = match LazyValueRef::parse_prefix(self.rest) {
+            Ok(kv) => kv,
+            Err(e) => {
+                self.remaining = 0;
+                return Some(Err(e));
+            }
+        };
+        match LazyValueRef::parse_prefix(rest) {
+            Ok((v, rest)) => {
+                self.rest = rest;
+                Some(Ok((k, v)))
+            }
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LazyMapIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_vec;
+
+    fn wire_batch() -> Value {
+        Value::Map(vec![
+            (Value::from("epoch"), Value::from(3u64)),
+            (Value::from("batch_id"), Value::from(41u64)),
+            (Value::from("origin"), Value::from("shard-7")),
+            (
+                Value::from("samples"),
+                Value::Arr(
+                    (0..4u64)
+                        .map(|i| {
+                            Value::Map(vec![
+                                (Value::from("id"), Value::from(i)),
+                                (Value::from("label"), Value::from(i % 2)),
+                                (Value::from("data"), Value::Bin(vec![i as u8; 1024])),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn lazy_field_access_without_materializing() {
+        let bytes = to_vec(&wire_batch());
+        let v = LazyValueRef::parse(&bytes).unwrap();
+        assert_eq!(v.kind(), ValueKind::Map);
+        assert_eq!(v.get("epoch").unwrap().unwrap().as_u64().unwrap(), 3);
+        assert_eq!(
+            v.get("origin").unwrap().unwrap().as_str().unwrap(),
+            "shard-7"
+        );
+        assert!(v.get("missing").unwrap().is_none());
+
+        let samples = v.get("samples").unwrap().unwrap();
+        assert_eq!(samples.container_len().unwrap(), 4);
+        for (i, s) in samples.array_iter().unwrap().enumerate() {
+            let s = s.unwrap();
+            assert_eq!(s.get("id").unwrap().unwrap().as_u64().unwrap(), i as u64);
+            let data = s.get("data").unwrap().unwrap().as_bin().unwrap();
+            assert_eq!(data, &vec![i as u8; 1024][..]);
+            // The bin payload is a borrow into the original wire buffer.
+            let base = bytes.as_ptr() as usize;
+            let p = data.as_ptr() as usize;
+            assert!(p >= base && p + data.len() <= base + bytes.len());
+        }
+    }
+
+    #[test]
+    fn lazy_walk_equals_eager_decode() {
+        let cases = vec![
+            Value::Nil,
+            Value::Bool(false),
+            Value::UInt(u64::MAX),
+            Value::Int(-40_000),
+            Value::F64(2.5),
+            Value::Str("hello".into()),
+            Value::Bin(vec![1, 2, 3]),
+            Value::Ext(9, vec![0xab; 16]),
+            wire_batch(),
+            Value::Arr(vec![Value::Map(vec![(
+                Value::Arr(vec![Value::Nil]),
+                Value::from("nested-key"),
+            )])]),
+        ];
+        for v in cases {
+            let bytes = to_vec(&v);
+            let lazy = LazyValueRef::parse(&bytes).unwrap();
+            // No case uses a non-negative `Int` (which eager decode would
+            // normalize to `UInt`), so exact equality holds.
+            assert_eq!(lazy.to_value().unwrap(), v, "lazy == eager");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_what_eager_rejects() {
+        let bytes = to_vec(&wire_batch());
+        for cut in 0..bytes.len() {
+            assert!(
+                LazyValueRef::parse(&bytes[..cut]).is_err(),
+                "truncated at {cut}"
+            );
+        }
+        assert!(matches!(
+            LazyValueRef::parse(&[0xc1]),
+            Err(DecodeError::InvalidMarker { .. })
+        ));
+        // Trailing garbage after a complete value.
+        let mut extra = to_vec(&Value::Nil);
+        extra.push(0x00);
+        assert!(matches!(
+            LazyValueRef::parse(&extra),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+        // parse_prefix hands the trailing bytes back instead.
+        let (v, rest) = LazyValueRef::parse_prefix(&extra).unwrap();
+        assert!(v.is_nil());
+        assert_eq!(rest, &[0x00]);
+    }
+
+    #[test]
+    fn kind_covers_every_family() {
+        let kinds = [
+            (Value::Nil, ValueKind::Nil),
+            (Value::Bool(true), ValueKind::Bool),
+            (Value::UInt(1), ValueKind::Int),
+            (Value::Int(-1), ValueKind::Int),
+            (Value::UInt(1 << 40), ValueKind::Int),
+            (Value::F32(0.0), ValueKind::Float),
+            (Value::Str("s".into()), ValueKind::Str),
+            (Value::Bin(vec![0]), ValueKind::Bin),
+            (Value::Arr(vec![]), ValueKind::Arr),
+            (Value::Map(vec![]), ValueKind::Map),
+            (Value::Ext(1, vec![0; 4]), ValueKind::Ext),
+            (Value::Timestamp { secs: 0, nanos: 0 }, ValueKind::Ext),
+        ];
+        for (v, want) in kinds {
+            let bytes = to_vec(&v);
+            assert_eq!(
+                LazyValueRef::parse(&bytes).unwrap().kind(),
+                want,
+                "kind of {v}"
+            );
+        }
+    }
+}

@@ -13,17 +13,27 @@
 //!   borrowed slices) plus an owned [`Value`] tree reader with a recursion
 //!   depth guard;
 //! * strict error reporting — truncated input, wrong types, invalid UTF-8 and
-//!   trailing bytes are all detected, never ignored.
+//!   trailing bytes are all detected, never ignored;
+//! * a [`lazy`] module ([`LazyValueRef`]) that validates a message once via
+//!   [`Decoder::skip_value`] and then decodes fields only when touched — the
+//!   receiver's answer to "don't materialize megabyte payloads the trainer
+//!   may never read";
+//! * a bounded [`StrInterner`] so the same shard ids and field keys decode
+//!   to one shared `Arc<str>` instead of a fresh `String` per message.
 //!
 //! The serialization cost of this codec is *real work on the hot path*: it is
 //! what the Fig. 7/8 daemon-concurrency experiments measure.
 
 pub mod decode;
 pub mod encode;
+pub mod interner;
+pub mod lazy;
 pub mod value;
 
 pub use decode::{DecodeError, Decoder};
 pub use encode::Encoder;
+pub use interner::StrInterner;
+pub use lazy::{LazyValueRef, ValueKind};
 pub use value::Value;
 
 /// Encode a [`Value`] tree to a fresh buffer.
@@ -56,6 +66,26 @@ mod tests {
         ]);
         let bytes = to_vec(&v);
         assert_eq!(from_slice(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn zero_length_bin_and_str_roundtrip_without_payload_bytes() {
+        // Regression: empty bin/str must encode to marker + length only and
+        // decode back to empty borrows (no payload, nothing to allocate).
+        let mut buf = Vec::new();
+        {
+            let mut e = Encoder::new(&mut buf);
+            e.write_bin(&[]);
+            e.write_str("");
+        }
+        assert_eq!(buf, [0xc4, 0x00, 0xa0], "bin8 len 0, fixstr len 0");
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.read_bin().unwrap(), &[] as &[u8]);
+        assert_eq!(d.read_str().unwrap(), "");
+        d.finish().unwrap();
+
+        let v = Value::Arr(vec![Value::Bin(vec![]), Value::Str(String::new())]);
+        assert_eq!(from_slice(&to_vec(&v)).unwrap(), v);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property-based tests for the lazy decoder: on every well-formed
+//! encoding the lazy reader must agree byte-for-byte with the eager one,
+//! `skip_value` must land exactly where `read_value` does, and neither may
+//! panic on arbitrary input.
+
+use emlio_msgpack::{from_slice, to_vec, Decoder, LazyValueRef, Value};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary msgpack values with bounded depth/size.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::UInt),
+        // Int is canonical only when negative; the encoder normalizes
+        // non-negative Int to UInt, so generate negatives here.
+        (i64::MIN..0).prop_map(Value::Int),
+        any::<f32>().prop_map(Value::F32),
+        any::<f64>().prop_map(Value::F64),
+        ".{0,64}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(Value::Bin),
+        (
+            any::<i8>().prop_filter("not timestamp tag", |t| *t != -1),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(t, d)| Value::Ext(t, d)),
+        (any::<i64>(), 0u32..1_000_000_000)
+            .prop_map(|(secs, nanos)| Value::Timestamp { secs, nanos }),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::Arr),
+            proptest::collection::vec((".{0,16}".prop_map(Value::Str), inner), 0..8)
+                .prop_map(Value::Map),
+        ]
+    })
+}
+
+/// Compare values treating NaN == NaN (bitwise for floats).
+fn eq_nan(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::F32(x), Value::F32(y)) => x.to_bits() == y.to_bits(),
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::Arr(x), Value::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| eq_nan(a, b))
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| eq_nan(ka, kb) && eq_nan(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lazy_agrees_with_eager(v in value_strategy()) {
+        let bytes = to_vec(&v);
+        let lazy = LazyValueRef::parse(&bytes).expect("lazy parse of own encoding");
+        prop_assert_eq!(lazy.as_encoded(), &bytes[..]);
+        let materialized = lazy.to_value().expect("materialize own encoding");
+        let eager = from_slice(&bytes).expect("eager decode of own encoding");
+        prop_assert!(eq_nan(&materialized, &eager), "{materialized:?} != {eager:?}");
+    }
+
+    #[test]
+    fn skip_lands_exactly_where_read_does(v in value_strategy()) {
+        let bytes = to_vec(&v);
+        let mut skipper = Decoder::new(&bytes);
+        skipper.skip_value().expect("skip own encoding");
+        let mut reader = Decoder::new(&bytes);
+        reader.read_value().expect("read own encoding");
+        prop_assert_eq!(skipper.position(), reader.position());
+        prop_assert_eq!(skipper.position(), bytes.len());
+    }
+
+    #[test]
+    fn lazy_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = LazyValueRef::parse(&bytes); // must return, not panic/abort
+        let mut d = Decoder::new(&bytes);
+        let _ = d.skip_value();
+    }
+
+    #[test]
+    fn truncated_encoding_errors_lazily_too(v in value_strategy(), frac in 0.0f64..1.0) {
+        let bytes = to_vec(&v);
+        if bytes.len() > 1 {
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(LazyValueRef::parse(&bytes[..cut]).is_err());
+        }
+    }
+}

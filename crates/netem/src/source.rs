@@ -52,7 +52,7 @@ impl RangeSource for NfsSource {
             .read_range(rel, offset, size)
             .map_err(RecordError::Io)?;
         Ok(BlockRead {
-            data: Arc::new(data),
+            data: bytes::Bytes::from(data),
             origin: ReadOrigin::Direct,
             read_nanos: t.elapsed().as_nanos() as u64,
         })

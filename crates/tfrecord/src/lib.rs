@@ -31,7 +31,9 @@ pub use index::{GlobalIndex, RecordMeta, ShardIndex};
 pub use reader::{RangeReader, RecordReader};
 pub use record::{RecordError, FRAME_OVERHEAD};
 pub use shard::{ShardSpec, ShardWriter};
-pub use source::{BlockKey, BlockRead, FnSource, RangeSource, ReadOrigin, TfrecordSource};
+pub use source::{
+    BlockAlloc, BlockKey, BlockRead, FnSource, RangeSource, ReadOrigin, SystemAlloc, TfrecordSource,
+};
 pub use writer::RecordWriter;
 
 /// Result alias for this crate.

@@ -14,6 +14,7 @@ use crate::index::GlobalIndex;
 use crate::reader::RangeReader;
 use crate::record::RecordError;
 use crate::Result;
+use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -53,14 +54,54 @@ impl ReadOrigin {
 }
 
 /// The raw bytes of one block, plus where they came from.
+///
+/// `data` is a refcounted [`Bytes`] view: cloning a `BlockRead` (or slicing
+/// record payloads out of it with [`Bytes::slice_ref`]) shares the block's
+/// allocation instead of copying it. A cache hit hands out the cached
+/// buffer itself; callers must treat the bytes as immutable and drop their
+/// views promptly — a held slice pins the whole block (and, for pooled
+/// buffers, keeps the allocation out of its pool).
 #[derive(Debug, Clone)]
 pub struct BlockRead {
-    /// The block's raw framed-record bytes.
-    pub data: Arc<Vec<u8>>,
+    /// The block's raw framed-record bytes (shared, immutable).
+    pub data: Bytes,
     /// Which layer satisfied the read.
     pub origin: ReadOrigin,
     /// Nanoseconds spent in the backing read (0 when served from cache).
     pub read_nanos: u64,
+}
+
+/// Where root sources get their block buffers.
+///
+/// The daemon's buffer pool lives in `emlio-core` (above this crate in the
+/// dependency graph), so root sources take allocation behaviour through
+/// this minimal seam instead: [`take`](BlockAlloc::take) hands out a
+/// `Vec<u8>` with at least the requested capacity (possibly recycled), and
+/// [`seal`](BlockAlloc::seal) freezes a filled buffer into immutable
+/// [`Bytes`] — returning pooled allocations to their free list when the
+/// last view drops. The default [`SystemAlloc`] is a plain pass-through to
+/// the global allocator.
+pub trait BlockAlloc: Send + Sync {
+    /// An empty, writable buffer with `capacity() >= min_capacity`.
+    fn take(&self, min_capacity: usize) -> Vec<u8>;
+
+    /// Freeze a filled buffer (possibly from [`take`](BlockAlloc::take))
+    /// into shared immutable bytes.
+    fn seal(&self, buf: Vec<u8>) -> Bytes;
+}
+
+/// The default [`BlockAlloc`]: plain `Vec` allocation, no reuse.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemAlloc;
+
+impl BlockAlloc for SystemAlloc {
+    fn take(&self, min_capacity: usize) -> Vec<u8> {
+        Vec::with_capacity(min_capacity)
+    }
+
+    fn seal(&self, buf: Vec<u8>) -> Bytes {
+        Bytes::from(buf)
+    }
 }
 
 /// A positioned block read keyed by [`BlockKey`] — the one interface every
@@ -92,15 +133,26 @@ pub struct TfrecordSource {
     index: Arc<GlobalIndex>,
     /// Shard readers, opened on first use and shared across threads.
     readers: Mutex<HashMap<u32, Arc<RangeReader>>>,
+    /// Where block buffers come from (the daemon plugs its pool in here).
+    alloc: Arc<dyn BlockAlloc>,
 }
 
 impl TfrecordSource {
-    /// A source over every shard `index` describes.
+    /// A source over every shard `index` describes, allocating block
+    /// buffers straight from the system allocator.
     pub fn new(index: Arc<GlobalIndex>) -> TfrecordSource {
         TfrecordSource {
             index,
             readers: Mutex::new(HashMap::new()),
+            alloc: Arc::new(SystemAlloc),
         }
+    }
+
+    /// Route block-buffer allocation through `alloc` (typically
+    /// `emlio-core`'s `BufferPool`).
+    pub fn with_alloc(mut self, alloc: Arc<dyn BlockAlloc>) -> TfrecordSource {
+        self.alloc = alloc;
+        self
     }
 
     /// The dataset index spans are resolved through.
@@ -132,10 +184,10 @@ impl RangeSource for TfrecordSource {
         let (offset, size) = shard.span(key.start, key.end)?;
         let reader = self.reader_for(key.shard_id)?;
         let t = Instant::now();
-        let mut buf = Vec::new();
+        let mut buf = self.alloc.take(size as usize);
         reader.read_range_into(offset, size, &mut buf)?;
         Ok(BlockRead {
-            data: Arc::new(buf),
+            data: self.alloc.seal(buf),
             origin: ReadOrigin::Direct,
             read_nanos: t.elapsed().as_nanos() as u64,
         })
@@ -170,7 +222,7 @@ where
         let t = Instant::now();
         let data = (self.fetch)(key).map_err(RecordError::Io)?;
         Ok(BlockRead {
-            data: Arc::new(data),
+            data: Bytes::from(data),
             origin: ReadOrigin::Direct,
             read_nanos: t.elapsed().as_nanos() as u64,
         })
@@ -228,7 +280,7 @@ mod tests {
             end: 5,
         };
         let read = src.read_block(&key).unwrap();
-        assert_eq!(read.data.as_slice(), &[3u8; 5]);
+        assert_eq!(&read.data[..], &[3u8; 5]);
         assert_eq!(read.origin, ReadOrigin::Direct);
     }
 }

@@ -13,7 +13,10 @@
 //! * [`tslog`] — the shared `TimestampLogger` from §4.5 of the paper, used to
 //!   align sender/receiver events with energy-monitor traces.
 //! * [`rate`] — token-bucket pacing used by the userspace network emulator.
+//! * [`alloc`] — a counting `#[global_allocator]` wrapper so tests and
+//!   benches can assert allocation budgets on the zero-copy serve path.
 
+pub mod alloc;
 pub mod bytesize;
 pub mod clock;
 pub mod json;
@@ -22,6 +25,7 @@ pub mod stats;
 pub mod testutil;
 pub mod tslog;
 
+pub use alloc::CountingAllocator;
 pub use clock::{Clock, ManualClock, RealClock, SharedClock};
 pub use json::Json;
 pub use stats::{OnlineStats, Summary};

@@ -1,9 +1,95 @@
 //! Wire framing: each message is a big-endian `u32` length followed by the
 //! payload. A length guard rejects oversized frames before allocating.
+//!
+//! Senders hand the socket a [`Frame`]: a scatter list of [`Bytes`]
+//! segments written back-to-back under one length prefix. The daemon uses
+//! this to interleave small encoded headers with refcounted cache-block
+//! slices, so batch payloads reach the wire without ever being gathered
+//! into one contiguous buffer. The bytes on the wire are identical to a
+//! single-segment frame — receivers cannot tell the difference.
 
 use crate::{Result, ZmqError};
 use bytes::Bytes;
 use std::io::{Read, Write};
+
+/// A wire message as a scatter list of segments.
+///
+/// Segments are written in order under a single length prefix; a plain
+/// `Bytes` or `Vec<u8>` converts into a one-segment frame. Cloning a
+/// `Frame` bumps segment refcounts, never copies payloads.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    segments: Vec<Bytes>,
+}
+
+impl Frame {
+    /// Frame over an explicit segment list.
+    pub fn from_segments(segments: Vec<Bytes>) -> Frame {
+        Frame { segments }
+    }
+
+    /// Total payload length across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if the frame carries no payload bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The segment list.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// Gather into one contiguous `Bytes`. A single-segment frame is a
+    /// refcount bump (no copy); multi-segment frames copy once. Only the
+    /// inproc transport gathers — TCP writes segments directly.
+    pub fn into_bytes(mut self) -> Bytes {
+        match self.segments.len() {
+            0 => Bytes::new(),
+            1 => self.segments.pop().expect("one segment"),
+            _ => {
+                let mut out = Vec::with_capacity(self.len());
+                for s in &self.segments {
+                    out.extend_from_slice(s);
+                }
+                Bytes::from(out)
+            }
+        }
+    }
+}
+
+impl From<Bytes> for Frame {
+    fn from(b: Bytes) -> Frame {
+        Frame { segments: vec![b] }
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(v: Vec<u8>) -> Frame {
+        Frame::from(Bytes::from(v))
+    }
+}
+
+/// Write one frame from a scatter list: a single `u32` length prefix
+/// covering all segments, then each segment in order. Wire-identical to
+/// [`write_frame`] over the gathered payload.
+pub fn write_frame_segments<W: Write>(w: &mut W, frame: &Frame) -> Result<()> {
+    let len: u32 = frame
+        .len()
+        .try_into()
+        .map_err(|_| ZmqError::FrameTooLarge {
+            size: frame.len(),
+            limit: u32::MAX as usize,
+        })?;
+    w.write_all(&len.to_be_bytes())?;
+    for seg in frame.segments() {
+        w.write_all(seg)?;
+    }
+    Ok(())
+}
 
 /// Write one frame. The caller batches flushes (the sender thread flushes
 /// after draining its queue, not per message).
@@ -80,6 +166,36 @@ mod tests {
             1000
         );
         assert!(read_frame(&mut cursor, 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn scatter_frame_is_wire_identical_to_gathered() {
+        let header = Bytes::from(vec![0xde, 0xad]);
+        let body = Bytes::from(vec![7u8; 100]);
+        let tail = Bytes::from(vec![0xbe, 0xef]);
+        let frame = Frame::from_segments(vec![header, Bytes::new(), body, tail]);
+        assert_eq!(frame.len(), 104);
+
+        let mut scattered = Vec::new();
+        write_frame_segments(&mut scattered, &frame).unwrap();
+        let mut gathered = Vec::new();
+        write_frame(&mut gathered, &frame.clone().into_bytes()).unwrap();
+        assert_eq!(scattered, gathered);
+
+        let mut cursor = &scattered[..];
+        let read = read_frame(&mut cursor, 1 << 20).unwrap().unwrap();
+        assert_eq!(read, frame.into_bytes());
+    }
+
+    #[test]
+    fn single_segment_into_bytes_is_passthrough() {
+        let payload = Bytes::from(vec![1u8, 2, 3]);
+        let frame = Frame::from(payload.clone());
+        // Same backing storage: the gather is a refcount bump, not a copy.
+        let out = frame.into_bytes();
+        assert_eq!(out.as_ptr(), payload.as_ptr());
+        assert!(Frame::default().into_bytes().is_empty());
+        assert!(Frame::from(Vec::new()).is_empty());
     }
 
     #[test]

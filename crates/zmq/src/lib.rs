@@ -27,6 +27,7 @@ pub mod pull;
 pub mod push;
 
 pub use endpoint::Endpoint;
+pub use frame::Frame;
 pub use pull::PullSocket;
 pub use push::PushSocket;
 

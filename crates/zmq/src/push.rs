@@ -3,7 +3,7 @@
 //! "HWM 16, blocking send to infinity" configuration (§4.5).
 
 use crate::endpoint::Endpoint;
-use crate::frame::write_frame;
+use crate::frame::{write_frame_segments, Frame};
 use crate::{Result, SocketOptions, ZmqError};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
@@ -15,7 +15,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 enum Cmd {
-    Msg(Bytes),
+    Msg(Frame),
     Close,
 }
 
@@ -95,14 +95,18 @@ impl PushSocket {
 
     /// Queue a message, blocking while the HWM is reached. Fails if the
     /// connection has died.
-    pub fn send(&self, payload: Bytes) -> Result<()> {
+    ///
+    /// Accepts anything convertible into a [`Frame`] — a `Bytes`, a
+    /// `Vec<u8>`, or a pre-built scatter list. Multi-segment frames are
+    /// written segment by segment; the payload is never gathered on TCP.
+    pub fn send(&self, payload: impl Into<Frame>) -> Result<()> {
         if self.dead.load(Ordering::SeqCst) {
             return Err(ZmqError::Closed);
         }
         let t0 = Instant::now();
         let full = self.tx.is_full();
         self.tx
-            .send(Cmd::Msg(payload))
+            .send(Cmd::Msg(payload.into()))
             .map_err(|_| ZmqError::Closed)?;
         if full {
             self.stats
@@ -114,11 +118,11 @@ impl PushSocket {
     }
 
     /// Non-blocking send; `Ok(false)` when the HWM is reached.
-    pub fn try_send(&self, payload: Bytes) -> Result<bool> {
+    pub fn try_send(&self, payload: impl Into<Frame>) -> Result<bool> {
         if self.dead.load(Ordering::SeqCst) {
             return Err(ZmqError::Closed);
         }
-        match self.tx.try_send(Cmd::Msg(payload)) {
+        match self.tx.try_send(Cmd::Msg(payload.into())) {
             Ok(()) => {
                 self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
                 Ok(true)
@@ -186,11 +190,11 @@ fn tcp_sender_loop(
         let mut closing = false;
         for cmd in std::iter::once(first).chain(rx.try_iter()) {
             match cmd {
-                Cmd::Msg(payload) => {
-                    write_frame(&mut w, &payload)?;
+                Cmd::Msg(frame) => {
+                    write_frame_segments(&mut w, &frame)?;
                     stats
                         .bytes_sent
-                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
                 }
                 Cmd::Close => {
                     closing = true;
@@ -214,9 +218,12 @@ fn inproc_sender_loop(
 ) -> Result<()> {
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            Cmd::Msg(payload) => {
-                let n = payload.len() as u64;
-                chan.send(payload).map_err(|_| ZmqError::Closed)?;
+            Cmd::Msg(frame) => {
+                let n = frame.len() as u64;
+                // Inproc hands a single Bytes across; single-segment frames
+                // pass through untouched, scatter frames gather here only.
+                chan.send(frame.into_bytes())
+                    .map_err(|_| ZmqError::Closed)?;
                 stats.bytes_sent.fetch_add(n, Ordering::Relaxed);
             }
             Cmd::Close => break,

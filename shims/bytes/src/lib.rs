@@ -12,11 +12,14 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Backing storage: either a shared heap allocation or a static slice.
+/// Backing storage: a shared heap allocation, a static slice, or an
+/// arbitrary shared owner (the hook buffer pools use to get their
+/// allocation back when the last view drops).
 #[derive(Clone)]
 enum Storage {
     Heap(Arc<[u8]>),
     Static(&'static [u8]),
+    Owned(Arc<dyn AsRef<[u8]> + Send + Sync>),
 }
 
 impl Storage {
@@ -24,6 +27,7 @@ impl Storage {
         match self {
             Storage::Heap(a) => a,
             Storage::Static(s) => s,
+            Storage::Owned(o) => (**o).as_ref(),
         }
     }
 }
@@ -58,9 +62,29 @@ impl Bytes {
         }
     }
 
-    /// Copy `data` into a fresh shared allocation.
+    /// Copy `data` into a fresh shared allocation (no allocation at all
+    /// when `data` is empty).
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes::from(data.to_vec())
+    }
+
+    /// Wrap an arbitrary owner whose `AsRef<[u8]>` view is stable for the
+    /// owner's lifetime. The owner is dropped when the last clone/slice of
+    /// the returned `Bytes` drops — which is how pooled buffers find their
+    /// way back to their pool (the owner's `Drop` recycles the allocation).
+    ///
+    /// Mirrors `bytes::Bytes::from_owner` (bytes ≥ 1.9).
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let owner: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(owner);
+        let len = (*owner).as_ref().len();
+        Bytes {
+            storage: Storage::Owned(owner),
+            offset: 0,
+            len,
+        }
     }
 
     /// Length of this view in bytes.
@@ -151,6 +175,12 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        // `Arc::from` of an empty boxed slice still heap-allocates the
+        // refcount header; route zero-length buffers to the allocation-free
+        // static representation instead.
+        if v.is_empty() {
+            return Bytes::new();
+        }
         let len = v.len();
         Bytes {
             storage: Storage::Heap(Arc::from(v.into_boxed_slice())),
@@ -174,6 +204,9 @@ impl From<&'static str> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
+        if b.is_empty() {
+            return Bytes::new();
+        }
         let len = b.len();
         Bytes {
             storage: Storage::Heap(Arc::from(b)),
@@ -300,5 +333,58 @@ mod tests {
         assert_eq!(s, b"hello"[..]);
         assert_eq!(s.len(), 5);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_vec_uses_static_representation() {
+        // Regression: `Bytes::from(vec![])` used to allocate an Arc header
+        // for zero bytes of payload. It must now be the same allocation-free
+        // representation as `Bytes::new()`.
+        for b in [
+            Bytes::from(Vec::new()),
+            Bytes::from(Vec::new().into_boxed_slice()),
+            Bytes::copy_from_slice(&[]),
+        ] {
+            assert!(b.is_empty());
+            assert_eq!(b, Bytes::new());
+            assert!(matches!(b.storage, Storage::Static(_)));
+        }
+    }
+
+    #[test]
+    fn from_owner_shares_and_drops_owner_last() {
+        struct Probe {
+            data: Vec<u8>,
+            dropped: Arc<std::sync::atomic::AtomicBool>,
+        }
+        impl AsRef<[u8]> for Probe {
+            fn as_ref(&self) -> &[u8] {
+                &self.data
+            }
+        }
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.dropped
+                    .store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let b = Bytes::from_owner(Probe {
+            data: vec![1, 2, 3, 4],
+            dropped: dropped.clone(),
+        });
+        let slice = b.slice(1..3);
+        let clone = b.clone();
+        assert_eq!(&clone[..], &[1, 2, 3, 4]);
+        assert_eq!(&slice[..], &[2, 3]);
+        assert_eq!(slice.as_ptr() as usize, b.as_ptr() as usize + 1, "aliases");
+        drop(b);
+        drop(clone);
+        assert!(
+            !dropped.load(std::sync::atomic::Ordering::SeqCst),
+            "slice still alive"
+        );
+        drop(slice);
+        assert!(dropped.load(std::sync::atomic::Ordering::SeqCst));
     }
 }

@@ -1,0 +1,181 @@
+//! Allocation-budget smoke test for the zero-copy serve path.
+//!
+//! Installs [`emlio::util::CountingAllocator`] as this binary's global
+//! allocator and serves the same warm-cache batches through both codec
+//! generations:
+//!
+//! * **old path** — `read_block` → `decode_all` → copy every payload into an
+//!   owned `Vec<u8>` → `encode_batch` into one gathered buffer;
+//! * **new path** — `read_batch` (refcounted payload views) →
+//!   `encode_batch_frame` (pooled header + spliced payload segments).
+//!
+//! The PR's acceptance bar is a ≥2× reduction in allocator calls per served
+//! batch with byte-identical wire output, plus O(1) pool growth across
+//! steady-state epochs. All phases live in one `#[test]` because the
+//! allocator counters are process-global: parallel tests would interleave.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use emlio::cache::{CacheConfig, CachedRangeReader, CachedSource, ShardCache};
+use emlio::core::wire::{encode_batch, encode_batch_frame};
+use emlio::core::BufferPool;
+use emlio::datagen::convert::build_tfrecord_dataset;
+use emlio::datagen::DatasetSpec;
+use emlio::tfrecord::record::decode_all;
+use emlio::tfrecord::{BlockKey, GlobalIndex, RangeSource, ShardSpec, TfrecordSource};
+use emlio::util::testutil::TempDir;
+use emlio::util::CountingAllocator;
+use emlio::zmq::Frame;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const BATCH: usize = 16;
+const ORIGIN: &str = "alloc-smoke-worker";
+
+/// Every `BATCH`-record block key across all shards, in plan order.
+fn keys_of(index: &GlobalIndex) -> Vec<BlockKey> {
+    let mut keys = Vec::new();
+    for shard in &index.shards {
+        let mut start = 0;
+        while start < shard.records.len() {
+            let end = (start + BATCH).min(shard.records.len());
+            keys.push(BlockKey {
+                shard_id: shard.shard_id,
+                start,
+                end,
+            });
+            start = end;
+        }
+    }
+    keys
+}
+
+/// The pre-PR copying path, inlined: eager decode, owned payload copies,
+/// single gathered encode buffer.
+fn serve_old(source: &dyn RangeSource, index: &GlobalIndex, key: &BlockKey) -> Bytes {
+    let read = source.read_block(key).unwrap();
+    let records = decode_all(&read.data, true).unwrap();
+    let metas = &index.shards[key.shard_id as usize].records[key.start..key.end];
+    let owned: Vec<Vec<u8>> = records.iter().map(|r| r.payload.to_vec()).collect();
+    let samples: Vec<(u64, u32, &[u8])> = metas
+        .iter()
+        .zip(&owned)
+        .map(|(m, p)| (m.sample_id, m.label, p.as_slice()))
+        .collect();
+    Bytes::from(encode_batch(7, key.start as u64, ORIGIN, &samples))
+}
+
+/// The zero-copy path as the daemon runs it: refcounted payload views from
+/// the warm cache, scatter frame with a pooled header.
+fn serve_new(
+    reader: &CachedRangeReader,
+    index: &GlobalIndex,
+    key: &BlockKey,
+    pool: &BufferPool,
+) -> Frame {
+    let read = reader.read_batch(*key).unwrap();
+    let metas = &index.shards[key.shard_id as usize].records[key.start..key.end];
+    let samples: Vec<(u64, u32, Bytes)> = metas
+        .iter()
+        .zip(&read.payloads)
+        .map(|(m, p)| (m.sample_id, m.label, p.clone()))
+        .collect();
+    encode_batch_frame(7, key.start as u64, ORIGIN, &samples, pool)
+}
+
+#[test]
+fn zero_copy_serve_path_allocation_budget() {
+    let dir = TempDir::new("alloc-smoke");
+    let spec = DatasetSpec::tiny("alloc-smoke", 64);
+    let index = build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(2)).unwrap();
+    let index = Arc::new(index);
+    let keys = keys_of(&index);
+    assert!(
+        keys.len() >= 4,
+        "expected several blocks, got {}",
+        keys.len()
+    );
+
+    let pool = BufferPool::new();
+    let root = TfrecordSource::new(index.clone()).with_alloc(Arc::new(pool.clone()));
+    let cache = Arc::new(ShardCache::new(CacheConfig::default()).unwrap());
+    let stack: Arc<dyn RangeSource> = Arc::new(CachedSource::new(cache, Arc::new(root)));
+    let reader = CachedRangeReader::new(stack.clone());
+
+    // Warm the cache (and the pool's header class) with one full epoch.
+    for key in &keys {
+        drop(serve_new(&reader, &index, key, &pool));
+    }
+
+    // Phase 1 — byte identity: the scatter frame gathers to exactly the
+    // bytes the old single-buffer encoder produces.
+    for key in &keys {
+        let old = serve_old(stack.as_ref(), &index, key);
+        let new = serve_new(&reader, &index, key, &pool).into_bytes();
+        assert_eq!(&old[..], &new[..], "wire bytes diverged on {key:?}");
+    }
+
+    // Phase 2 — O(1) pool growth: steady-state epochs take every buffer
+    // from the free list. Cached blocks stay pinned (no block takes) and
+    // header buffers recycle when each frame drops.
+    let allocs_after_warm = pool.stats().pool_alloc;
+    let reuse_before = pool.stats().pool_reuse;
+    for _ in 0..4 {
+        for key in &keys {
+            drop(serve_new(&reader, &index, key, &pool));
+        }
+    }
+    let stats = pool.stats();
+    assert_eq!(
+        stats.pool_alloc, allocs_after_warm,
+        "steady-state epochs must not grow the pool"
+    );
+    assert!(
+        stats.pool_reuse > reuse_before,
+        "steady-state headers should come from the free list"
+    );
+
+    // Phase 3 — the acceptance bar: ≥2× fewer allocator calls per served
+    // batch on the warm path. Both loops serve identical batches.
+    const EPOCHS: u64 = 8;
+    let before = ALLOC.allocations();
+    for _ in 0..EPOCHS {
+        for key in &keys {
+            drop(serve_new(&reader, &index, key, &pool));
+        }
+    }
+    let new_allocs = ALLOC.allocations() - before;
+
+    let before = ALLOC.allocations();
+    for _ in 0..EPOCHS {
+        for key in &keys {
+            drop(serve_old(stack.as_ref(), &index, key));
+        }
+    }
+    let old_allocs = ALLOC.allocations() - before;
+
+    let batches = EPOCHS * keys.len() as u64;
+    assert!(new_allocs > 0, "counting allocator not engaged");
+    assert!(
+        old_allocs >= 2 * new_allocs,
+        "expected >=2x fewer allocations on the zero-copy path: \
+         old={old_allocs} ({} per batch), new={new_allocs} ({} per batch)",
+        old_allocs / batches,
+        new_allocs / batches,
+    );
+
+    // Phase 4 — empty-payload regression (the zero-length msgpack bin/str
+    // fix): constructing empty Bytes must not touch the allocator.
+    let before = ALLOC.allocations();
+    let a = Bytes::from(Vec::new());
+    let b = Bytes::new();
+    let c = b.slice(0..0);
+    assert!(a.is_empty() && b.is_empty() && c.is_empty());
+    assert_eq!(
+        ALLOC.allocations() - before,
+        0,
+        "empty Bytes must be allocation-free"
+    );
+}
