@@ -160,7 +160,13 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
 
     let snaps: Vec<_> = metrics.iter().map(|m| m.snapshot()).collect();
     ContentionOutcome {
-        per_daemon_hit_rate: snaps.iter().map(|s| s.cache_hit_rate()).collect(),
+        // Caches are always configured in this experiment, so an absent
+        // rate (cache disabled / no traffic) collapses to 0 and trips the
+        // hit-rate assertions downstream rather than passing silently.
+        per_daemon_hit_rate: snaps
+            .iter()
+            .map(|s| s.cache_hit_rate().unwrap_or(0.0))
+            .collect(),
         per_daemon_bytes_saved: snaps.iter().map(|s| s.cache_bytes_saved).collect(),
         aggregate_bytes_saved: snaps.iter().map(|s| s.cache_bytes_saved).sum(),
         nfs_bytes_read: mount.stats().bytes_read.load(Ordering::Relaxed),

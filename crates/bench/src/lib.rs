@@ -45,7 +45,7 @@ pub fn emit(name: &str, title: &str, rows: &[ExperimentRow]) {
     println!("{}", report::render_table(title, rows));
     let csv_path = output_dir().join(format!("{name}.csv"));
     if let Err(e) = std::fs::write(&csv_path, report::to_csv(rows)) {
-        eprintln!("warning: could not write {}: {e}", csv_path.display());
+        emlio_obs::obs_warn!("bench", "could not write {}: {e}", csv_path.display());
     } else {
         println!("wrote {}", csv_path.display());
     }

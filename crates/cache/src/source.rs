@@ -9,20 +9,35 @@
 //! whichever backend a deployment configures.
 
 use crate::cache::{Fetched, ShardCache};
+use emlio_obs::{Stage, StageRecorder};
 use emlio_tfrecord::source::{BlockKey, BlockRead, RangeSource, ReadOrigin};
 use emlio_tfrecord::RecordError;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A [`ShardCache`] interposed in front of an inner source.
 pub struct CachedSource {
     cache: Arc<ShardCache>,
     inner: Arc<dyn RangeSource>,
+    recorder: Option<Arc<StageRecorder>>,
 }
 
 impl CachedSource {
     /// Cache `inner`'s blocks in `cache`.
     pub fn new(cache: Arc<ShardCache>, inner: Arc<dyn RangeSource>) -> CachedSource {
-        CachedSource { cache, inner }
+        CachedSource {
+            cache,
+            inner,
+            recorder: None,
+        }
+    }
+
+    /// Record cache-hit lookup latency ([`Stage::CacheLookup`]) into
+    /// `recorder`. Misses are excluded — their time *is* the inner
+    /// storage read, which the stack meters separately.
+    pub fn with_recorder(mut self, recorder: Arc<StageRecorder>) -> CachedSource {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The cache tiers behind this layer.
@@ -46,12 +61,18 @@ impl CachedSource {
 
 impl RangeSource for CachedSource {
     fn read_block(&self, key: &BlockKey) -> Result<BlockRead, RecordError> {
+        let t0 = self.recorder.as_ref().map(|_| Instant::now());
         let mut inner_nanos = 0u64;
         let (data, from) = self.cache.get_or_fetch::<RecordError, _, _>(*key, || {
             let (bytes, nanos) = self.fetch_inner(key)?;
             inner_nanos = nanos;
             Ok(bytes)
         })?;
+        if let (Some(rec), Some(t0)) = (&self.recorder, t0) {
+            if from.is_hit() {
+                rec.record(Stage::CacheLookup, t0.elapsed().as_nanos() as u64);
+            }
+        }
         Ok(BlockRead {
             data,
             origin: if from.is_hit() {

@@ -24,6 +24,7 @@ use crate::pool::BufferPool;
 use crate::wire;
 use bytes::Bytes;
 use emlio_cache::{BlockKey, CachedRangeReader, CachedSource, Prefetcher, ReadOrigin, ShardCache};
+use emlio_obs::{clock, obs_error, BatchTrace, FlightRecorder, Stage, StageRecorder};
 use emlio_tfrecord::source::{BlockRead, RangeSource, TfrecordSource};
 use emlio_tfrecord::{GlobalIndex, RecordError};
 use emlio_zmq::{Endpoint, Frame, PushSocket, SocketOptions, ZmqError};
@@ -72,12 +73,26 @@ impl From<ZmqError> for DaemonError {
 pub struct MeteredSource {
     inner: Arc<dyn RangeSource>,
     metrics: Arc<DataPathMetrics>,
+    recorder: Option<Arc<StageRecorder>>,
 }
 
 impl MeteredSource {
     /// Meter every read that falls through to `inner`.
     pub fn new(inner: Arc<dyn RangeSource>, metrics: Arc<DataPathMetrics>) -> MeteredSource {
-        MeteredSource { inner, metrics }
+        MeteredSource {
+            inner,
+            metrics,
+            recorder: None,
+        }
+    }
+
+    /// Also feed each backing read's latency into the per-stage histogram
+    /// ([`Stage::StorageRead`]). This layer is the one place storage-read
+    /// latency is recorded, so cached and uncached stacks alike count each
+    /// positioned read exactly once.
+    pub fn with_recorder(mut self, recorder: Arc<StageRecorder>) -> MeteredSource {
+        self.recorder = Some(recorder);
+        self
     }
 }
 
@@ -90,6 +105,9 @@ impl RangeSource for MeteredSource {
         // positioned read (not span resolution or cache admission work).
         if !read.origin.is_cached() {
             self.metrics.record_storage_read(read.read_nanos);
+            if let Some(rec) = &self.recorder {
+                rec.record(Stage::StorageRead, read.read_nanos);
+            }
         }
         Ok(read)
     }
@@ -119,6 +137,8 @@ pub struct EmlioDaemon {
     /// Block/header buffer pool shared by the backing reads (via the
     /// [`emlio_tfrecord::BlockAlloc`] seam) and the wire encoder.
     pool: BufferPool,
+    /// Per-stage latency histograms for this daemon's data path.
+    recorder: Arc<StageRecorder>,
 }
 
 impl EmlioDaemon {
@@ -162,7 +182,11 @@ impl EmlioDaemon {
         pool: BufferPool,
     ) -> Result<EmlioDaemon, DaemonError> {
         let metrics = DataPathMetrics::shared();
-        let metered: Arc<dyn RangeSource> = Arc::new(MeteredSource::new(base, metrics.clone()));
+        let recorder = StageRecorder::shared();
+        pool.set_recorder(recorder.clone());
+        let metered: Arc<dyn RangeSource> =
+            Arc::new(MeteredSource::new(base, metrics.clone()).with_recorder(recorder.clone()));
+        metrics.set_cache_enabled(config.cache.is_some());
         let (source, cached) = match &config.cache {
             None => (metered, None),
             Some(cache_config) => {
@@ -170,10 +194,34 @@ impl EmlioDaemon {
                     ShardCache::new(cache_config.clone())
                         .map_err(|e| DaemonError::Storage(RecordError::Io(e)))?,
                 );
-                let cached = Arc::new(CachedSource::new(cache, metered));
+                let cached =
+                    Arc::new(CachedSource::new(cache, metered).with_recorder(recorder.clone()));
                 (cached.clone() as Arc<dyn RangeSource>, Some(cached))
             }
         };
+        // Off-path counters live in the cache and the pool; snapshot-time
+        // providers pull them fresh, so a mid-epoch snapshot (sampler
+        // thread, bench probe) is as current as an end-of-serve one. The
+        // closures capture only cache/pool handles — neither references
+        // the metrics, so no Arc cycle forms.
+        if let Some(cached) = &cached {
+            let cache = cached.cache().clone();
+            metrics.register_provider(move |m| {
+                let s = cache.stats().snapshot();
+                m.set_cache_evictions(s.evictions);
+                m.set_cache_disk_hits(s.disk_hits);
+                m.set_cache_readmitted(s.readmitted);
+                // RAM-tier hits hand the cached `Bytes` straight into the
+                // wire frame — not one payload byte is copied. Disk-tier
+                // hits re-read the spill file, so they are excluded.
+                m.set_zero_copy_hits(s.hits - s.disk_hits);
+            });
+        }
+        let pool_handle = pool.clone();
+        metrics.register_provider(move |m| {
+            let ps = pool_handle.stats();
+            m.set_pool_counters(ps.pool_alloc, ps.pool_reuse);
+        });
         Ok(EmlioDaemon {
             id: id.to_string(),
             index,
@@ -182,6 +230,7 @@ impl EmlioDaemon {
             source,
             cached,
             pool,
+            recorder,
         })
     }
 
@@ -198,6 +247,12 @@ impl EmlioDaemon {
     /// Shared data-path counters.
     pub fn metrics(&self) -> Arc<DataPathMetrics> {
         self.metrics.clone()
+    }
+
+    /// Per-stage latency histograms (storage read, cache lookup, pool
+    /// alloc, batch assemble, encode, socket send).
+    pub fn recorder(&self) -> Arc<StageRecorder> {
+        self.recorder.clone()
     }
 
     /// The shard block cache, when configured.
@@ -247,6 +302,7 @@ impl EmlioDaemon {
         }
         let reader = &reader;
 
+        let t_serve = Instant::now();
         let result = std::thread::scope(|scope| -> Result<(), DaemonError> {
             let mut handles = Vec::with_capacity(t);
             for worker in 0..t {
@@ -274,6 +330,8 @@ impl EmlioDaemon {
         if let Some(pf) = prefetcher {
             pf.join();
         }
+        self.metrics
+            .set_serve_wall(t_serve.elapsed().as_nanos() as u64, t as u64);
         let mut result = result;
         if let Some(cached) = &self.cached {
             let cache = cached.cache();
@@ -288,17 +346,17 @@ impl EmlioDaemon {
                     }
                 }
             }
-            let s = cache.stats().snapshot();
-            self.metrics.set_cache_evictions(s.evictions);
-            self.metrics.set_cache_disk_hits(s.disk_hits);
-            self.metrics.set_cache_readmitted(s.readmitted);
-            // RAM-tier hits hand the cached `Bytes` straight into the wire
-            // frame — not one payload byte is copied. Disk-tier hits re-read
-            // the spill file, so they are excluded.
-            self.metrics.set_zero_copy_hits(s.hits - s.disk_hits);
         }
-        let ps = self.pool.stats();
-        self.metrics.set_pool_counters(ps.pool_alloc, ps.pool_reuse);
+        // Cache/pool counters reconcile via the snapshot-time providers
+        // registered at open; no end-of-serve pass needed.
+        if let Err(e) = &result {
+            obs_error!(
+                "daemon",
+                "{} serve failed: {e}; {}",
+                self.id,
+                FlightRecorder::global().dump_string("serve error")
+            );
+        }
         result
     }
 
@@ -331,30 +389,50 @@ impl EmlioDaemon {
         reader: &CachedRangeReader,
     ) -> Result<(), DaemonError> {
         let origin = format!("{}/t{}", self.id, worker);
-        let socket =
-            PushSocket::connect(endpoint, SocketOptions::default().with_hwm(self.config.hwm))?;
+        let socket = PushSocket::connect(
+            endpoint,
+            SocketOptions::default()
+                .with_hwm(self.config.hwm)
+                .with_recorder(self.recorder.clone()),
+        )?;
+        let stats = socket.stats();
         let mut sent = 0u64;
 
         for ep in &plan.epochs {
+            FlightRecorder::global().record("daemon_epoch_start", ep.epoch as u64, 0);
             let ranges = &plan.epochs[ep.epoch as usize].nodes[node_id].thread_splits[worker];
             for range in ranges {
-                let frame = self.assemble_batch(range, ep.epoch, &origin, reader)?;
+                let t0 = Instant::now();
+                let frame = self.assemble_batch(range, ep.epoch, &origin, sent, reader)?;
+                self.recorder
+                    .record(Stage::BatchAssemble, t0.elapsed().as_nanos() as u64);
                 socket.send(frame)?;
                 sent += 1;
             }
         }
         socket.send(Bytes::from(wire::encode_end_stream(&origin, sent)))?;
+        // Fold this stream's backpressure stalls into the shared counters
+        // before the socket (and its stats' last strong ref) goes away.
+        self.metrics.add_send_blocked_nanos(
+            stats
+                .blocked_nanos
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
         socket.close()?;
         Ok(())
     }
 
     /// Read one planned range through the source stack and serialize it
-    /// into one scatter frame (pooled header buffer + aliased payloads).
+    /// into one scatter frame (pooled header buffer + aliased payloads),
+    /// stamped with a [`BatchTrace`] carrying this worker's send sequence
+    /// number `seq` so the receiver can compute per-batch transit and
+    /// queue-dwell latencies.
     fn assemble_batch(
         &self,
         range: &BatchRange,
         epoch: u32,
         origin: &str,
+        seq: u64,
         reader: &CachedRangeReader,
     ) -> Result<Frame, DaemonError> {
         let shard = self
@@ -395,10 +473,25 @@ impl EmlioDaemon {
             .map(|(m, p)| (m.sample_id, m.label, p.clone()))
             .collect();
 
+        // Stamp the send timestamp as late as possible — right before the
+        // header encode — so receiver-side transit latency excludes the
+        // storage read and batch assembly above.
+        let trace = BatchTrace {
+            seq,
+            sent_at_nanos: clock::now_nanos(),
+        };
         let t_ser = Instant::now();
-        let frame = wire::encode_batch_frame(epoch, range.batch_id, origin, &samples, &self.pool);
-        self.metrics
-            .add_codec_nanos(t_ser.elapsed().as_nanos() as u64);
+        let frame = wire::encode_batch_frame_traced(
+            epoch,
+            range.batch_id,
+            origin,
+            Some(trace),
+            &samples,
+            &self.pool,
+        );
+        let ser_nanos = t_ser.elapsed().as_nanos() as u64;
+        self.metrics.add_codec_nanos(ser_nanos);
+        self.recorder.record(Stage::Encode, ser_nanos);
         self.metrics.record_batch(samples.len() as u64, read.bytes);
         Ok(frame)
     }

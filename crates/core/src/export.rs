@@ -1,0 +1,539 @@
+//! Metrics export: periodic sampling of the data path into `emlio-tsdb`,
+//! Influx line-protocol files, and the `emlio report` renderer.
+//!
+//! Three measurements, all tagged with `proc` (the sampled process or
+//! component — `daemon-0`, `receiver`):
+//!
+//! * `emlio_stage` (tags `proc`, `stage`) — per-stage latency histogram
+//!   quantiles: `count`, `sum_nanos`, `p50_nanos`, `p95_nanos`,
+//!   `p99_nanos`, `max_nanos`. Empty stages are skipped.
+//! * `emlio_path` (tag `proc`) — the [`MetricsSnapshot`] counters
+//!   (batches, bytes, cache traffic, pool traffic, blocked-send time).
+//!   `cache_hit_rate` is only emitted when a cache is configured and saw
+//!   traffic, preserving the disabled-vs-0% distinction.
+//! * `emlio_run` (tag `proc`) — `wall_nanos` and `workers` of the most
+//!   recent serve, emitted once it is known.
+//!
+//! Counters are cumulative, so the *last* point of each series is the
+//! final state; [`render_report`] reads only that point and the sampler
+//! exists to capture the trajectory (for plotting rates over a run).
+
+use crate::metrics::{DataPathMetrics, MetricsSnapshot};
+use emlio_obs::{clock, RecorderSnapshot, Stage, StageRecorder};
+use emlio_tsdb::line;
+use emlio_tsdb::storage::Series;
+use emlio_tsdb::{Db, Point};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One sampled process/component: a `proc` tag plus whichever of the two
+/// telemetry surfaces it has.
+#[derive(Clone)]
+pub struct SampleSource {
+    /// Value of the `proc` tag on every point this source emits.
+    pub process: String,
+    /// Data-path counters, if this component keeps them.
+    pub metrics: Option<Arc<DataPathMetrics>>,
+    /// Per-stage latency histograms, if this component records them.
+    pub recorder: Option<Arc<StageRecorder>>,
+}
+
+impl SampleSource {
+    /// A source with both counters and stage histograms (a daemon).
+    pub fn new(
+        process: &str,
+        metrics: Arc<DataPathMetrics>,
+        recorder: Arc<StageRecorder>,
+    ) -> SampleSource {
+        SampleSource {
+            process: process.to_string(),
+            metrics: Some(metrics),
+            recorder: Some(recorder),
+        }
+    }
+
+    /// A source with only stage histograms (the receiver/pipeline side).
+    pub fn recorder_only(process: &str, recorder: Arc<StageRecorder>) -> SampleSource {
+        SampleSource {
+            process: process.to_string(),
+            metrics: None,
+            recorder: Some(recorder),
+        }
+    }
+}
+
+/// Write one sample of every source into `db` at timestamp `ts` (nanos).
+pub fn sample_into(db: &mut Db, sources: &[SampleSource], ts: u64) {
+    for src in sources {
+        if let Some(metrics) = &src.metrics {
+            let snap = metrics.snapshot();
+            insert_path_points(db, &src.process, &snap, ts);
+        }
+        if let Some(recorder) = &src.recorder {
+            let snap = recorder.snapshot();
+            insert_stage_points(db, &src.process, &snap, ts);
+        }
+    }
+}
+
+fn insert_stage_points(db: &mut Db, process: &str, snap: &RecorderSnapshot, ts: u64) {
+    for (stage, h) in snap.non_empty() {
+        let p = Point::new("emlio_stage")
+            .tag("proc", process)
+            .tag("stage", stage.name())
+            .field("count", h.count as f64)
+            .field("sum_nanos", h.sum as f64)
+            .field("p50_nanos", h.quantile(0.50) as f64)
+            .field("p95_nanos", h.quantile(0.95) as f64)
+            .field("p99_nanos", h.quantile(0.99) as f64)
+            .field("max_nanos", h.max as f64)
+            .at(ts);
+        db.insert(&p);
+    }
+}
+
+fn insert_path_points(db: &mut Db, process: &str, snap: &MetricsSnapshot, ts: u64) {
+    let mut p = Point::new("emlio_path")
+        .tag("proc", process)
+        .field("batches", snap.batches as f64)
+        .field("samples", snap.samples as f64)
+        .field("bytes", snap.bytes as f64)
+        .field("read_nanos", snap.read_nanos as f64)
+        .field("codec_nanos", snap.codec_nanos as f64)
+        .field("storage_reads", snap.storage_reads as f64)
+        .field("cache_enabled", if snap.cache_enabled { 1.0 } else { 0.0 })
+        .field("cache_hits", snap.cache_hits as f64)
+        .field("cache_misses", snap.cache_misses as f64)
+        .field("cache_evictions", snap.cache_evictions as f64)
+        .field("cache_bytes_saved", snap.cache_bytes_saved as f64)
+        .field("pool_alloc", snap.pool_alloc as f64)
+        .field("pool_reuse", snap.pool_reuse as f64)
+        .field("zero_copy_hits", snap.zero_copy_hits as f64)
+        .field("send_blocked_nanos", snap.send_blocked_nanos as f64)
+        .at(ts);
+    // Only meaningful when a cache is configured and saw traffic — the
+    // field's absence IS the "disabled / no traffic" signal downstream.
+    if let Some(rate) = snap.cache_hit_rate() {
+        p = p.field("cache_hit_rate", rate);
+    }
+    db.insert(&p);
+    if snap.serve_wall_nanos > 0 {
+        db.insert(
+            &Point::new("emlio_run")
+                .tag("proc", process)
+                .field("wall_nanos", snap.serve_wall_nanos as f64)
+                .field("workers", snap.serve_workers as f64)
+                .at(ts),
+        );
+    }
+}
+
+/// A background thread flushing [`SampleSource`]s into a [`Db`] every
+/// `interval`. [`finish`](MetricsSampler::finish) stops it, takes one
+/// last sample (so the final counter state is always captured, however
+/// short the run), and hands the database back.
+pub struct MetricsSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    db: Arc<Mutex<Db>>,
+}
+
+impl MetricsSampler {
+    /// Start sampling `sources` every `interval`.
+    pub fn spawn(sources: Vec<SampleSource>, interval: Duration) -> MetricsSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let db = Arc::new(Mutex::new(Db::new()));
+        let handle = {
+            let stop = stop.clone();
+            let db = db.clone();
+            std::thread::Builder::new()
+                .name("emlio-metrics-sampler".into())
+                .spawn(move || {
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        sample_into(
+                            &mut db.lock().expect("sampler db poisoned"),
+                            &sources,
+                            clock::now_nanos(),
+                        );
+                        // Sleep in small slices so finish() never waits a
+                        // full interval for the thread to notice the flag.
+                        let mut remaining = interval;
+                        while !stop.load(Ordering::Acquire) && remaining > Duration::ZERO {
+                            let slice = remaining.min(Duration::from_millis(20));
+                            std::thread::sleep(slice);
+                            remaining = remaining.saturating_sub(slice);
+                        }
+                    }
+                    // Final sample: the settled end-of-run state.
+                    sample_into(
+                        &mut db.lock().expect("sampler db poisoned"),
+                        &sources,
+                        clock::now_nanos(),
+                    );
+                })
+                .expect("spawn metrics sampler")
+        };
+        MetricsSampler {
+            stop,
+            handle: Some(handle),
+            db,
+        }
+    }
+
+    /// Stop the sampler and return the collected database (including one
+    /// final sample taken after the stop signal).
+    pub fn finish(mut self) -> Db {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        std::mem::take(&mut self.db.lock().expect("sampler db poisoned"))
+    }
+}
+
+impl Drop for MetricsSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Write `db` to `path` as Influx line protocol (see
+/// `docs/OBSERVABILITY.md` for the schema).
+pub fn write_line_protocol(db: &Db, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, line::dump(db))
+}
+
+/// Read a line-protocol file previously written by
+/// [`write_line_protocol`] (or any Influx-compatible exporter).
+pub fn read_line_protocol(path: &Path) -> std::io::Result<Db> {
+    let text = std::fs::read_to_string(path)?;
+    line::load(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// How a process's serve wall time divides between doing work and being
+/// stalled — the numbers behind the report's attribution block.
+///
+/// All sums are across that process's worker threads, so the comparison
+/// baseline is `wall × workers` (total thread-time), not wall alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallReport {
+    /// Serve wall time × send workers: total worker thread-time.
+    pub wall_workers_nanos: u64,
+    /// Time spent assembling batches (read + encode, the productive part).
+    pub assemble_nanos: u64,
+    /// Time spent in socket sends, *including* HWM backpressure stalls.
+    pub send_nanos: u64,
+    /// The backpressure subset of `send_nanos`: workers blocked on a full
+    /// socket queue (blocked-send).
+    pub blocked_send_nanos: u64,
+    /// `wall_workers - assemble - send`: loop overhead + plan iteration.
+    pub unattributed_nanos: u64,
+}
+
+impl StallReport {
+    /// assemble + send: thread-time the stage histograms explain.
+    pub fn accounted_nanos(&self) -> u64 {
+        self.assemble_nanos + self.send_nanos
+    }
+
+    /// Fraction of total thread-time the stage histograms explain, in
+    /// `[0, 1]`-ish (can exceed 1 slightly from timer skew).
+    pub fn accounted_fraction(&self) -> f64 {
+        if self.wall_workers_nanos == 0 {
+            return 0.0;
+        }
+        self.accounted_nanos() as f64 / self.wall_workers_nanos as f64
+    }
+}
+
+/// Compute the stall attribution for `process` from the last sample in
+/// `db`. `None` until an `emlio_run` point exists for it (i.e. before the
+/// first completed serve).
+pub fn stall_attribution(db: &Db, process: &str) -> Option<StallReport> {
+    let run = last_fields(db, "emlio_run", &[("proc", process)])?;
+    let wall = *run.get("wall_nanos")? as u64;
+    let workers = (*run.get("workers")? as u64).max(1);
+    let wall_workers = wall.saturating_mul(workers);
+    let assemble = last_stage_sum(db, process, Stage::BatchAssemble);
+    let send = last_stage_sum(db, process, Stage::SocketSend);
+    let blocked_send = last_fields(db, "emlio_path", &[("proc", process)])
+        .and_then(|f| f.get("send_blocked_nanos").copied())
+        .unwrap_or(0.0) as u64;
+    Some(StallReport {
+        wall_workers_nanos: wall_workers,
+        assemble_nanos: assemble,
+        send_nanos: send,
+        blocked_send_nanos: blocked_send,
+        unattributed_nanos: wall_workers.saturating_sub(assemble).saturating_sub(send),
+    })
+}
+
+fn last_stage_sum(db: &Db, process: &str, stage: Stage) -> u64 {
+    last_fields(
+        db,
+        "emlio_stage",
+        &[("proc", process), ("stage", stage.name())],
+    )
+    .and_then(|f| f.get("sum_nanos").copied())
+    .unwrap_or(0.0) as u64
+}
+
+/// The last non-NaN value of every field in the (single) series matching
+/// `measurement` + `tags` exactly on those tags.
+fn last_fields(
+    db: &Db,
+    measurement: &str,
+    tags: &[(&str, &str)],
+) -> Option<std::collections::BTreeMap<String, f64>> {
+    let filter: Vec<(String, String)> = tags
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let series = db.matching(measurement, &filter);
+    let s = series.first()?;
+    let mut out = std::collections::BTreeMap::new();
+    for (name, col) in &s.fields {
+        if let Some(v) = col.iter().rev().find(|v| !v.is_nan()) {
+            out.insert(name.clone(), *v);
+        }
+    }
+    Some(out)
+}
+
+fn processes(db: &Db) -> Vec<String> {
+    let mut procs: Vec<String> = db
+        .all_series()
+        .filter_map(|(_, s)| s.tags.get("proc").cloned())
+        .collect();
+    procs.sort();
+    procs.dedup();
+    procs
+}
+
+fn stage_series_for<'a>(db: &'a Db, process: &str) -> Vec<(Stage, &'a Series)> {
+    let filter = vec![("proc".to_string(), process.to_string())];
+    let mut rows: Vec<(Stage, &Series)> = db
+        .matching("emlio_stage", &filter)
+        .into_iter()
+        .filter_map(|s| {
+            let stage = Stage::from_name(s.tags.get("stage")?)?;
+            Some((stage, s))
+        })
+        .collect();
+    // Data-path order, not tag order.
+    rows.sort_by_key(|(stage, _)| stage.index());
+    rows
+}
+
+/// Render `ns` with an adaptive unit, right-aligned in 10 columns.
+fn fmt_nanos(ns: f64) -> String {
+    let s = if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    format!("{s:>10}")
+}
+
+/// Render the per-process stage-breakdown report: a latency table per
+/// sampled process plus, for processes with a completed serve, the stall
+/// attribution block (`emlio report`'s output).
+pub fn render_report(db: &Db) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let procs = processes(db);
+    if procs.is_empty() {
+        return "no emlio measurements found\n".to_string();
+    }
+    for process in &procs {
+        let rows = stage_series_for(db, process);
+        let path = last_fields(db, "emlio_path", &[("proc", process)]);
+        if rows.is_empty() && path.is_none() {
+            continue;
+        }
+        let _ = writeln!(out, "== {process} ==");
+        if !rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "stage", "count", "p50", "p95", "p99", "max", "total"
+            );
+            for (stage, series) in &rows {
+                let f = |name: &str| {
+                    series
+                        .fields
+                        .get(name)
+                        .and_then(|col| col.iter().rev().find(|v| !v.is_nan()))
+                        .copied()
+                        .unwrap_or(0.0)
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>10} {} {} {} {} {}",
+                    stage.name(),
+                    f("count") as u64,
+                    fmt_nanos(f("p50_nanos")),
+                    fmt_nanos(f("p95_nanos")),
+                    fmt_nanos(f("p99_nanos")),
+                    fmt_nanos(f("max_nanos")),
+                    fmt_nanos(f("sum_nanos")),
+                );
+            }
+        }
+        if let Some(path) = &path {
+            let g = |name: &str| path.get(name).copied().unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "path: {} batches, {} samples, {:.1} MiB",
+                g("batches") as u64,
+                g("samples") as u64,
+                g("bytes") / (1024.0 * 1024.0),
+            );
+            let cache_line = match path.get("cache_hit_rate") {
+                Some(rate) => format!(
+                    "cache: {:.1}% hit rate ({} hits / {} misses), {:.1} MiB saved",
+                    rate * 100.0,
+                    g("cache_hits") as u64,
+                    g("cache_misses") as u64,
+                    g("cache_bytes_saved") / (1024.0 * 1024.0),
+                ),
+                None if g("cache_enabled") == 0.0 => "cache: disabled".to_string(),
+                None => "cache: enabled, no traffic".to_string(),
+            };
+            let _ = writeln!(out, "{cache_line}");
+        }
+        if let Some(stall) = stall_attribution(db, process) {
+            let ww = stall.wall_workers_nanos as f64;
+            let pct = |n: u64| {
+                if ww > 0.0 {
+                    100.0 * n as f64 / ww
+                } else {
+                    0.0
+                }
+            };
+            let _ = writeln!(
+                out,
+                "stall attribution (wall × workers = {}):",
+                fmt_nanos(ww).trim_start()
+            );
+            let _ = writeln!(
+                out,
+                "  batch assemble  {}  ({:>5.1}%)",
+                fmt_nanos(stall.assemble_nanos as f64),
+                pct(stall.assemble_nanos)
+            );
+            let _ = writeln!(
+                out,
+                "  socket send     {}  ({:>5.1}%)  of which blocked-send {}",
+                fmt_nanos(stall.send_nanos as f64),
+                pct(stall.send_nanos),
+                fmt_nanos(stall.blocked_send_nanos as f64).trim_start(),
+            );
+            let _ = writeln!(
+                out,
+                "  unattributed    {}  ({:>5.1}%)",
+                fmt_nanos(stall.unattributed_nanos as f64),
+                pct(stall.unattributed_nanos)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emlio_obs::StageRecorder;
+
+    fn demo_sources() -> Vec<SampleSource> {
+        let metrics = DataPathMetrics::shared();
+        metrics.set_cache_enabled(true);
+        metrics.record_batch(32, 4096);
+        metrics.record_cache_hit(4096);
+        metrics.record_cache_miss();
+        metrics.add_send_blocked_nanos(1_000);
+        metrics.set_serve_wall(10_000_000, 2);
+        let recorder = StageRecorder::shared();
+        recorder.record(Stage::BatchAssemble, 9_000_000);
+        recorder.record(Stage::SocketSend, 6_000_000);
+        recorder.record(Stage::Encode, 500_000);
+        vec![SampleSource::new("daemon-0", metrics, recorder)]
+    }
+
+    #[test]
+    fn sample_report_roundtrip_through_line_protocol() {
+        let sources = demo_sources();
+        let mut db = Db::new();
+        sample_into(&mut db, &sources, 1_000);
+        sample_into(&mut db, &sources, 2_000);
+
+        // Stall attribution reads the last sample's cumulative state.
+        let stall = stall_attribution(&db, "daemon-0").unwrap();
+        assert_eq!(stall.wall_workers_nanos, 20_000_000);
+        assert_eq!(stall.assemble_nanos, 9_000_000);
+        assert_eq!(stall.send_nanos, 6_000_000);
+        assert_eq!(stall.blocked_send_nanos, 1_000);
+        assert_eq!(stall.unattributed_nanos, 5_000_000);
+        assert!((stall.accounted_fraction() - 0.75).abs() < 1e-9);
+
+        // The report names every non-empty stage and the attribution block.
+        let report = render_report(&db);
+        assert!(report.contains("== daemon-0 =="));
+        assert!(report.contains("batch_assemble"));
+        assert!(report.contains("socket_send"));
+        assert!(report.contains("encode"));
+        assert!(report.contains("stall attribution"));
+        assert!(report.contains("50.0% hit rate") || report.contains("cache: 50.0%"));
+
+        // Line-protocol roundtrip preserves the report verbatim.
+        let dir = emlio_util::testutil::TempDir::new("export-roundtrip");
+        let path = dir.path().join("metrics.lp");
+        write_line_protocol(&db, &path).unwrap();
+        let reloaded = read_line_protocol(&path).unwrap();
+        assert_eq!(render_report(&reloaded), report);
+    }
+
+    #[test]
+    fn hit_rate_field_absent_when_cache_disabled() {
+        let metrics = DataPathMetrics::shared();
+        metrics.record_batch(1, 10);
+        let sources = vec![SampleSource {
+            process: "d".into(),
+            metrics: Some(metrics),
+            recorder: None,
+        }];
+        let mut db = Db::new();
+        sample_into(&mut db, &sources, 5);
+        let fields = last_fields(&db, "emlio_path", &[("proc", "d")]).unwrap();
+        assert!(!fields.contains_key("cache_hit_rate"));
+        assert_eq!(fields.get("cache_enabled"), Some(&0.0));
+        assert!(render_report(&db).contains("cache: disabled"));
+    }
+
+    #[test]
+    fn sampler_thread_captures_final_state() {
+        let sources = demo_sources();
+        let metrics = sources[0].metrics.clone().unwrap();
+        let sampler = MetricsSampler::spawn(sources, Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(15));
+        metrics.record_batch(1, 1); // landed after spawn; final sample sees it
+        let db = sampler.finish();
+        let fields = last_fields(&db, "emlio_path", &[("proc", "daemon-0")]).unwrap();
+        assert_eq!(fields.get("batches"), Some(&2.0));
+        assert!(db.point_count() >= 2);
+    }
+}

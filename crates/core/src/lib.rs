@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod daemon;
+pub mod export;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
@@ -36,6 +37,7 @@ pub mod wire;
 
 pub use config::{Coverage, EmlioConfig};
 pub use daemon::EmlioDaemon;
+pub use export::{MetricsSampler, SampleSource, StallReport};
 pub use metrics::{DataPathMetrics, MetricsSnapshot};
 pub use plan::{BatchRange, EpochPlan, NodePlan, Plan};
 pub use pool::{BufferPool, PoolBuf, PoolStats};

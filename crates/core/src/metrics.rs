@@ -1,7 +1,23 @@
 //! Data-path counters shared between daemon, receiver, and reports.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One registered snapshot-time reconciler.
+type Provider = Box<dyn Fn(&DataPathMetrics) + Send + Sync>;
+
+/// Callbacks that pull counters from their sources of truth (cache, pool)
+/// right before a snapshot, so mid-epoch snapshots are never stale.
+#[derive(Default)]
+pub struct Providers(Mutex<Vec<Provider>>);
+
+impl fmt::Debug for Providers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "Providers({n})")
+    }
+}
 
 /// Monotonic counters for one side of the data path.
 #[derive(Debug, Default)]
@@ -40,6 +56,17 @@ pub struct DataPathMetrics {
     /// payload byte (subset of `cache_hits`; disk-tier hits re-enter RAM
     /// and are excluded).
     pub zero_copy_hits: AtomicU64,
+    /// Nanoseconds send workers spent blocked on a full socket queue.
+    pub send_blocked_nanos: AtomicU64,
+    /// Wall-clock nanoseconds of the most recent `serve()` call.
+    pub serve_wall_nanos: AtomicU64,
+    /// Send workers used by the most recent `serve()` call.
+    pub serve_workers: AtomicU64,
+    /// Whether a shard cache is configured at all — distinguishes
+    /// "cache disabled" from "cache enabled but 0% hits".
+    pub cache_enabled: AtomicBool,
+    /// Registered snapshot-time reconcilers (not a counter).
+    pub providers: Providers,
 }
 
 impl DataPathMetrics {
@@ -112,8 +139,46 @@ impl DataPathMetrics {
         self.zero_copy_hits.store(total, Ordering::Relaxed);
     }
 
-    /// Plain-value copy of every counter.
+    /// Mark whether a shard cache is configured (resolves the 0.0
+    /// hit-rate ambiguity between "disabled" and "all misses").
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.cache_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Add time a send worker spent blocked on a full socket queue.
+    pub fn add_send_blocked_nanos(&self, nanos: u64) {
+        self.send_blocked_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record the wall time and worker count of a completed `serve()`.
+    pub fn set_serve_wall(&self, wall_nanos: u64, workers: u64) {
+        self.serve_wall_nanos.store(wall_nanos, Ordering::Relaxed);
+        self.serve_workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Register a callback run at the start of every [`snapshot`] to pull
+    /// counters from their sources of truth (cache stats, pool counters).
+    /// Keeps mid-epoch snapshots — the sampler thread's, a bench probe's —
+    /// as fresh as end-of-serve ones.
+    ///
+    /// [`snapshot`]: DataPathMetrics::snapshot
+    pub fn register_provider<F>(&self, f: F)
+    where
+        F: Fn(&DataPathMetrics) + Send + Sync + 'static,
+    {
+        self.providers.0.lock().unwrap().push(Box::new(f));
+    }
+
+    /// Plain-value copy of every counter. Runs registered providers first,
+    /// so off-path counters (evictions, pool reuse) are current even when
+    /// sampled mid-epoch.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        {
+            let providers = self.providers.0.lock().unwrap();
+            for p in providers.iter() {
+                p(self);
+            }
+        }
         MetricsSnapshot {
             batches: self.batches.load(Ordering::Relaxed),
             samples: self.samples.load(Ordering::Relaxed),
@@ -130,6 +195,10 @@ impl DataPathMetrics {
             pool_alloc: self.pool_alloc.load(Ordering::Relaxed),
             pool_reuse: self.pool_reuse.load(Ordering::Relaxed),
             zero_copy_hits: self.zero_copy_hits.load(Ordering::Relaxed),
+            send_blocked_nanos: self.send_blocked_nanos.load(Ordering::Relaxed),
+            serve_wall_nanos: self.serve_wall_nanos.load(Ordering::Relaxed),
+            serve_workers: self.serve_workers.load(Ordering::Relaxed),
+            cache_enabled: self.cache_enabled.load(Ordering::Relaxed),
         }
     }
 }
@@ -167,30 +236,46 @@ pub struct MetricsSnapshot {
     pub pool_reuse: u64,
     /// Batch reads served zero-copy from RAM-tier cache hits.
     pub zero_copy_hits: u64,
+    /// Nanoseconds send workers spent blocked on a full socket queue.
+    pub send_blocked_nanos: u64,
+    /// Wall-clock nanoseconds of the most recent serve.
+    pub serve_wall_nanos: u64,
+    /// Send workers used by the most recent serve.
+    pub serve_workers: u64,
+    /// Whether a shard cache was configured.
+    pub cache_enabled: bool,
 }
 
 impl MetricsSnapshot {
-    /// Fraction of cached-path batch reads that hit, in `[0, 1]` (0 when
-    /// the cache never saw traffic).
-    pub fn cache_hit_rate(&self) -> f64 {
+    /// Fraction of cached-path batch reads that hit, in `[0, 1]`.
+    /// `None` when no cache is configured or it never saw traffic —
+    /// previously both cases reported an ambiguous `0.0`.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
+        if !self.cache_enabled || total == 0 {
+            None
         } else {
-            self.cache_hits as f64 / total as f64
+            Some(self.cache_hits as f64 / total as f64)
         }
     }
 
-    /// One-line cache report for service output.
+    /// One-line cache report for service output. Says `disabled` outright
+    /// instead of dressing an unconfigured cache up as a 0% hit rate.
     pub fn cache_summary(&self) -> String {
-        format!(
-            "cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {} saved",
-            self.cache_hits,
-            self.cache_misses,
-            self.cache_hit_rate() * 100.0,
-            self.cache_evictions,
-            emlio_util::bytesize::format_bytes(self.cache_bytes_saved),
-        )
+        match self.cache_hit_rate() {
+            None if !self.cache_enabled => "cache: disabled".to_string(),
+            rate => format!(
+                "cache: {} hits / {} misses ({} hit rate), {} evictions, {} saved",
+                self.cache_hits,
+                self.cache_misses,
+                match rate {
+                    Some(r) => format!("{:.1}%", r * 100.0),
+                    None => "no traffic, n/a".to_string(),
+                },
+                self.cache_evictions,
+                emlio_util::bytesize::format_bytes(self.cache_bytes_saved),
+            ),
+        }
     }
 }
 
@@ -215,7 +300,12 @@ mod tests {
     #[test]
     fn cache_counters_and_hit_rate() {
         let m = DataPathMetrics::shared();
-        assert_eq!(m.snapshot().cache_hit_rate(), 0.0);
+        // Disabled and traffic-free are distinguishable, not both 0.0.
+        assert_eq!(m.snapshot().cache_hit_rate(), None);
+        assert_eq!(m.snapshot().cache_summary(), "cache: disabled");
+        m.set_cache_enabled(true);
+        assert_eq!(m.snapshot().cache_hit_rate(), None, "no traffic yet");
+        assert!(m.snapshot().cache_summary().contains("no traffic"));
         m.record_cache_hit(4096);
         m.record_cache_hit(4096);
         m.record_cache_miss();
@@ -223,8 +313,43 @@ mod tests {
         let s = m.snapshot();
         assert_eq!((s.cache_hits, s.cache_misses, s.cache_evictions), (2, 1, 5));
         assert_eq!(s.cache_bytes_saved, 8192);
-        assert!((s.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.cache_hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
         assert!(s.cache_summary().contains("66.7% hit rate"));
+
+        // An enabled cache with only misses reports 0%, not disabled.
+        let cold = DataPathMetrics::shared();
+        cold.set_cache_enabled(true);
+        cold.record_cache_miss();
+        assert_eq!(cold.snapshot().cache_hit_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn providers_refresh_at_snapshot_time() {
+        use std::sync::atomic::AtomicU64;
+        let m = DataPathMetrics::shared();
+        // Model an off-path source of truth (e.g. the cache's own eviction
+        // total) that advances between snapshots.
+        let truth = Arc::new(AtomicU64::new(7));
+        let t = truth.clone();
+        m.register_provider(move |dm| {
+            dm.set_cache_evictions(t.load(Ordering::Relaxed));
+        });
+        assert_eq!(m.snapshot().cache_evictions, 7);
+        truth.store(19, Ordering::Relaxed);
+        // A mid-epoch snapshot sees the new truth without any explicit
+        // end-of-serve reconciliation pass.
+        assert_eq!(m.snapshot().cache_evictions, 19);
+    }
+
+    #[test]
+    fn stall_counters() {
+        let m = DataPathMetrics::shared();
+        m.add_send_blocked_nanos(100);
+        m.add_send_blocked_nanos(50);
+        m.set_serve_wall(1_000_000, 4);
+        let s = m.snapshot();
+        assert_eq!(s.send_blocked_nanos, 150);
+        assert_eq!((s.serve_wall_nanos, s.serve_workers), (1_000_000, 4));
     }
 
     #[test]

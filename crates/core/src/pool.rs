@@ -32,9 +32,11 @@
 //! on recycled memory without any layer knowing about the pool.
 
 use bytes::Bytes;
+use emlio_obs::{Stage, StageRecorder};
 use emlio_tfrecord::BlockAlloc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Instant;
 
 /// Smallest size class: 4 KiB.
 pub const MIN_CLASS_BYTES: usize = 4 << 10;
@@ -74,6 +76,9 @@ struct PoolInner {
     classes: Vec<Mutex<Vec<Vec<u8>>>>,
     retain_per_class: usize,
     counters: Counters,
+    /// Set once via [`BufferPool::set_recorder`]; a lock-free load on the
+    /// hot take path thereafter.
+    recorder: OnceLock<Arc<StageRecorder>>,
 }
 
 impl PoolInner {
@@ -91,6 +96,15 @@ impl PoolInner {
     }
 
     fn take(&self, min_capacity: usize) -> Vec<u8> {
+        let t0 = self.recorder.get().map(|_| Instant::now());
+        let buf = self.take_inner(min_capacity);
+        if let (Some(rec), Some(t0)) = (self.recorder.get(), t0) {
+            rec.record(Stage::PoolAlloc, t0.elapsed().as_nanos() as u64);
+        }
+        buf
+    }
+
+    fn take_inner(&self, min_capacity: usize) -> Vec<u8> {
         let Some(idx) = self.class_of(min_capacity) else {
             self.counters.unpooled.fetch_add(1, Ordering::Relaxed);
             return Vec::with_capacity(min_capacity);
@@ -161,8 +175,15 @@ impl BufferPool {
                 classes: (0..N_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
                 retain_per_class,
                 counters: Counters::default(),
+                recorder: OnceLock::new(),
             }),
         }
+    }
+
+    /// Record per-take latency ([`Stage::PoolAlloc`]) into `recorder`.
+    /// Settable once; later calls are ignored.
+    pub fn set_recorder(&self, recorder: Arc<StageRecorder>) {
+        let _ = self.inner.recorder.set(recorder);
     }
 
     /// An empty writable buffer with capacity ≥ `min_capacity`.

@@ -19,12 +19,13 @@ use crate::metrics::DataPathMetrics;
 use crate::wire::{self, LazyBatch, LazyMsg};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use emlio_msgpack::StrInterner;
+use emlio_obs::{clock, obs_warn, FlightRecorder, Stage, StageRecorder};
 use emlio_pipeline::{ExternalSource, RawBatch};
 use emlio_zmq::{Endpoint, PullSocket, SocketOptions, ZmqError};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Receiver configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +57,7 @@ pub struct EmlioReceiver {
     rx: Receiver<LazyBatch>,
     endpoint: Endpoint,
     metrics: Arc<DataPathMetrics>,
+    recorder: Arc<StageRecorder>,
     streams_seen: Arc<AtomicU32>,
     shutdown: Arc<AtomicBool>,
     thread: Option<JoinHandle<Result<(), ZmqError>>>,
@@ -70,22 +72,35 @@ impl EmlioReceiver {
             .ok_or_else(|| ZmqError::BadEndpoint("unresolvable local endpoint".into()))?;
         let (tx, rx) = bounded(config.queue_capacity.max(1));
         let metrics = DataPathMetrics::shared();
+        let recorder = StageRecorder::shared();
         let streams_seen = Arc::new(AtomicU32::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
         let thread = {
             let metrics = metrics.clone();
+            let recorder = recorder.clone();
             let streams_seen = streams_seen.clone();
             let shutdown = shutdown.clone();
             let expected = config.expected_streams;
             std::thread::Builder::new()
                 .name("emlio-receiver".into())
-                .spawn(move || receive_loop(pull, tx, metrics, streams_seen, shutdown, expected))
+                .spawn(move || {
+                    receive_loop(
+                        pull,
+                        tx,
+                        metrics,
+                        recorder,
+                        streams_seen,
+                        shutdown,
+                        expected,
+                    )
+                })
                 .expect("spawn receiver thread")
         };
         Ok(EmlioReceiver {
             rx,
             endpoint,
             metrics,
+            recorder,
             streams_seen,
             shutdown,
             thread: Some(thread),
@@ -102,7 +117,7 @@ impl EmlioReceiver {
     /// has drained. Samples materialize on the calling (consumer) thread,
     /// not on the intake thread.
     pub fn source(&self) -> LazyQueueSource {
-        LazyQueueSource::new(self.rx.clone())
+        LazyQueueSource::new(self.rx.clone()).with_recorder(self.recorder.clone())
     }
 
     /// Raw access to the shared queue of validated-but-unmaterialized
@@ -114,6 +129,13 @@ impl EmlioReceiver {
     /// Data-path counters.
     pub fn metrics(&self) -> Arc<DataPathMetrics> {
         self.metrics.clone()
+    }
+
+    /// Per-stage latency histograms (recv wait, scan, queue push on the
+    /// intake thread; queue dwell, lazy decode, wire transit, end-to-end
+    /// on the consumer side).
+    pub fn recorder(&self) -> Arc<StageRecorder> {
+        self.recorder.clone()
     }
 
     /// End-of-stream markers seen so far.
@@ -152,18 +174,56 @@ impl Drop for EmlioReceiver {
 /// already is, not on the shared intake thread.
 pub struct LazyQueueSource {
     rx: Receiver<LazyBatch>,
+    recorder: Option<Arc<StageRecorder>>,
 }
 
 impl LazyQueueSource {
     /// Wrap a channel of scanned batches.
     pub fn new(rx: Receiver<LazyBatch>) -> LazyQueueSource {
-        LazyQueueSource { rx }
+        LazyQueueSource { rx, recorder: None }
+    }
+
+    /// Record consumer-side stages (queue dwell, lazy decode, and the
+    /// trace-derived wire-transit / end-to-end latencies) into `recorder`.
+    pub fn with_recorder(mut self, recorder: Arc<StageRecorder>) -> LazyQueueSource {
+        self.recorder = Some(recorder);
+        self
     }
 }
 
 impl ExternalSource for LazyQueueSource {
     fn next_batch(&mut self) -> Option<RawBatch> {
-        self.rx.recv().ok().map(|lb| lb.materialize())
+        let lb = self.rx.recv().ok()?;
+        let Some(rec) = &self.recorder else {
+            return Some(lb.materialize());
+        };
+        let dequeued_at = clock::now_nanos();
+        let received_at = lb.received_at_nanos();
+        if received_at > 0 {
+            // How long the scanned batch sat in the bounded queue before
+            // the consumer asked for it.
+            rec.record(Stage::QueueDwell, dequeued_at.saturating_sub(received_at));
+        }
+        if let Some(trace) = lb.trace() {
+            // Daemon clock → receiver clock: both are Unix-anchored by
+            // `obs::clock`, so cross-process skew is bounded by the two
+            // anchors' SystemTime error (sub-ms on one host). Saturating
+            // guards against that skew going slightly negative.
+            if received_at > 0 {
+                rec.record(
+                    Stage::WireTransit,
+                    received_at.saturating_sub(trace.sent_at_nanos),
+                );
+            }
+            rec.record(
+                Stage::EndToEnd,
+                dequeued_at.saturating_sub(trace.sent_at_nanos),
+            );
+        }
+        let t0 = Instant::now();
+        let batch = lb.materialize();
+        rec.record(Stage::LazyDecode, t0.elapsed().as_nanos() as u64);
+        Some(batch)
     }
 }
 
@@ -171,6 +231,7 @@ fn receive_loop(
     pull: PullSocket,
     tx: Sender<LazyBatch>,
     metrics: Arc<DataPathMetrics>,
+    recorder: Arc<StageRecorder>,
     streams_seen: Arc<AtomicU32>,
     shutdown: Arc<AtomicBool>,
     expected_streams: u32,
@@ -181,26 +242,46 @@ fn receive_loop(
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let frame = match pull.recv_timeout(Duration::from_millis(200))? {
+        let t_wait = Instant::now();
+        let polled = pull.recv_timeout(Duration::from_millis(200))?;
+        // Empty poll ticks count too: RecvWait's sum is the intake
+        // thread's total time blocked on the transport, which the stall
+        // report attributes as blocked-recv.
+        recorder.record(Stage::RecvWait, t_wait.elapsed().as_nanos() as u64);
+        let frame = match polled {
             Some(f) => f,
             None => continue,
         };
-        match wire::decode_lazy(&frame, Some(&interner)) {
-            Ok(LazyMsg::Batch(batch)) => {
+        let t_scan = Instant::now();
+        let decoded = wire::decode_lazy(&frame, Some(&interner));
+        recorder.record(Stage::RecvScan, t_scan.elapsed().as_nanos() as u64);
+        match decoded {
+            Ok(LazyMsg::Batch(mut batch)) => {
+                batch.stamp_received(clock::now_nanos());
                 metrics.record_batch(batch.len() as u64, batch.payload_bytes());
+                let t_push = Instant::now();
                 if tx.send(batch).is_err() {
                     // Consumer went away; drain politely and stop.
                     return Ok(());
                 }
+                // Time blocked handing the batch to a full queue — the
+                // stall report's queue-full attribution.
+                recorder.record(Stage::QueuePush, t_push.elapsed().as_nanos() as u64);
             }
             Ok(LazyMsg::EndStream { .. }) => {
                 ended += 1;
                 streams_seen.store(ended, Ordering::SeqCst);
             }
-            Err(_) => {
+            Err(e) => {
                 // Corrupt frame: drop it. The CRC layers below make this
                 // effectively unreachable; counting it as a lost batch is
-                // the safe failure mode.
+                // the safe failure mode — but never a *silent* one.
+                FlightRecorder::global().record("recv_corrupt_frame", frame.len() as u64, 0);
+                obs_warn!(
+                    "receiver",
+                    "dropping corrupt {}-byte frame: {e}",
+                    frame.len()
+                );
                 continue;
             }
         }
@@ -220,7 +301,8 @@ fn receive_loop(
         match pull.recv_timeout(Duration::from_millis(20))? {
             Some(frame) => {
                 quiet_ticks = 0;
-                if let Ok(LazyMsg::Batch(batch)) = wire::decode_lazy(&frame, Some(&interner)) {
+                if let Ok(LazyMsg::Batch(mut batch)) = wire::decode_lazy(&frame, Some(&interner)) {
+                    batch.stamp_received(clock::now_nanos());
                     metrics.record_batch(batch.len() as u64, batch.payload_bytes());
                     if tx.send(batch).is_err() {
                         return Ok(());

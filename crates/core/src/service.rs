@@ -10,6 +10,7 @@ use crate::daemon::{DaemonError, EmlioDaemon};
 use crate::metrics::DataPathMetrics;
 use crate::plan::Plan;
 use crate::receiver::{EmlioReceiver, ReceiverConfig};
+use emlio_obs::StageRecorder;
 use emlio_zmq::Endpoint;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -33,6 +34,8 @@ pub struct Deployment {
     /// Storage-side counters, one per daemon in `storage` order (includes
     /// the cache hit/miss/bytes-saved telemetry when caching is enabled).
     pub daemon_metrics: Vec<Arc<DataPathMetrics>>,
+    /// Per-stage latency histograms, one per daemon in `storage` order.
+    pub daemon_recorders: Vec<Arc<StageRecorder>>,
     daemons: Vec<JoinHandle<Result<(), DaemonError>>>,
     /// Keeps interposed infrastructure (e.g. a netem proxy) alive for the
     /// deployment's lifetime.
@@ -115,10 +118,12 @@ impl EmlioService {
 
         let mut daemons = Vec::with_capacity(storage.len());
         let mut daemon_metrics = Vec::with_capacity(storage.len());
+        let mut daemon_recorders = Vec::with_capacity(storage.len());
         let mut batches_per_epoch = vec![0u64; config.epochs as usize];
         for spec in storage {
             let daemon = EmlioDaemon::open(&spec.id, &spec.dataset_dir, config.clone())?;
             daemon_metrics.push(daemon.metrics());
+            daemon_recorders.push(daemon.recorder());
             let plan = Plan::build(daemon.index(), &[node_id.to_string()], config);
             for e in 0..config.epochs {
                 batches_per_epoch[e as usize] += plan.batches_for(e, node_id);
@@ -136,6 +141,7 @@ impl EmlioService {
             receiver,
             batches_per_epoch,
             daemon_metrics,
+            daemon_recorders,
             daemons,
             _guard: Some(guard),
         })

@@ -24,10 +24,18 @@
 //!   [`LazyBatch`] that has *validated* the whole message but materializes
 //!   samples only when [`LazyBatch::materialize`] is called on the consumer
 //!   side.
+//!
+//! Batches may additionally carry a compact trace header in an optional
+//! `"trace"` field (bin 16: little-endian worker sequence number + send
+//! timestamp — see [`BatchTrace`]), written between `"origin"` and
+//! `"samples"`. Untraced frames omit the field entirely, so the two
+//! encoder generations stay byte-identical with or without tracing, and
+//! old decoders never see it unless a daemon stamps it.
 
 use crate::pool::BufferPool;
 use bytes::Bytes;
 use emlio_msgpack::{DecodeError, Decoder, Encoder, StrInterner};
+use emlio_obs::BatchTrace;
 use emlio_pipeline::{RawBatch, RawSample};
 use emlio_zmq::Frame;
 use std::fmt;
@@ -81,17 +89,32 @@ pub fn encode_batch(
     origin: &str,
     samples: &[(u64, u32, &[u8])],
 ) -> Vec<u8> {
+    encode_batch_traced(epoch, batch_id, origin, None, samples)
+}
+
+/// [`encode_batch`] with an optional [`BatchTrace`] header stamped in.
+pub fn encode_batch_traced(
+    epoch: u32,
+    batch_id: u64,
+    origin: &str,
+    trace: Option<BatchTrace>,
+    samples: &[(u64, u32, &[u8])],
+) -> Vec<u8> {
     // Capacity estimate: payloads + ~32 bytes/sample overhead.
     let payload: usize = samples.iter().map(|(_, _, d)| d.len()).sum();
-    let mut buf = Vec::with_capacity(payload + samples.len() * 32 + 64);
+    let mut buf = Vec::with_capacity(payload + samples.len() * 32 + 96);
     let mut e = Encoder::new(&mut buf);
-    e.write_map_len(4);
+    e.write_map_len(if trace.is_some() { 5 } else { 4 });
     e.write_str("epoch");
     e.write_uint(epoch as u64);
     e.write_str("batch_id");
     e.write_uint(batch_id);
     e.write_str("origin");
     e.write_str(origin);
+    if let Some(t) = trace {
+        e.write_str("trace");
+        e.write_bin(&t.to_bytes());
+    }
     e.write_str("samples");
     e.write_array_len(samples.len());
     for (id, label, data) in samples {
@@ -117,18 +140,35 @@ pub fn encode_batch_frame(
     samples: &[(u64, u32, Bytes)],
     pool: &BufferPool,
 ) -> Frame {
-    let mut hdr = pool.get(64 + origin.len() + samples.len() * 40);
+    encode_batch_frame_traced(epoch, batch_id, origin, None, samples, pool)
+}
+
+/// [`encode_batch_frame`] with an optional [`BatchTrace`] header stamped
+/// in. Wire bytes are identical to [`encode_batch_traced`].
+pub fn encode_batch_frame_traced(
+    epoch: u32,
+    batch_id: u64,
+    origin: &str,
+    trace: Option<BatchTrace>,
+    samples: &[(u64, u32, Bytes)],
+    pool: &BufferPool,
+) -> Frame {
+    let mut hdr = pool.get(96 + origin.len() + samples.len() * 40);
     // `cuts[i]` = header offset where sample i's payload splices in.
     let mut cuts = Vec::with_capacity(samples.len());
     {
         let mut e = Encoder::new(&mut hdr);
-        e.write_map_len(4);
+        e.write_map_len(if trace.is_some() { 5 } else { 4 });
         e.write_str("epoch");
         e.write_uint(epoch as u64);
         e.write_str("batch_id");
         e.write_uint(batch_id);
         e.write_str("origin");
         e.write_str(origin);
+        if let Some(t) = trace {
+            e.write_str("trace");
+            e.write_bin(&t.to_bytes());
+        }
         e.write_str("samples");
         e.write_array_len(samples.len());
     }
@@ -204,6 +244,10 @@ pub struct LazyBatch {
     /// Frame offset of the samples array header.
     samples_at: usize,
     payload_bytes: u64,
+    trace: Option<BatchTrace>,
+    /// Receiver-local arrival timestamp ([`emlio_obs::clock::now_nanos`]),
+    /// 0 until [`LazyBatch::stamp_received`] is called.
+    received_at_nanos: u64,
 }
 
 impl LazyBatch {
@@ -235,6 +279,24 @@ impl LazyBatch {
     /// Total payload bytes across all samples (header metadata excluded).
     pub fn payload_bytes(&self) -> u64 {
         self.payload_bytes
+    }
+
+    /// Trace header stamped by the sending worker, if any. Full batch
+    /// identity for correlation is `(origin, epoch, trace.seq)`.
+    pub fn trace(&self) -> Option<BatchTrace> {
+        self.trace
+    }
+
+    /// Record the local arrival time (call on the receive thread, right
+    /// after the scan) so consumers can compute queue dwell.
+    pub fn stamp_received(&mut self, nanos: u64) {
+        self.received_at_nanos = nanos;
+    }
+
+    /// Local arrival timestamp set by [`LazyBatch::stamp_received`]
+    /// (0 when never stamped).
+    pub fn received_at_nanos(&self) -> u64 {
+        self.received_at_nanos
     }
 
     /// Decode the samples into a [`RawBatch`]. Payload bytes alias the
@@ -289,6 +351,7 @@ pub fn decode_lazy(frame: &Bytes, interner: Option<&StrInterner>) -> Result<Lazy
     let mut origin: Option<Arc<str>> = None;
     let mut ctrl: Option<&str> = None;
     let mut batches_sent: Option<u64> = None;
+    let mut trace: Option<BatchTrace> = None;
     let mut samples: Option<(usize, usize, u64)> = None; // (at, n, payload_bytes)
 
     for _ in 0..n_fields {
@@ -302,6 +365,12 @@ pub fn decode_lazy(frame: &Bytes, interner: Option<&StrInterner>) -> Result<Lazy
                     Some(i) => i.intern(s),
                     None => Arc::from(s),
                 });
+            }
+            "trace" => {
+                let raw = d.read_bin()?;
+                trace = Some(BatchTrace::from_bytes(raw).ok_or_else(|| {
+                    WireError::Schema(format!("trace field has {} bytes", raw.len()))
+                })?);
             }
             "ctrl" => ctrl = Some(d.read_str()?),
             "batches_sent" => batches_sent = Some(d.read_u64()?),
@@ -341,6 +410,8 @@ pub fn decode_lazy(frame: &Bytes, interner: Option<&StrInterner>) -> Result<Lazy
         n_samples,
         samples_at,
         payload_bytes,
+        trace,
+        received_at_nanos: 0,
     }))
 }
 
@@ -513,6 +584,74 @@ mod tests {
             panic!()
         };
         assert!(Arc::ptr_eq(&origin, &origins[0]));
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_and_stay_wire_identical() {
+        let pool = BufferPool::new();
+        let trace = BatchTrace {
+            seq: 41,
+            sent_at_nanos: 1_700_000_123_456_789_000,
+        };
+        let payloads: Vec<Bytes> = (0..3u8).map(|i| Bytes::from(vec![i; 64])).collect();
+        let owned: Vec<(u64, u32, Bytes)> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, 1u32, p.clone()))
+            .collect();
+        let borrowed: Vec<(u64, u32, &[u8])> =
+            owned.iter().map(|(i, l, p)| (*i, *l, &p[..])).collect();
+
+        // Scatter and eager traced encoders agree byte for byte.
+        let frame = encode_batch_frame_traced(3, 41, "d0/t2", Some(trace), &owned, &pool);
+        let eager = encode_batch_traced(3, 41, "d0/t2", Some(trace), &borrowed);
+        assert_eq!(&frame.clone().into_bytes()[..], &eager[..]);
+
+        // The trace survives the lazy decode; materialization is unchanged.
+        let bytes = Bytes::from(eager);
+        let LazyMsg::Batch(mut lb) = decode_lazy(&bytes, None).unwrap() else {
+            panic!("expected batch");
+        };
+        assert_eq!(lb.trace(), Some(trace));
+        assert_eq!(lb.received_at_nanos(), 0);
+        lb.stamp_received(7);
+        assert_eq!(lb.received_at_nanos(), 7);
+        let untraced = Bytes::from(encode_batch(3, 41, "d0/t2", &borrowed));
+        let WireMsg::Batch(plain) = decode(&untraced).unwrap() else {
+            panic!()
+        };
+        assert_eq!(lb.materialize(), plain, "trace changes no sample bytes");
+
+        // Untraced frames report no trace; `None` delegates exactly.
+        assert_eq!(
+            &encode_batch_frame(3, 41, "d0/t2", &owned, &pool).into_bytes()[..],
+            &untraced[..]
+        );
+        let LazyMsg::Batch(lb) = decode_lazy(&untraced, None).unwrap() else {
+            panic!()
+        };
+        assert!(lb.trace().is_none());
+    }
+
+    #[test]
+    fn trace_field_with_wrong_length_rejected() {
+        let mut buf = Vec::new();
+        let mut e = Encoder::new(&mut buf);
+        e.write_map_len(5);
+        e.write_str("epoch");
+        e.write_uint(0);
+        e.write_str("batch_id");
+        e.write_uint(0);
+        e.write_str("origin");
+        e.write_str("d");
+        e.write_str("trace");
+        e.write_bin(&[0u8; 15]);
+        e.write_str("samples");
+        e.write_array_len(0);
+        assert!(matches!(
+            decode(&Bytes::from(buf)),
+            Err(WireError::Schema(_))
+        ));
     }
 
     #[test]

@@ -22,13 +22,27 @@ use std::time::Instant;
 pub struct NfsSource {
     index: Arc<GlobalIndex>,
     mount: NfsMount,
+    recorder: Option<Arc<emlio_obs::StageRecorder>>,
 }
 
 impl NfsSource {
     /// A source reading `index`'s shards through `mount`. The mount's root
     /// must be the dataset directory the index describes.
     pub fn new(index: Arc<GlobalIndex>, mount: NfsMount) -> NfsSource {
-        NfsSource { index, mount }
+        NfsSource {
+            index,
+            mount,
+            recorder: None,
+        }
+    }
+
+    /// Record each emulated read's latency
+    /// ([`emlio_obs::Stage::StorageRead`]) into `recorder`. The daemon
+    /// meters storage reads one layer up; this hook is for driving the
+    /// source standalone.
+    pub fn with_recorder(mut self, recorder: Arc<emlio_obs::StageRecorder>) -> NfsSource {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The mount the reads are charged to.
@@ -51,10 +65,14 @@ impl RangeSource for NfsSource {
             .mount
             .read_range(rel, offset, size)
             .map_err(RecordError::Io)?;
+        let read_nanos = t.elapsed().as_nanos() as u64;
+        if let Some(rec) = &self.recorder {
+            rec.record(emlio_obs::Stage::StorageRead, read_nanos);
+        }
         Ok(BlockRead {
             data: bytes::Bytes::from(data),
             origin: ReadOrigin::Direct,
-            read_nanos: t.elapsed().as_nanos() as u64,
+            read_nanos,
         })
     }
 

@@ -1,0 +1,183 @@
+//! [`FlightRecorder`] — a bounded ring of recent span events.
+//!
+//! Every process keeps one global ring (capacity
+//! [`FlightRecorder::DEFAULT_CAPACITY`]) of the most recent interesting
+//! moments on the data path — epoch slices finishing, sends stalling,
+//! frames dropped. Recording is one short mutex hold over a preallocated
+//! ring (no allocation after construction), cheap enough to leave on.
+//! When something goes wrong the ring is [`dump`](FlightRecorder::dump)ed
+//! — the last few thousand events are exactly the context a stall or
+//! error report needs and exactly what a log at that volume couldn't keep.
+
+use crate::clock;
+use parking_lot::Mutex;
+
+/// One recorded moment: what, which, how long, when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// [`clock::now_nanos`] at record time.
+    pub t_nanos: u64,
+    /// Static event name (`"epoch_slice"`, `"send_stall"`, …).
+    pub name: &'static str,
+    /// Event-specific key (epoch, batch id, worker index, …).
+    pub key: u64,
+    /// Span duration in nanoseconds (0 for instantaneous events).
+    pub dur_nanos: u64,
+}
+
+struct Ring {
+    events: Vec<SpanEvent>,
+    /// Next write position (ring is full once `total >= capacity`).
+    head: usize,
+    /// Events ever recorded (drop count = `total - capacity` when over).
+    total: u64,
+}
+
+/// A bounded, preallocated ring of [`SpanEvent`]s.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// Default ring capacity (events kept).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A recorder keeping the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                events: Vec::with_capacity(capacity),
+                head: 0,
+                total: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// The process-wide recorder every instrumented component shares.
+    pub fn global() -> &'static FlightRecorder {
+        static GLOBAL: std::sync::OnceLock<FlightRecorder> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(|| FlightRecorder::with_capacity(FlightRecorder::DEFAULT_CAPACITY))
+    }
+
+    /// Record one event. Allocation-free once the ring has filled.
+    pub fn record(&self, name: &'static str, key: u64, dur_nanos: u64) {
+        let t_nanos = clock::now_nanos();
+        let ev = SpanEvent {
+            t_nanos,
+            name,
+            key,
+            dur_nanos,
+        };
+        let mut ring = self.ring.lock();
+        if ring.events.len() < self.capacity {
+            ring.events.push(ev);
+        } else {
+            let at = ring.head;
+            ring.events[at] = ev;
+        }
+        ring.head = (ring.head + 1) % self.capacity;
+        ring.total += 1;
+    }
+
+    /// Events ever recorded (including ones the ring has since dropped).
+    pub fn total(&self) -> u64 {
+        self.ring.lock().total
+    }
+
+    /// The retained events, oldest first.
+    pub fn dump(&self) -> Vec<SpanEvent> {
+        let ring = self.ring.lock();
+        if ring.events.len() < self.capacity {
+            ring.events.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&ring.events[ring.head..]);
+            out.extend_from_slice(&ring.events[..ring.head]);
+            out
+        }
+    }
+
+    /// Human-readable dump — one line per retained event plus a header
+    /// noting how many older events the ring already dropped.
+    pub fn dump_string(&self, reason: &str) -> String {
+        let events = self.dump();
+        let total = self.total();
+        let dropped = total - events.len() as u64;
+        let mut out = String::with_capacity(64 + events.len() * 48);
+        out.push_str(&format!(
+            "flight recorder dump ({reason}): {} events retained, {dropped} older dropped\n",
+            events.len()
+        ));
+        for ev in &events {
+            out.push_str(&format!(
+                "  t={}ns {} key={} dur={}ns\n",
+                ev.t_nanos, ev.name, ev.key, ev.dur_nanos
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_in_order() {
+        let fr = FlightRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            fr.record("ev", i, i * 2);
+        }
+        let events = fr.dump();
+        assert_eq!(events.len(), 4);
+        let keys: Vec<u64> = events.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![6, 7, 8, 9], "oldest-first, newest retained");
+        assert_eq!(fr.total(), 10);
+        let s = fr.dump_string("test");
+        assert!(s.contains("6 older dropped"), "{s}");
+        assert!(s.contains("key=9"), "{s}");
+    }
+
+    #[test]
+    fn under_capacity_dump_is_complete() {
+        let fr = FlightRecorder::with_capacity(100);
+        fr.record("a", 1, 0);
+        fr.record("b", 2, 5);
+        let events = fr.dump();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert!(events[1].t_nanos >= events[0].t_nanos);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        FlightRecorder::global().record("global_test", 7, 0);
+        assert!(FlightRecorder::global()
+            .dump()
+            .iter()
+            .any(|e| e.name == "global_test"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let fr = std::sync::Arc::new(FlightRecorder::with_capacity(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let fr = fr.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        fr.record("stress", t * 1000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(fr.total(), 4000);
+        assert_eq!(fr.dump().len(), 64);
+    }
+}

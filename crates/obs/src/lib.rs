@@ -1,0 +1,40 @@
+//! # emlio-obs — end-to-end data-path observability
+//!
+//! The telemetry substrate every other EMLIO crate instruments itself
+//! with. It sits at the very bottom of the dependency graph (std +
+//! `parking_lot` only) so the storage, wire, and pipeline layers can all
+//! record into it without cycles.
+//!
+//! Four building blocks:
+//!
+//! * [`LogHistogram`] — a lock-free, allocation-free log-linear latency
+//!   histogram (16 linear sub-buckets per power of two, ≤ 1/16 relative
+//!   quantile error). Recording is a couple of relaxed atomic adds;
+//!   snapshots and merges happen off the hot path.
+//! * [`Stage`] + [`StageRecorder`] — the named pipeline stages of the
+//!   serve path (storage read → cache lookup → … → pipeline op) with one
+//!   histogram each, shared across threads by `Arc`.
+//! * [`BatchTrace`] — the compact per-batch trace header stamped into
+//!   every wire frame (worker-local sequence number + monotonic send
+//!   timestamp from [`clock::now_nanos`]), letting the receiver compute
+//!   queue dwell and daemon→pipeline latency per batch.
+//! * [`FlightRecorder`] — a bounded ring of recent [`SpanEvent`]s per
+//!   process, dumped on stall, error, or shutdown.
+//!
+//! Plus one [`logger`] used by the `obs_error!`…`obs_trace!` macros so
+//! diagnostics and traces interleave coherently behind `--log-level`.
+
+pub mod clock;
+pub mod flight;
+pub mod hist;
+pub mod logger;
+pub mod recorder;
+pub mod stage;
+pub mod trace;
+
+pub use flight::{FlightRecorder, SpanEvent};
+pub use hist::{HistSnapshot, LogHistogram};
+pub use logger::Level;
+pub use recorder::{RecorderSnapshot, StageRecorder};
+pub use stage::Stage;
+pub use trace::BatchTrace;

@@ -1,0 +1,153 @@
+//! [`StageRecorder`] — one [`LogHistogram`] per data-path [`Stage`].
+
+use crate::hist::{HistSnapshot, LogHistogram};
+use crate::stage::Stage;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-stage latency histograms for one process-side of the data path
+/// (one per daemon, one per receiver). Shared by `Arc` across every
+/// thread that touches the path; recording is lock- and allocation-free.
+pub struct StageRecorder {
+    hists: [LogHistogram; Stage::COUNT],
+}
+
+impl Default for StageRecorder {
+    fn default() -> Self {
+        StageRecorder::new()
+    }
+}
+
+impl StageRecorder {
+    /// Fresh recorder with empty histograms.
+    pub fn new() -> StageRecorder {
+        StageRecorder {
+            hists: std::array::from_fn(|_| LogHistogram::new()),
+        }
+    }
+
+    /// Fresh shared recorder.
+    pub fn shared() -> Arc<StageRecorder> {
+        Arc::new(StageRecorder::new())
+    }
+
+    /// Record `nanos` into `stage`'s histogram.
+    #[inline]
+    pub fn record(&self, stage: Stage, nanos: u64) {
+        self.hists[stage.index()].record(nanos);
+    }
+
+    /// Record the time elapsed since `start` into `stage`.
+    #[inline]
+    pub fn observe_since(&self, stage: Stage, start: Instant) {
+        self.record(stage, start.elapsed().as_nanos() as u64);
+    }
+
+    /// Time `f` and record its duration into `stage`.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.observe_since(stage, t0);
+        out
+    }
+
+    /// The histogram behind `stage`.
+    pub fn hist(&self, stage: Stage) -> &LogHistogram {
+        &self.hists[stage.index()]
+    }
+
+    /// Add every count of `other` into `self` (combining daemons).
+    pub fn merge(&self, other: &StageRecorder) {
+        for stage in Stage::ALL {
+            self.hists[stage.index()].merge(other.hist(stage));
+        }
+    }
+
+    /// Point-in-time copy of every stage histogram.
+    pub fn snapshot(&self) -> RecorderSnapshot {
+        RecorderSnapshot {
+            stages: Stage::ALL.map(|s| self.hists[s.index()].snapshot()),
+        }
+    }
+}
+
+impl fmt::Debug for StageRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("StageRecorder");
+        for stage in Stage::ALL {
+            let n = self.hists[stage.index()].count();
+            if n > 0 {
+                d.field(stage.name(), &n);
+            }
+        }
+        d.finish_non_exhaustive()
+    }
+}
+
+/// Plain-value copy of a [`StageRecorder`], indexed by [`Stage`].
+#[derive(Debug, Clone)]
+pub struct RecorderSnapshot {
+    stages: [HistSnapshot; Stage::COUNT],
+}
+
+impl RecorderSnapshot {
+    /// The snapshot for `stage`.
+    pub fn stage(&self, stage: Stage) -> &HistSnapshot {
+        &self.stages[stage.index()]
+    }
+
+    /// Every non-empty stage, in data-path order.
+    pub fn non_empty(&self) -> impl Iterator<Item = (Stage, &HistSnapshot)> {
+        Stage::ALL
+            .into_iter()
+            .map(|s| (s, self.stage(s)))
+            .filter(|(_, h)| !h.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_stage_independently() {
+        let r = StageRecorder::new();
+        r.record(Stage::StorageRead, 100);
+        r.record(Stage::StorageRead, 200);
+        r.record(Stage::Encode, 5);
+        let s = r.snapshot();
+        assert_eq!(s.stage(Stage::StorageRead).count, 2);
+        assert_eq!(s.stage(Stage::Encode).count, 1);
+        assert_eq!(s.stage(Stage::SocketSend).count, 0);
+        let non_empty: Vec<Stage> = s.non_empty().map(|(st, _)| st).collect();
+        assert_eq!(non_empty, vec![Stage::StorageRead, Stage::Encode]);
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("storage_read") && !dbg.contains("socket_send"));
+    }
+
+    #[test]
+    fn time_and_observe_since_record() {
+        let r = StageRecorder::new();
+        let out = r.time(Stage::PipelineOp, || 41 + 1);
+        assert_eq!(out, 42);
+        r.observe_since(Stage::LazyDecode, Instant::now());
+        let s = r.snapshot();
+        assert_eq!(s.stage(Stage::PipelineOp).count, 1);
+        assert_eq!(s.stage(Stage::LazyDecode).count, 1);
+    }
+
+    #[test]
+    fn merge_combines_recorders() {
+        let a = StageRecorder::new();
+        let b = StageRecorder::new();
+        a.record(Stage::SocketSend, 10);
+        b.record(Stage::SocketSend, 30);
+        b.record(Stage::RecvWait, 7);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.stage(Stage::SocketSend).count, 2);
+        assert_eq!(s.stage(Stage::SocketSend).max, 30);
+        assert_eq!(s.stage(Stage::RecvWait).count, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! [`BatchTrace`] — the compact per-batch trace header.
+//!
+//! Sixteen little-endian bytes stamped into every batch frame by the
+//! sending daemon worker: a worker-local sequence number plus the
+//! [`clock::now_nanos`](crate::clock::now_nanos) send timestamp. The
+//! daemon id and epoch are *not* repeated here — the wire envelope
+//! already carries them (`origin`, `epoch`), so the full trace identity
+//! per batch is `(origin, epoch, seq)`. The receiver stamps arrival time
+//! and derives queue dwell, wire transit, and daemon→pipeline latency.
+
+/// Per-batch trace header carried in the wire frame's `"trace"` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTrace {
+    /// Worker-local send sequence number (0-based, monotonically
+    /// increasing over the worker's whole run, all epochs).
+    pub seq: u64,
+    /// Send timestamp from [`clock::now_nanos`](crate::clock::now_nanos):
+    /// monotonic within the daemon process, Unix-anchored across hosts.
+    pub sent_at_nanos: u64,
+}
+
+impl BatchTrace {
+    /// Encoded size on the wire.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Little-endian wire encoding: `seq`, then `sent_at_nanos`.
+    pub fn to_bytes(self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.seq.to_le_bytes());
+        out[8..].copy_from_slice(&self.sent_at_nanos.to_le_bytes());
+        out
+    }
+
+    /// Parse the wire encoding; `None` unless exactly
+    /// [`WIRE_LEN`](Self::WIRE_LEN) bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<BatchTrace> {
+        if bytes.len() != Self::WIRE_LEN {
+            return None;
+        }
+        Some(BatchTrace {
+            seq: u64::from_le_bytes(bytes[..8].try_into().ok()?),
+            sent_at_nanos: u64::from_le_bytes(bytes[8..].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = BatchTrace {
+            seq: 0x0102_0304_0506_0708,
+            sent_at_nanos: u64::MAX - 7,
+        };
+        assert_eq!(BatchTrace::from_bytes(&t.to_bytes()), Some(t));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(BatchTrace::from_bytes(&[0u8; 15]), None);
+        assert_eq!(BatchTrace::from_bytes(&[0u8; 17]), None);
+        assert_eq!(BatchTrace::from_bytes(&[]), None);
+    }
+}

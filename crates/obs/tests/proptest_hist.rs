@@ -1,0 +1,124 @@
+//! Property-based tests for [`LogHistogram`]: reported quantiles must
+//! bracket the exact quantile of a sorted reference within one bucket
+//! width, merging must be associative and order-independent, and no input
+//! — empty, zero, `u64::MAX` — may panic.
+
+use emlio_obs::{HistSnapshot, LogHistogram};
+use proptest::prelude::*;
+
+/// Mixed-magnitude values: uniform small, mid-range, and huge, so every
+/// bucket group gets exercised.
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..32,
+            0u64..100_000,
+            any::<u64>().prop_map(|v| v >> 16),
+            any::<u64>(),
+        ],
+        1..400,
+    )
+}
+
+/// Exact quantile of a sorted reference: smallest element covering
+/// `ceil(q * n)` values — the definition `HistSnapshot::quantile` bounds.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Upper bound on the histogram's bucket error at value `v`: one bucket
+/// width, i.e. `v/16 + 1`.
+fn bucket_slack(v: u64) -> u64 {
+    v / 16 + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_bracket_sorted_reference(values in values_strategy()) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = snap.quantile(q);
+            // Never below the exact value's own bucket, never more than
+            // one bucket width above it, and never above the observed max.
+            prop_assert!(got <= snap.max, "q={q}: {got} > max {}", snap.max);
+            prop_assert!(
+                got.saturating_add(bucket_slack(got)) >= exact,
+                "q={q}: reported {got} too far below exact {exact}"
+            );
+            prop_assert!(
+                got <= exact.saturating_add(bucket_slack(exact)),
+                "q={q}: reported {got} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent(
+        a in values_strategy(),
+        b in values_strategy(),
+        c in values_strategy(),
+    ) {
+        let record = |vals: &[u64]| {
+            let h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), as snapshots.
+        let left = record(&a);
+        left.merge(&record(&b));
+        left.merge(&record(&c));
+
+        let bc = record(&b);
+        bc.merge(&record(&c));
+        let right = record(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+
+        // …and equal to recording everything into one histogram.
+        let combined = record(&a);
+        for &v in b.iter().chain(&c) {
+            combined.record(v);
+        }
+        prop_assert_eq!(left.snapshot(), combined.snapshot());
+
+        // Snapshot-level merge agrees with histogram-level merge.
+        let mut snap_merged = HistSnapshot::empty();
+        snap_merged.merge(&record(&a).snapshot());
+        let bc2 = record(&b);
+        bc2.merge(&record(&c));
+        snap_merged.merge(&bc2.snapshot());
+        prop_assert_eq!(snap_merged, left.snapshot());
+    }
+
+    #[test]
+    fn never_panics_on_any_input(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for q in [-1.0, 0.0, 0.3, 1.0, 2.0, f64::NAN] {
+            let got = snap.quantile(q);
+            prop_assert!(got <= snap.max || snap.count == 0);
+        }
+        let _ = (snap.mean(), snap.p50(), snap.p95(), snap.p99());
+    }
+}

@@ -12,6 +12,7 @@ use crate::gpu::Accelerator;
 use crate::ops::{self, Tensor};
 use crate::RawBatch;
 use crossbeam::channel::{bounded, Receiver};
+use emlio_obs::{Stage, StageRecorder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,6 +54,7 @@ pub struct PipelineBuilder {
     normalize: Option<(Vec<f32>, Vec<f32>)>,
     device: Device,
     seed: u64,
+    recorder: Option<Arc<StageRecorder>>,
 }
 
 impl Default for PipelineBuilder {
@@ -66,6 +68,7 @@ impl Default for PipelineBuilder {
             normalize: Some((ops::IMAGENET_MEAN.to_vec(), ops::IMAGENET_STD.to_vec())),
             device: Device::Cpu,
             seed: 0,
+            recorder: None,
         }
     }
 }
@@ -124,6 +127,13 @@ impl PipelineBuilder {
     /// Seed for augmentation RNGs (each worker derives its own stream).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Record per-batch preprocessing latency
+    /// ([`emlio_obs::Stage::PipelineOp`]) into `recorder`.
+    pub fn recorder(mut self, recorder: Arc<StageRecorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -188,14 +198,19 @@ impl Pipeline {
             let random = cfg.random_crop;
             let norm = cfg.normalize.clone();
             let rng = Mutex::new(StdRng::seed_from_u64(cfg.seed ^ (0xABCD_EF00 + w as u64)));
+            let recorder = cfg.recorder.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pipeline-worker-{w}"))
                     .spawn(move || {
                         while let Ok(raw) = raw_rx.recv() {
+                            let t0 = std::time::Instant::now();
                             let processed = process_batch(
                                 raw, &device, resize_to, crop_to, random, &norm, &rng, &stats,
                             );
+                            if let Some(rec) = &recorder {
+                                rec.record(Stage::PipelineOp, t0.elapsed().as_nanos() as u64);
+                            }
                             if out_tx.send(processed).is_err() {
                                 return;
                             }

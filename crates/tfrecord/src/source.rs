@@ -135,6 +135,8 @@ pub struct TfrecordSource {
     readers: Mutex<HashMap<u32, Arc<RangeReader>>>,
     /// Where block buffers come from (the daemon plugs its pool in here).
     alloc: Arc<dyn BlockAlloc>,
+    /// Optional per-stage latency sink for standalone (non-daemon) use.
+    recorder: Option<Arc<emlio_obs::StageRecorder>>,
 }
 
 impl TfrecordSource {
@@ -145,6 +147,7 @@ impl TfrecordSource {
             index,
             readers: Mutex::new(HashMap::new()),
             alloc: Arc::new(SystemAlloc),
+            recorder: None,
         }
     }
 
@@ -152,6 +155,15 @@ impl TfrecordSource {
     /// `emlio-core`'s `BufferPool`).
     pub fn with_alloc(mut self, alloc: Arc<dyn BlockAlloc>) -> TfrecordSource {
         self.alloc = alloc;
+        self
+    }
+
+    /// Record each backing read's latency
+    /// ([`emlio_obs::Stage::StorageRead`]) into `recorder`. The daemon
+    /// meters storage reads one layer up (so it counts NFS roots too);
+    /// this hook is for driving the source standalone.
+    pub fn with_recorder(mut self, recorder: Arc<emlio_obs::StageRecorder>) -> TfrecordSource {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -186,10 +198,14 @@ impl RangeSource for TfrecordSource {
         let t = Instant::now();
         let mut buf = self.alloc.take(size as usize);
         reader.read_range_into(offset, size, &mut buf)?;
+        let read_nanos = t.elapsed().as_nanos() as u64;
+        if let Some(rec) = &self.recorder {
+            rec.record(emlio_obs::Stage::StorageRead, read_nanos);
+        }
         Ok(BlockRead {
             data: self.alloc.seal(buf),
             origin: ReadOrigin::Direct,
-            read_nanos: t.elapsed().as_nanos() as u64,
+            read_nanos,
         })
     }
 

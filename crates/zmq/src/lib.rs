@@ -49,6 +49,9 @@ pub struct SocketOptions {
     pub max_frame: usize,
     /// How long `PushSocket::connect` keeps retrying a refused connection.
     pub connect_timeout: std::time::Duration,
+    /// Stage recorder for per-call latency histograms
+    /// ([`emlio_obs::Stage::SocketSend`] on PUSH sockets).
+    pub recorder: Option<std::sync::Arc<emlio_obs::StageRecorder>>,
 }
 
 impl Default for SocketOptions {
@@ -57,6 +60,7 @@ impl Default for SocketOptions {
             hwm: DEFAULT_HWM,
             max_frame: DEFAULT_MAX_FRAME,
             connect_timeout: std::time::Duration::from_secs(10),
+            recorder: None,
         }
     }
 }
@@ -66,6 +70,12 @@ impl SocketOptions {
     pub fn with_hwm(mut self, hwm: usize) -> Self {
         assert!(hwm > 0, "hwm must be positive");
         self.hwm = hwm;
+        self
+    }
+
+    /// Record per-call socket latencies into `recorder`.
+    pub fn with_recorder(mut self, recorder: std::sync::Arc<emlio_obs::StageRecorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }

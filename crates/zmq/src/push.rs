@@ -7,6 +7,7 @@ use crate::frame::{write_frame_segments, Frame};
 use crate::{Result, SocketOptions, ZmqError};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
+use emlio_obs::{Stage, StageRecorder};
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,6 +42,7 @@ pub struct PushSocket {
     dead: Arc<AtomicBool>,
     stats: Arc<PushStats>,
     endpoint: Endpoint,
+    recorder: Option<Arc<StageRecorder>>,
 }
 
 impl PushSocket {
@@ -90,6 +92,7 @@ impl PushSocket {
             dead,
             stats,
             endpoint: endpoint.clone(),
+            recorder: options.recorder,
         })
     }
 
@@ -108,10 +111,17 @@ impl PushSocket {
         self.tx
             .send(Cmd::Msg(payload.into()))
             .map_err(|_| ZmqError::Closed)?;
+        let elapsed = t0.elapsed().as_nanos() as u64;
         if full {
             self.stats
                 .blocked_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(elapsed, Ordering::Relaxed);
+        }
+        if let Some(rec) = &self.recorder {
+            // The caller-visible cost of handing one frame to the socket:
+            // a queue push, plus the whole backpressure stall when the HWM
+            // was reached.
+            rec.record(Stage::SocketSend, elapsed);
         }
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
         Ok(())

@@ -20,6 +20,7 @@
 //! aliases `belady`/`opt` for `clairvoyant`.
 
 use emlio::cache::{CacheConfig, EvictPolicy as CachePolicy};
+use emlio::core::export::{self, MetricsSampler, SampleSource};
 use emlio::core::plan::Plan;
 use emlio::core::receiver::{EmlioReceiver, ReceiverConfig};
 use emlio::core::service::StorageSpec;
@@ -42,11 +43,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // --log-level applies to every command, so resolve it before dispatch.
+    if let Err(e) = apply_log_level(&parse_flags(rest)) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match cmd.as_str() {
         "convert" => cmd_convert(parse_flags(rest)),
         "daemon" => cmd_daemon(parse_flags(rest)),
         "receive" => cmd_receive(parse_flags(rest)),
         "bench-io" => cmd_bench_io(parse_flags(rest)),
+        "report" => cmd_report(parse_flags(rest)),
         "figures" => cmd_figures(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -73,7 +80,67 @@ USAGE:
                  [--cache-persist DIR] [--prefetch D]
   emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
   emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB] [...]
-  emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]";
+  emlio report   --metrics FILE
+  emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]
+
+Every command also takes --log-level error|warn|info|debug|trace (default warn).
+daemon / receive / bench-io take --metrics-out FILE [--sample-ms MS] to record
+per-stage latency histograms and data-path counters as Influx line protocol;
+render a recorded file with `emlio report`.";
+
+/// Resolve `--log-level` (shared by every command) into the global logger.
+fn apply_log_level(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(v) = flags.get("log-level") {
+        let level: emlio::obs::Level = v.parse()?;
+        emlio::obs::logger::set_level(level);
+    }
+    Ok(())
+}
+
+/// The `--metrics-out` sampler, spawned when the flag is present.
+/// [`finish`](MetricsFile::finish) writes the line-protocol file and
+/// prints the rendered report.
+struct MetricsFile {
+    out: std::path::PathBuf,
+    sampler: MetricsSampler,
+}
+
+impl MetricsFile {
+    fn spawn(
+        flags: &HashMap<String, String>,
+        sources: Vec<SampleSource>,
+    ) -> Result<Option<MetricsFile>, String> {
+        let Some(out) = flags.get("metrics-out") else {
+            return Ok(None);
+        };
+        let sample_ms: u64 = get_num(flags, "sample-ms", 500)?;
+        Ok(Some(MetricsFile {
+            out: out.into(),
+            sampler: MetricsSampler::spawn(sources, Duration::from_millis(sample_ms.max(1))),
+        }))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        let db = self.sampler.finish();
+        export::write_line_protocol(&db, &self.out)
+            .map_err(|e| format!("writing {}: {e}", self.out.display()))?;
+        println!(
+            "metrics: {} points -> {}",
+            db.point_count(),
+            self.out.display()
+        );
+        print!("{}", export::render_report(&db));
+        Ok(())
+    }
+}
+
+fn cmd_report(flags: HashMap<String, String>) -> Result<(), String> {
+    let path = get(&flags, "metrics")?;
+    let db = export::read_line_protocol(std::path::Path::new(path))
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    print!("{}", export::render_report(&db));
+    Ok(())
+}
 
 /// Parse `--key value` pairs (`--flag` with no value stores "true").
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -196,6 +263,14 @@ fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
         config.threads_per_node,
     );
     println!("daemon: read stack: {}", daemon.source_description());
+    let metrics_file = MetricsFile::spawn(
+        &flags,
+        vec![SampleSource::new(
+            "daemon-0",
+            daemon.metrics(),
+            daemon.recorder(),
+        )],
+    )?;
     let t0 = std::time::Instant::now();
     daemon
         .serve(&plan, &node, &connect)
@@ -211,6 +286,9 @@ fn cmd_daemon(flags: HashMap<String, String>) -> Result<(), String> {
     );
     if config.cache.is_some() {
         println!("{}", snap.cache_summary());
+    }
+    if let Some(m) = metrics_file {
+        m.finish()?;
     }
     Ok(())
 }
@@ -230,6 +308,14 @@ fn cmd_receive(flags: HashMap<String, String>) -> Result<(), String> {
         "receiver: bound {} expecting {streams} streams",
         receiver.endpoint()
     );
+    let metrics_file = MetricsFile::spawn(
+        &flags,
+        vec![SampleSource::new(
+            "receiver",
+            receiver.metrics(),
+            receiver.recorder(),
+        )],
+    )?;
     let t0 = std::time::Instant::now();
     let (batches, samples) = if resize > 0 {
         let pipe = PipelineBuilder::new()
@@ -265,6 +351,9 @@ fn cmd_receive(flags: HashMap<String, String>) -> Result<(), String> {
         "received {batches} batches / {samples} samples in {elapsed:.2?} ({:.0} samples/s)",
         samples as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+    if let Some(m) = metrics_file {
+        m.finish()?;
+    }
     Ok(())
 }
 
@@ -296,6 +385,20 @@ fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
 
+    let mut sources: Vec<SampleSource> = dep
+        .daemon_metrics
+        .iter()
+        .zip(&dep.daemon_recorders)
+        .enumerate()
+        .map(|(i, (m, r))| SampleSource::new(&format!("daemon-{i}"), m.clone(), r.clone()))
+        .collect();
+    sources.push(SampleSource::new(
+        "receiver",
+        dep.receiver.metrics(),
+        dep.receiver.recorder(),
+    ));
+    let metrics_file = MetricsFile::spawn(&flags, sources)?;
+
     let t0 = std::time::Instant::now();
     let mut src = dep.receiver.source();
     let mut samples = 0u64;
@@ -315,6 +418,9 @@ fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
         for (i, m) in dep.daemon_metrics.iter().enumerate() {
             println!("daemon {i} {}", m.snapshot().cache_summary());
         }
+    }
+    if let Some(m) = metrics_file {
+        m.finish()?;
     }
     Ok(())
 }

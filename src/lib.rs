@@ -18,6 +18,8 @@
 //! * [`pipeline`] — the DALI-style GPU preprocessing pipeline;
 //! * [`baselines`] — PyTorch-DataLoader and DALI-over-NFS comparison loaders;
 //! * [`netem`] — userspace RTT/bandwidth emulation and the NFS cost model;
+//! * [`obs`] — data-path observability: per-stage latency histograms,
+//!   batch tracing, the flight recorder, and the leveled logger;
 //! * [`datagen`] — synthetic datasets with a real image codec;
 //! * [`trainsim`] — backbone cost profiles, DDP model, a real MLP;
 //! * [`sim`] + [`testbed`] — the discrete-event replay of the paper's
@@ -58,6 +60,7 @@ pub use emlio_datagen as datagen;
 pub use emlio_energymon as energymon;
 pub use emlio_msgpack as msgpack;
 pub use emlio_netem as netem;
+pub use emlio_obs as obs;
 pub use emlio_pipeline as pipeline;
 pub use emlio_sim as sim;
 pub use emlio_testbed as testbed;

@@ -18,10 +18,11 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use emlio::cache::{CacheConfig, CachedRangeReader, CachedSource, ShardCache};
-use emlio::core::wire::{encode_batch, encode_batch_frame};
+use emlio::core::wire::{encode_batch, encode_batch_frame, encode_batch_frame_traced};
 use emlio::core::BufferPool;
 use emlio::datagen::convert::build_tfrecord_dataset;
 use emlio::datagen::DatasetSpec;
+use emlio::obs::{clock, BatchTrace, FlightRecorder, Stage, StageRecorder};
 use emlio::tfrecord::record::decode_all;
 use emlio::tfrecord::{BlockKey, GlobalIndex, RangeSource, ShardSpec, TfrecordSource};
 use emlio::util::testutil::TempDir;
@@ -83,6 +84,35 @@ fn serve_new(
         .map(|(m, p)| (m.sample_id, m.label, p.clone()))
         .collect();
     encode_batch_frame(7, key.start as u64, ORIGIN, &samples, pool)
+}
+
+/// The zero-copy path with the full observability layer engaged: stage
+/// timing into a [`StageRecorder`], a per-batch [`BatchTrace`] header, and
+/// a flight-recorder span — exactly what the daemon worker does per batch.
+fn serve_instrumented(
+    reader: &CachedRangeReader,
+    index: &GlobalIndex,
+    key: &BlockKey,
+    pool: &BufferPool,
+    recorder: &StageRecorder,
+    seq: u64,
+) -> Frame {
+    let t0 = std::time::Instant::now();
+    let read = reader.read_batch(*key).unwrap();
+    let metas = &index.shards[key.shard_id as usize].records[key.start..key.end];
+    let samples: Vec<(u64, u32, Bytes)> = metas
+        .iter()
+        .zip(&read.payloads)
+        .map(|(m, p)| (m.sample_id, m.label, p.clone()))
+        .collect();
+    let trace = BatchTrace {
+        seq,
+        sent_at_nanos: clock::now_nanos(),
+    };
+    let frame = encode_batch_frame_traced(7, key.start as u64, ORIGIN, Some(trace), &samples, pool);
+    recorder.record(Stage::BatchAssemble, t0.elapsed().as_nanos() as u64);
+    FlightRecorder::global().record("alloc_smoke_batch", seq, 0);
+    frame
 }
 
 #[test]
@@ -177,5 +207,52 @@ fn zero_copy_serve_path_allocation_budget() {
         ALLOC.allocations() - before,
         0,
         "empty Bytes must be allocation-free"
+    );
+
+    // Phase 5 — tracing is free: the observability layer (stage histogram
+    // record + BatchTrace header + flight-recorder span) must add ZERO
+    // allocations per warm-cache batch. Warm the lazily-initialized
+    // globals (clock anchor, flight ring, recorder arrays) and the traced
+    // frames' pool class first so only steady state is compared.
+    let recorder = StageRecorder::shared();
+    FlightRecorder::global().record("alloc_smoke_warm", 0, 0);
+    let _ = clock::now_nanos();
+    for (i, key) in keys.iter().enumerate() {
+        drop(serve_instrumented(
+            &reader, &index, key, &pool, &recorder, i as u64,
+        ));
+    }
+
+    let before = ALLOC.allocations();
+    for e in 0..EPOCHS {
+        for (i, key) in keys.iter().enumerate() {
+            drop(serve_instrumented(
+                &reader,
+                &index,
+                key,
+                &pool,
+                &recorder,
+                e * keys.len() as u64 + i as u64,
+            ));
+        }
+    }
+    let instrumented_allocs = ALLOC.allocations() - before;
+
+    let before = ALLOC.allocations();
+    for _ in 0..EPOCHS {
+        for key in &keys {
+            drop(serve_new(&reader, &index, key, &pool));
+        }
+    }
+    let plain_allocs = ALLOC.allocations() - before;
+
+    assert!(
+        instrumented_allocs <= plain_allocs,
+        "tracing must not allocate on the warm path: \
+         instrumented={instrumented_allocs}, plain={plain_allocs}",
+    );
+    assert!(
+        recorder.hist(Stage::BatchAssemble).count() >= EPOCHS * keys.len() as u64,
+        "instrumented batches must land in the stage histogram"
     );
 }
