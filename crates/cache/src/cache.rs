@@ -54,7 +54,13 @@
 //! * **`Spilling` is readable.** Eviction flips `Ram → Spilling` *before*
 //!   the spill-file write so concurrent readers keep hitting the bytes
 //!   during the I/O; only after the write lands does the slot become
-//!   `Disk` (dropping the RAM bytes).
+//!   `Disk` (dropping the RAM bytes). With a spill queue configured
+//!   (the default), the write itself happens on the dedicated
+//!   `emlio-cache-spill` writer thread: the evictor enqueues the
+//!   `(key, bytes)` order and returns immediately, so the `Spilling`
+//!   state is also the asynchronous hand-off — the evicting send worker
+//!   never touches disk, and shutdown drains the queue before the final
+//!   index write (see [`crate::spill`]).
 //! * **Accounting follows ownership.** `ram_used`/`disk_used` and the
 //!   eviction orders live under the `Global` lock and may briefly disagree
 //!   with the slot maps mid-transition; whichever thread owns the
@@ -64,8 +70,10 @@
 use crate::order::TierOrder;
 use crate::persist::{self, SpillEntry};
 use crate::policy::EvictPolicy;
+use crate::spill::{Push, SpillBackpressure, SpillOrder, SpillQueue};
 use crate::stats::CacheStats;
 use bytes::Bytes;
+use emlio_obs::{obs_warn, Stage, StageRecorder};
 use emlio_tfrecord::BlockKey;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -73,7 +81,9 @@ use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Cache sizing and behaviour knobs.
 #[derive(Debug, Clone)]
@@ -101,6 +111,22 @@ pub struct CacheConfig {
     /// admitting a block whose next use is no sooner than every resident's
     /// (it would be the immediate eviction victim anyway).
     pub belady_bypass: bool,
+    /// Capacity of the bounded spill-order queue feeding the background
+    /// `emlio-cache-spill` writer thread. 0 disables the writer: spills
+    /// run synchronously on the evicting thread. Only meaningful with a
+    /// disk tier.
+    pub spill_queue: usize,
+    /// What evictors do when the spill queue is full.
+    pub spill_backpressure: SpillBackpressure,
+    /// How many `prefetch_depth`-sized windows beyond the one holding the
+    /// demand cursor the prefetcher may stage ahead (double-buffering:
+    /// with 1, window N+1 fills while window N serves). 0 restores the
+    /// legacy continuous sliding window of `prefetch_depth` blocks.
+    pub prefetch_staging: usize,
+    /// Warm-start budget in bytes: on plan install, promote up to this
+    /// many bytes of re-admitted disk blocks — earliest-needed first —
+    /// into the RAM tier ahead of demand. 0 disables warm-start.
+    pub warm_start_bytes: u64,
 }
 
 impl Default for CacheConfig {
@@ -114,6 +140,10 @@ impl Default for CacheConfig {
             lock_shards: 8,
             persist: false,
             belady_bypass: true,
+            spill_queue: 64,
+            spill_backpressure: SpillBackpressure::Block,
+            prefetch_staging: 1,
+            warm_start_bytes: 0,
         }
     }
 }
@@ -168,6 +198,31 @@ impl CacheConfig {
     /// Enable/disable the Belady admission bypass (clairvoyant only).
     pub fn with_belady_bypass(mut self, on: bool) -> Self {
         self.belady_bypass = on;
+        self
+    }
+
+    /// Override the spill queue capacity (0 = synchronous spills).
+    pub fn with_spill_queue(mut self, orders: usize) -> Self {
+        self.spill_queue = orders;
+        self
+    }
+
+    /// Override the full-queue backpressure policy.
+    pub fn with_spill_backpressure(mut self, policy: SpillBackpressure) -> Self {
+        self.spill_backpressure = policy;
+        self
+    }
+
+    /// Override the prefetch staging depth in windows (0 = legacy
+    /// continuous sliding window, 1 = double-buffered).
+    pub fn with_prefetch_staging(mut self, windows: usize) -> Self {
+        self.prefetch_staging = windows;
+        self
+    }
+
+    /// Override the warm-start budget in bytes (0 disables warm-start).
+    pub fn with_warm_start_bytes(mut self, bytes: u64) -> Self {
+        self.warm_start_bytes = bytes;
         self
     }
 }
@@ -289,31 +344,47 @@ impl Global {
     }
 }
 
-/// The plan-aware two-tier block cache. Shared across daemon send workers
-/// and the prefetcher via `Arc`; all methods take `&self`.
-pub struct ShardCache {
+/// The cache state shared between the public [`ShardCache`] handle and
+/// the background spill-writer thread. All the tier/plan/accounting logic
+/// lives here; `ShardCache` delegates and owns the writer's lifecycle
+/// (the writer holds its own `Arc<CacheCore>`, so dropping the handle can
+/// drain and join it before the core's final persistence runs).
+struct CacheCore {
     config: CacheConfig,
     shards: Box<[LockShard]>,
     global: Mutex<Global>,
     /// Signalled on every demand access (wakes the prefetcher). Paired
     /// with the `global` mutex.
-    pub(crate) access_cv: Condvar,
+    access_cv: Condvar,
     stats: CacheStats,
     spill_dir: Option<PathBuf>,
     owns_spill_dir: bool,
-    /// Blocks checkpointed out of RAM by [`ShardCache::persist_now`]:
-    /// index entries for files that are *not* part of the live disk tier.
+    /// Bounded order queue feeding the spill writer thread; `None` spills
+    /// synchronously on the evicting thread.
+    spill_queue: Option<SpillQueue>,
+    /// Stage recorder for `SpillWrite`/`WarmPromote` timings (set once by
+    /// the daemon after construction).
+    recorder: OnceLock<Arc<StageRecorder>>,
+    /// Blocks checkpointed out of RAM by `persist_now`: index entries for
+    /// files that are *not* part of the live disk tier.
     checkpointed: Mutex<HashMap<BlockKey, SpillEntry>>,
+}
+
+/// Which thread performed a spill-file write (telemetry: the async-spill
+/// contract is that send workers never write inline).
+enum SpillVia {
+    Inline,
+    Writer,
 }
 
 static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
-impl ShardCache {
-    /// Create a cache. Creates the spill directory when a disk tier is
+impl CacheCore {
+    /// Build the core. Creates the spill directory when a disk tier is
     /// configured; when the directory is persistent and holds a spill
     /// index from a previous run, CRC-valid blocks are re-admitted into
     /// the disk tier.
-    pub fn new(config: CacheConfig) -> io::Result<ShardCache> {
+    fn new(config: CacheConfig) -> io::Result<CacheCore> {
         assert!(config.ram_bytes > 0, "cache RAM capacity must be positive");
         if config.persist && config.disk_bytes == 0 {
             return Err(io::Error::other(
@@ -345,7 +416,9 @@ impl ShardCache {
                 cv: Condvar::new(),
             })
             .collect();
-        let cache = ShardCache {
+        let spill_queue = (spill_dir.is_some() && config.spill_queue > 0)
+            .then(|| SpillQueue::new(config.spill_queue));
+        let cache = CacheCore {
             global: Mutex::new(Global {
                 ram_used: 0,
                 disk_used: 0,
@@ -361,6 +434,8 @@ impl ShardCache {
             stats: CacheStats::default(),
             spill_dir,
             owns_spill_dir,
+            spill_queue,
+            recorder: OnceLock::new(),
             checkpointed: Mutex::new(HashMap::new()),
             config,
         };
@@ -368,16 +443,6 @@ impl ShardCache {
             cache.load_persisted();
         }
         Ok(cache)
-    }
-
-    /// The configuration the cache was built with.
-    pub fn config(&self) -> &CacheConfig {
-        &self.config
-    }
-
-    /// Telemetry counters.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
     }
 
     fn shard_for(&self, key: &BlockKey) -> &LockShard {
@@ -561,23 +626,17 @@ impl ShardCache {
     /// Load `key` ahead of demand: fetch and insert unless the block is
     /// already resident or being fetched. Never waits, never touches the
     /// demand cursor or hit/miss counters. Returns whether `fetch` ran.
-    pub fn prefetch<E, T, F>(&self, key: BlockKey, fetch: F) -> Result<bool, E>
+    fn prefetch<E, T, F>(&self, key: BlockKey, fetch: F) -> Result<bool, E>
     where
         T: Into<Bytes>,
         F: FnOnce() -> Result<T, E>,
     {
-        {
-            let shard = self.shard_for(&key);
-            let mut map = shard.map.lock();
-            if map.get(&key).is_some() {
-                return Ok(false);
-            }
-            map.insert(key, Slot::Busy);
+        if !self.try_claim(&key) {
+            return Ok(false);
         }
         match fetch() {
             Ok(data) => {
-                self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
-                self.admit(key, data.into());
+                self.admit_claimed_prefetch(key, data.into());
                 Ok(true)
             }
             Err(e) => {
@@ -897,8 +956,10 @@ impl ShardCache {
     }
 
     /// Move an evicted RAM block to the disk tier (or drop it): flip its
-    /// slot to `Spilling`, write the spill file with no lock held, reserve
-    /// disk capacity, then flip to `Disk`.
+    /// slot to `Spilling`, then hand the file write to the spill-writer
+    /// thread (or, without a queue, perform it inline). The block stays
+    /// readable in `Spilling` until the write lands and the slot becomes
+    /// `Disk`. Called with no lock held.
     fn spill_or_drop(&self, key: &BlockKey, size: u64) {
         let spillable = self.spill_dir.is_some() && size <= self.config.disk_bytes;
         let data = {
@@ -922,35 +983,86 @@ impl ShardCache {
         if !spillable {
             return;
         }
+        let order = SpillOrder {
+            key: *key,
+            data,
+            size,
+        };
+        let Some(queue) = &self.spill_queue else {
+            return self.finish_spill(order, SpillVia::Inline);
+        };
+        let (push, waits, depth) = queue.push(order, self.config.spill_backpressure);
+        if waits > 0 {
+            self.stats
+                .spill_backpressure_waits
+                .fetch_add(waits, Ordering::Relaxed);
+        }
+        if depth > 0 {
+            self.stats
+                .spill_queue_peak
+                .fetch_max(depth, Ordering::Relaxed);
+        }
+        match push {
+            Push::Enqueued => {}
+            Push::Dropped(order) => {
+                // Full queue under the drop policy: the block degrades to
+                // absent; demand re-reads it from storage.
+                self.stats.spill_dropped.fetch_add(1, Ordering::Relaxed);
+                self.abort_spill(&order.key);
+            }
+            // Shutdown already started: no writer left to hand off to.
+            Push::Bypass(order) => self.finish_spill(order, SpillVia::Inline),
+        }
+    }
+
+    /// Perform a spill order: reserve disk capacity, write the file, and
+    /// land the `Spilling → Disk` transition. Runs on the writer thread
+    /// (async mode) or the evicting thread (sync mode / shutdown bypass);
+    /// never holds a lock across the file I/O. The writer never spills
+    /// recursively — disk-tier overflow only *drops* disk victims.
+    fn finish_spill(&self, order: SpillOrder, via: SpillVia) {
+        let SpillOrder { key, data, size } = order;
+        match via {
+            SpillVia::Inline => &self.stats.spill_inline_writes,
+            SpillVia::Writer => &self.stats.spill_async_writes,
+        }
+        .fetch_add(1, Ordering::Relaxed);
         // Reserve disk capacity, evicting disk victims as needed.
-        let disk_victims = self.reserve_disk(key, size);
+        let disk_victims = self.reserve_disk(&key, size);
         self.evict_disk_victims(&disk_victims);
 
         let dir = self.spill_dir.as_ref().expect("spillable implies dir");
-        let path = dir.join(persist::spill_file_name(key));
+        let path = dir.join(persist::spill_file_name(&key));
         let crc = persist::block_crc(&data);
-        if std::fs::write(&path, &data[..]).is_err() {
-            // Spill failure just loses the block; demand will re-read it.
+        let t0 = Instant::now();
+        let result = std::fs::write(&path, &data[..]);
+        if let Some(rec) = self.recorder.get() {
+            rec.record(Stage::SpillWrite, t0.elapsed().as_nanos() as u64);
+        }
+        if let Err(e) = result {
+            // A failed spill loses the block — demand will re-read it from
+            // storage — but never silently: counted and logged.
+            self.stats.spill_failures.fetch_add(1, Ordering::Relaxed);
+            obs_warn!(
+                "cache",
+                "spill write failed for {}: {e}; block dropped to absent",
+                path.display()
+            );
             let mut g = self.global.lock();
-            if g.disk_order.remove(key).is_some() {
+            if g.disk_order.remove(&key).is_some() {
                 g.disk_used -= size;
             }
             drop(g);
-            let shard = self.shard_for(key);
-            let mut map = shard.map.lock();
-            if matches!(map.get(key), Some(Slot::Spilling(_))) {
-                map.remove(key);
-            }
-            shard.cv.notify_all();
+            self.abort_spill(&key);
             return;
         }
         self.stats.spills.fetch_add(1, Ordering::Relaxed);
         {
-            let shard = self.shard_for(key);
+            let shard = self.shard_for(&key);
             let mut map = shard.map.lock();
-            if matches!(map.get(key), Some(Slot::Spilling(_))) {
+            if matches!(map.get(&key), Some(Slot::Spilling(_))) {
                 map.insert(
-                    *key,
+                    key,
                     Slot::Disk(DiskMeta {
                         path,
                         len: size,
@@ -962,7 +1074,26 @@ impl ShardCache {
         }
         // Our disk_order entry may have been popped (or superseded) while
         // the file write was in flight; finish that eviction if so.
-        self.validate_disk_residency(key);
+        self.validate_disk_residency(&key);
+    }
+
+    /// Drop `key`'s `Spilling` slot to absent (failed or dropped spill)
+    /// and wake waiters.
+    fn abort_spill(&self, key: &BlockKey) {
+        let shard = self.shard_for(key);
+        let mut map = shard.map.lock();
+        if matches!(map.get(key), Some(Slot::Spilling(_))) {
+            map.remove(key);
+        }
+        shard.cv.notify_all();
+    }
+
+    /// Block until every queued spill order has been fully written (no-op
+    /// without a spill queue).
+    fn flush_spills(&self) {
+        if let Some(queue) = &self.spill_queue {
+            queue.flush();
+        }
     }
 
     /// Re-admit CRC-valid spill files recorded by a previous run's index
@@ -1007,10 +1138,13 @@ impl ShardCache {
     /// tiers) up to the disk tier's spare capacity, then write the spill
     /// index covering them plus the live disk tier. Returns how many
     /// blocks the index covers. A non-persistent cache returns 0.
-    pub fn persist_now(&self) -> io::Result<u64> {
+    fn persist_now(&self) -> io::Result<u64> {
         if !self.config.persist {
             return Ok(0);
         }
+        // Queued spill orders are part of the state being checkpointed:
+        // drain them first so the index covers a complete disk tier.
+        self.flush_spills();
         let dir = self.spill_dir.as_ref().expect("persist implies spill dir");
         // Snapshot RAM residents and live disk entries shard by shard.
         let mut ram_blocks: Vec<(BlockKey, Bytes)> = Vec::new();
@@ -1094,21 +1228,142 @@ impl ShardCache {
         Ok(all.len() as u64)
     }
 
-    /// Block until plan position `pos` is within `depth` of the demand
-    /// cursor. Returns `true` when the window is open, `false` after a
-    /// bounded wait (the caller re-checks its stop flag and retries).
-    pub(crate) fn prefetch_window_wait(&self, pos: u64, depth: u64) -> bool {
+    /// How many plan positions starting at `pos` the prefetcher may warm
+    /// right now, capped at `max_run`. With `prefetch_staging == 0` the
+    /// open region is a continuous slide (`cursor + depth`); with
+    /// `staging >= 1` the plan is tiled into `depth`-sized windows and the
+    /// prefetcher may fill up to `staging` whole windows beyond the one
+    /// holding the demand cursor — the double-buffer: while send workers
+    /// consume window N, window N+1 stages into RAM, and the limit flips
+    /// forward when the cursor crosses a window boundary. Returns 0 after
+    /// a bounded wait with the window still closed (the caller re-checks
+    /// its stop flag and retries).
+    fn prefetch_open_run(&self, pos: u64, depth: u64, max_run: u64) -> u64 {
+        let staging = self.config.prefetch_staging as u64;
+        let limit = |cursor: u64| {
+            if staging == 0 {
+                cursor + depth
+            } else {
+                (cursor / depth + 1 + staging) * depth
+            }
+        };
         let mut g = self.global.lock();
-        if pos < g.cursor + depth {
-            return true;
+        let mut open = limit(g.cursor);
+        if pos >= open {
+            self.access_cv
+                .wait_for(&mut g, std::time::Duration::from_millis(5));
+            open = limit(g.cursor);
         }
-        self.access_cv
-            .wait_for(&mut g, std::time::Duration::from_millis(5));
-        pos < g.cursor + depth
+        open.saturating_sub(pos).min(max_run)
+    }
+
+    /// Warm-start: walk the freshly-installed plan in consumption order
+    /// and promote re-admitted disk blocks into RAM ahead of demand, up to
+    /// `warm_start_bytes`. Only blocks that fit in *free* RAM are promoted
+    /// — warming the future must never evict an earlier (sooner-needed)
+    /// promotion or the present working set.
+    fn warm_start(&self) {
+        let mut budget = self.config.warm_start_bytes;
+        if budget == 0 || self.spill_dir.is_none() {
+            return;
+        }
+        let seq = self.global.lock().seq.clone();
+        let mut seen = std::collections::HashSet::new();
+        for key in seq.iter() {
+            if budget == 0 {
+                break;
+            }
+            if seen.insert(*key) {
+                self.warm_promote(key, &mut budget);
+            }
+        }
+    }
+
+    /// Promote one disk-resident block into RAM at plan-install time,
+    /// debiting `budget` on success. No demand accounting (not a hit);
+    /// counted in `warm_promoted` and timed as [`Stage::WarmPromote`].
+    fn warm_promote(&self, key: &BlockKey, budget: &mut u64) {
+        let t0 = Instant::now();
+        // Claim the Disk slot as Busy (the standard promote ownership).
+        let meta = {
+            let shard = self.shard_for(key);
+            let mut map = shard.map.lock();
+            match map.get(key) {
+                Some(Slot::Disk(meta)) if meta.len <= *budget => {
+                    let meta = meta.clone();
+                    map.insert(*key, Slot::Busy);
+                    meta
+                }
+                _ => return,
+            }
+        };
+        // Free-RAM guard: restore the Disk slot untouched when admission
+        // would evict (accounting was not modified yet).
+        {
+            let g = self.global.lock();
+            if g.ram_used + meta.len > self.config.ram_bytes {
+                drop(g);
+                let shard = self.shard_for(key);
+                let mut map = shard.map.lock();
+                if matches!(map.get(key), Some(Slot::Busy)) {
+                    map.insert(*key, Slot::Disk(meta));
+                }
+                shard.cv.notify_all();
+                return;
+            }
+        }
+        // Leave the disk tier (own its accounting), read + CRC-validate
+        // the spill file outside every lock, then admit.
+        {
+            let mut g = self.global.lock();
+            if g.disk_order.remove(key).is_some() {
+                g.disk_used -= meta.len;
+            }
+        }
+        let data = match std::fs::read(&meta.path) {
+            Ok(d) if d.len() as u64 == meta.len && persist::block_crc(&d) == meta.crc => d,
+            _ => {
+                let _ = std::fs::remove_file(&meta.path);
+                self.release_busy(key);
+                return;
+            }
+        };
+        if self.admit_full(
+            *key,
+            Bytes::from(data),
+            Some(&meta),
+            /* owns_slot = */ true,
+        ) {
+            let _ = std::fs::remove_file(&meta.path);
+            *budget = budget.saturating_sub(meta.len);
+            self.stats.warm_promoted.fetch_add(1, Ordering::Relaxed);
+            if let Some(rec) = self.recorder.get() {
+                rec.record(Stage::WarmPromote, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    /// Claim `key` for a prefetch admit: install a `Busy` placeholder iff
+    /// the slot is empty. Returns whether the claim was taken.
+    fn try_claim(&self, key: &BlockKey) -> bool {
+        let shard = self.shard_for(key);
+        let mut map = shard.map.lock();
+        if map.get(key).is_some() {
+            return false;
+        }
+        map.insert(*key, Slot::Busy);
+        true
+    }
+
+    /// Admit a block fetched under a [`CacheCore::try_claim`] claim,
+    /// counting it as prefetched (not a demand miss).
+    fn admit_claimed_prefetch(&self, key: BlockKey, data: Bytes) {
+        self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
+        self.admit(key, data);
     }
 }
 
-impl Drop for ShardCache {
+impl Drop for CacheCore {
     fn drop(&mut self) {
         let mut disk_entries: Vec<(BlockKey, DiskMeta)> = Vec::new();
         for shard in self.shards.iter() {
@@ -1140,6 +1395,218 @@ impl Drop for ShardCache {
             if let Some(dir) = &self.spill_dir {
                 let _ = std::fs::remove_dir(dir);
             }
+        }
+    }
+}
+
+/// The plan-aware two-tier block cache. Shared across daemon send workers
+/// and the prefetcher via `Arc`; all methods take `&self`.
+///
+/// With a disk tier and a positive [`CacheConfig::spill_queue`], a
+/// dedicated `emlio-cache-spill` writer thread owns every spill-file
+/// write: evictors flip the slot to `Spilling` and enqueue, keeping disk
+/// I/O off the serve path. Dropping the handle shuts the queue down,
+/// drains it (every queued order still lands on disk), joins the writer,
+/// and only then runs the core's final persistence — so a persistent
+/// cache's spill index is always complete.
+pub struct ShardCache {
+    core: Arc<CacheCore>,
+    /// The spill writer thread; `None` in synchronous-spill mode.
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ShardCache {
+    /// Create a cache. Creates the spill directory when a disk tier is
+    /// configured; when the directory is persistent and holds a spill
+    /// index from a previous run, CRC-valid blocks are re-admitted into
+    /// the disk tier. Spawns the spill writer thread when a disk tier and
+    /// a spill queue are both configured.
+    pub fn new(config: CacheConfig) -> io::Result<ShardCache> {
+        let core = Arc::new(CacheCore::new(config)?);
+        let writer = if core.spill_queue.is_some() {
+            let writer_core = core.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("emlio-cache-spill".into())
+                    .spawn(move || {
+                        let queue = writer_core
+                            .spill_queue
+                            .as_ref()
+                            .expect("writer spawned with a queue");
+                        while let Some(order) = queue.pop() {
+                            writer_core.finish_spill(order, SpillVia::Writer);
+                            queue.done();
+                        }
+                    })?,
+            )
+        } else {
+            None
+        };
+        Ok(ShardCache { core, writer })
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.core.config
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.core.stats
+    }
+
+    /// Record `SpillWrite`/`WarmPromote` stage timings into `recorder`.
+    /// First call wins; later calls are ignored (the recorder is shared
+    /// with threads that only hold the core).
+    pub fn set_recorder(&self, recorder: Arc<StageRecorder>) {
+        let _ = self.core.recorder.set(recorder);
+    }
+
+    /// Install the planned access sequence (every epoch, in consumption
+    /// order) and reset the demand cursor. The clairvoyant policy and the
+    /// prefetcher both walk this sequence; set it before spawning a
+    /// [`crate::Prefetcher`]. Residents' next-use ranks are refreshed
+    /// against the new plan, and — with a [`CacheConfig::warm_start_bytes`]
+    /// budget — the earliest-needed re-admitted disk blocks are promoted
+    /// into RAM ahead of demand, so a restarted daemon's first prefetch
+    /// window is already hot.
+    pub fn set_plan(&self, seq: Vec<BlockKey>) {
+        self.core.set_plan(seq);
+        self.core.warm_start();
+    }
+
+    /// The installed plan sequence (empty when none was set).
+    pub(crate) fn plan(&self) -> Arc<Vec<BlockKey>> {
+        self.core.plan()
+    }
+
+    /// Demand accesses consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.core.consumed()
+    }
+
+    /// Whether `key` is resident in either tier. No policy side effects.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.core.contains(key)
+    }
+
+    /// Bytes resident in the RAM tier.
+    pub fn ram_bytes_used(&self) -> u64 {
+        self.core.ram_bytes_used()
+    }
+
+    /// Bytes resident in the disk tier.
+    pub fn disk_bytes_used(&self) -> u64 {
+        self.core.disk_bytes_used()
+    }
+
+    /// Sorted keys resident in the RAM tier (test/inspection hook).
+    pub fn ram_keys(&self) -> Vec<BlockKey> {
+        self.core.ram_keys()
+    }
+
+    /// Sorted keys resident in the disk tier (test/inspection hook).
+    pub fn disk_keys(&self) -> Vec<BlockKey> {
+        self.core.disk_keys()
+    }
+
+    /// Demand lookup: serve `key` from RAM or disk, updating recency and
+    /// the plan cursor. Returns `None` on a miss (which is also counted).
+    /// A fetch already in flight on another thread counts as a miss here
+    /// (this entry point never blocks on other threads' fetches).
+    pub fn get(&self, key: &BlockKey) -> Option<Bytes> {
+        self.core.get(key)
+    }
+
+    /// Insert a block without demand-access accounting. A no-op when the
+    /// key is already resident (either tier) or in flight.
+    pub fn insert(&self, key: BlockKey, data: impl Into<Bytes>) {
+        self.core.insert(key, data);
+    }
+
+    /// Demand lookup with single-flight fetch: on a miss, run `fetch` (at
+    /// most once per missing key across all threads — concurrent callers
+    /// block until the winner's fetch completes and then hit RAM).
+    pub fn get_or_fetch<E, T, F>(&self, key: BlockKey, fetch: F) -> Result<(Bytes, Fetched), E>
+    where
+        T: Into<Bytes>,
+        F: FnOnce() -> Result<T, E>,
+    {
+        self.core.get_or_fetch(key, fetch)
+    }
+
+    /// Load `key` ahead of demand: fetch and insert unless the block is
+    /// already resident or being fetched. Never waits, never touches the
+    /// demand cursor or hit/miss counters. Returns whether `fetch` ran.
+    pub fn prefetch<E, T, F>(&self, key: BlockKey, fetch: F) -> Result<bool, E>
+    where
+        T: Into<Bytes>,
+        F: FnOnce() -> Result<T, E>,
+    {
+        self.core.prefetch(key, fetch)
+    }
+
+    /// Claim `key` for a batched prefetch admit (`Busy` placeholder iff
+    /// the slot is empty); pair with
+    /// [`ShardCache::admit_claimed_prefetch`] or
+    /// [`ShardCache::release_claim`].
+    pub(crate) fn try_claim(&self, key: &BlockKey) -> bool {
+        self.core.try_claim(key)
+    }
+
+    /// Admit a block fetched under a claim, counting it as prefetched.
+    pub(crate) fn admit_claimed_prefetch(&self, key: BlockKey, data: Bytes) {
+        self.core.admit_claimed_prefetch(key, data);
+    }
+
+    /// Drop an unfulfilled prefetch claim (fetch error), waking waiters.
+    pub(crate) fn release_claim(&self, key: &BlockKey) {
+        self.core.release_busy(key);
+    }
+
+    /// See [`CacheCore::prefetch_open_run`]: how many plan positions from
+    /// `pos` the prefetcher may warm now (0 = window closed, retry).
+    pub(crate) fn prefetch_open_run(&self, pos: u64, depth: u64, max_run: u64) -> u64 {
+        self.core.prefetch_open_run(pos, depth, max_run)
+    }
+
+    /// Wake a prefetcher parked on the demand-access condvar (shutdown).
+    pub(crate) fn wake_prefetch_waiters(&self) {
+        self.core.access_cv.notify_all();
+    }
+
+    /// Checkpoint the cache for a restart (persistent caches only):
+    /// drain the spill queue, write RAM-resident blocks to spill files up
+    /// to the disk tier's spare capacity, then write the spill index
+    /// covering them plus the live disk tier. Returns how many blocks the
+    /// index covers. A non-persistent cache returns 0.
+    pub fn persist_now(&self) -> io::Result<u64> {
+        self.core.persist_now()
+    }
+
+    /// Block until every queued spill order has been fully written (the
+    /// `Spilling → Disk` transitions landed). A no-op in synchronous
+    /// mode. Tests and checkpoints use this to observe a settled tier.
+    pub fn flush_spills(&self) {
+        self.core.flush_spills();
+    }
+
+    /// Spill orders queued or in flight right now (gauge; 0 without a
+    /// spill queue).
+    pub fn spill_queue_depth(&self) -> u64 {
+        self.core.spill_queue.as_ref().map_or(0, |q| q.depth())
+    }
+}
+
+impl Drop for ShardCache {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            if let Some(queue) = &self.core.spill_queue {
+                queue.shutdown();
+            }
+            // The writer drains every queued order before exiting, so the
+            // core's Drop (persistence / cleanup) sees a complete tier.
+            let _ = writer.join();
         }
     }
 }
@@ -1303,6 +1770,9 @@ mod tests {
                     Ok(vec![k.start as u8; 100])
                 })
                 .unwrap();
+            // The replay depends on each eviction's spill landing before
+            // the block's next access promotes it from disk.
+            cache.flush_spills();
         }
         assert_eq!(fetches, 3, "each unique block fetched from storage once");
         let s = cache.stats().snapshot();
@@ -1350,6 +1820,7 @@ mod tests {
         cache.insert(key(0), block(7, 100));
         cache.insert(key(1), block(8, 100));
         cache.insert(key(2), block(9, 100)); // evicts 0 → disk
+        cache.flush_spills(); // let the writer thread land the transition
         assert_eq!(cache.stats().snapshot().spills, 1);
         assert_eq!(cache.disk_bytes_used(), 100);
         assert_eq!(cache.disk_keys(), vec![key(0)]);
@@ -1424,6 +1895,7 @@ mod tests {
             for i in 0..4 {
                 cache.insert(key(i), block(i, 100));
             }
+            cache.flush_spills();
             // 0 and 1 spilled to disk; 2 and 3 still in RAM.
             assert_eq!(cache.disk_keys(), vec![key(0), key(1)]);
             assert_eq!(cache.persist_now().unwrap(), 4, "RAM checkpointed too");
@@ -1495,5 +1967,130 @@ mod tests {
         }
         assert_eq!(cache.ram_bytes_used(), 300);
         assert_eq!(cache.ram_keys().len(), 3);
+    }
+
+    #[test]
+    fn staged_window_tiles_and_flips_on_cursor_crossing() {
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(1 << 20)
+                .with_prefetch_depth(4)
+                .with_prefetch_staging(1),
+        )
+        .unwrap();
+        let seq: Vec<BlockKey> = (0..24).map(key).collect();
+        cache.set_plan(seq.clone());
+        // Cursor at 0 (window 0): windows 0 and 1 are open → 8 positions.
+        assert_eq!(cache.prefetch_open_run(0, 4, 64), 8);
+        assert_eq!(cache.prefetch_open_run(6, 4, 64), 2);
+        assert_eq!(cache.prefetch_open_run(6, 4, 1), 1, "max_run caps");
+        // Consuming within window 0 does not open window 2.
+        for k in &seq[..3] {
+            cache.insert(*k, block(0, 8));
+            cache.get(k).unwrap();
+        }
+        assert_eq!(cache.prefetch_open_run(8, 4, 64), 0, "window closed");
+        // Crossing into window 1 flips the double-buffer forward.
+        cache.insert(key(3), block(0, 8));
+        cache.get(&key(3)).unwrap();
+        assert_eq!(cache.prefetch_open_run(8, 4, 64), 4);
+    }
+
+    #[test]
+    fn legacy_continuous_window_with_staging_zero() {
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(1 << 20)
+                .with_prefetch_depth(4)
+                .with_prefetch_staging(0),
+        )
+        .unwrap();
+        cache.set_plan((0..16).map(key).collect());
+        assert_eq!(cache.prefetch_open_run(0, 4, 64), 4);
+        assert_eq!(cache.prefetch_open_run(4, 4, 64), 0);
+    }
+
+    #[test]
+    fn sync_mode_spills_inline() {
+        let cache = ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(200)
+                .with_disk_bytes(1000)
+                .with_spill_queue(0)
+                .with_policy(EvictPolicy::Lru),
+        )
+        .unwrap();
+        for i in 0..3 {
+            cache.insert(key(i), block(i, 100));
+        }
+        let s = cache.stats().snapshot();
+        assert_eq!(s.spills, 1);
+        assert_eq!(s.spill_inline_writes, 1, "no writer thread in sync mode");
+        assert_eq!(s.spill_async_writes, 0);
+        assert_eq!(cache.spill_queue_depth(), 0);
+    }
+
+    #[test]
+    fn warm_start_promotes_earliest_needed_within_budget() {
+        let dir = TempDir::new("cache-warm-start");
+        let config = CacheConfig::default()
+            .with_ram_bytes(250)
+            .with_disk_bytes(2000)
+            .with_persist_dir(dir.path().to_path_buf())
+            .with_policy(EvictPolicy::Lru);
+        {
+            let cache = ShardCache::new(config.clone()).unwrap();
+            for i in 0..4 {
+                cache.insert(key(i), block(i, 100));
+            }
+            cache.persist_now().unwrap();
+        }
+        // Restart with a 2-block warm budget: the plan needs 3 first, then
+        // 1 — exactly those two promote (plan order, not key order), and
+        // nothing is evicted to make room.
+        let cache = ShardCache::new(config.with_warm_start_bytes(200)).unwrap();
+        assert_eq!(cache.stats().snapshot().readmitted, 4);
+        cache.set_plan(vec![key(3), key(1), key(0), key(2)]);
+        let s = cache.stats().snapshot();
+        assert_eq!(s.warm_promoted, 2);
+        assert_eq!(s.evictions, 0, "warm-start never evicts");
+        assert_eq!(cache.ram_keys(), vec![key(1), key(3)]);
+        assert_eq!(cache.disk_keys(), vec![key(0), key(2)]);
+        // Warm promotions are not demand hits.
+        assert_eq!((s.hits, s.disk_hits), (0, 0));
+        // The promoted blocks now serve from RAM without any storage read.
+        let (data, from) = cache
+            .get_or_fetch::<std::io::Error, Vec<u8>, _>(key(3), || {
+                panic!("warm-started block must not fetch")
+            })
+            .unwrap();
+        assert_eq!(from, Fetched::Ram);
+        assert!(data.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn warm_start_skips_blocks_that_do_not_fit_free_ram() {
+        let dir = TempDir::new("cache-warm-tight");
+        let config = CacheConfig::default()
+            .with_ram_bytes(250)
+            .with_disk_bytes(2000)
+            .with_persist_dir(dir.path().to_path_buf())
+            .with_policy(EvictPolicy::Lru);
+        {
+            let cache = ShardCache::new(config.clone()).unwrap();
+            for i in 0..4 {
+                cache.insert(key(i), block(i, 100));
+            }
+            cache.persist_now().unwrap();
+        }
+        // Budget covers everything, but free RAM fits only two blocks:
+        // the third earliest-needed block stays on disk untouched.
+        let cache = ShardCache::new(config.with_warm_start_bytes(10_000)).unwrap();
+        cache.set_plan((0..4).map(key).collect());
+        let s = cache.stats().snapshot();
+        assert_eq!(s.warm_promoted, 2);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(cache.ram_keys(), vec![key(0), key(1)]);
+        assert_eq!(cache.disk_keys(), vec![key(2), key(3)]);
     }
 }

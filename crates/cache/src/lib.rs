@@ -46,6 +46,7 @@ pub mod policy;
 pub mod prefetch;
 pub mod reader;
 pub mod source;
+pub mod spill;
 pub mod stats;
 
 pub use cache::{CacheConfig, Fetched, ShardCache};
@@ -54,4 +55,5 @@ pub use policy::EvictPolicy;
 pub use prefetch::Prefetcher;
 pub use reader::{CachedRangeReader, RangeRead};
 pub use source::CachedSource;
+pub use spill::SpillBackpressure;
 pub use stats::{CacheStats, CacheStatsSnapshot};

@@ -3,9 +3,23 @@
 //! Because the planner publishes the exact batch order before any data
 //! moves, the cache does not have to *react* to accesses — a background
 //! thread can walk the same sequence ahead of the send workers and have
-//! each block resident before it is demanded. The prefetcher stays at most
-//! `prefetch_depth` blocks ahead of the demand cursor so warming the
-//! future never evicts the present working set.
+//! each block resident before it is demanded.
+//!
+//! Two knobs bound and shape the lookahead:
+//!
+//! * **Staging** ([`crate::CacheConfig::prefetch_staging`]): with the
+//!   default of 1 the plan is tiled into `prefetch_depth`-sized windows
+//!   and the prefetcher double-buffers — while send workers consume
+//!   window N, window N+1 fills into RAM, the boundary flipping forward
+//!   when the demand cursor crosses into the next window. 0 restores the
+//!   legacy continuous window (`cursor + depth`). Either way the
+//!   prefetcher is bounded, so warming the future never evicts the
+//!   present working set.
+//! * **Batched fetches**: each wakeup grabs the whole *open run* of plan
+//!   positions (up to one window) and warms it through
+//!   [`emlio_tfrecord::RangeSource::prefetch_blocks`], so plan-adjacent
+//!   blocks coalesce into fewer — and, for sources that implement run
+//!   coalescing, larger — storage reads instead of one read per block.
 
 use crate::source::CachedSource;
 use emlio_tfrecord::RangeSource;
@@ -53,14 +67,19 @@ impl Prefetcher {
             if pos as usize >= seq.len() {
                 return;
             }
-            // Stay within `depth` of the demand cursor; the cache pings
-            // `access_cv` on every demand access.
-            if !cache.prefetch_window_wait(pos, depth) {
+            // Grab the open run — bounded by the staging windows ahead of
+            // the demand cursor (the cache pings its access condvar on
+            // every demand access) and capped at one window per wakeup so
+            // a fresh plan does not coalesce into one giant read.
+            let open = cache.prefetch_open_run(pos, depth, depth);
+            if open == 0 {
                 continue; // woke by timeout/stop; re-check
             }
-            let key = seq[pos as usize];
-            pos += 1;
-            let _fetched = source.prefetch_block(&key);
+            let end = (pos + open).min(seq.len() as u64) as usize;
+            let run = &seq[pos as usize..end];
+            pos = end as u64;
+            // Fetch errors are skipped — the demand path will surface them.
+            let _warmed = source.prefetch_blocks(run);
         }
     }
 
@@ -72,7 +91,7 @@ impl Prefetcher {
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // Wake the thread if it is parked waiting for the cursor to move.
-        self.source.cache().access_cv.notify_all();
+        self.source.cache().wake_prefetch_waiters();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

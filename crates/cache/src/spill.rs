@@ -1,0 +1,265 @@
+//! The bounded spill-order queue behind the background spill writer.
+//!
+//! Eviction used to perform the spill-file write on the evicting thread —
+//! off every lock, but still on the send workers' serve path. With a
+//! `SpillQueue` configured ([`crate::CacheConfig::with_spill_queue`]),
+//! evictors instead enqueue a `(BlockKey, Bytes)` order and return
+//! immediately; a dedicated `emlio-cache-spill` thread pops orders, writes
+//! the file, and lands the `Spilling → Disk` slot transition. The queue is
+//! bounded: when it fills, the configured [`SpillBackpressure`] policy
+//! either blocks the evictor (never lose a block) or drops the order (the
+//! block degrades to absent and demand re-fetches it from storage).
+//!
+//! Shutdown drains: the writer processes every queued order before
+//! exiting, so `persist_now()` and drop always checkpoint a complete spill
+//! index. Orders pushed after shutdown bounce back to the caller, which
+//! performs the write inline.
+
+use bytes::Bytes;
+use emlio_tfrecord::BlockKey;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// What an evictor does when the spill queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillBackpressure {
+    /// Wait for the writer to free a slot. Never loses a block; bounds the
+    /// eviction rate to the disk's spill bandwidth.
+    #[default]
+    Block,
+    /// Drop the order: the evicted block becomes absent and demand will
+    /// re-read it from storage. Keeps evictors wait-free at the cost of
+    /// repeat storage reads under sustained pressure.
+    Drop,
+}
+
+impl SpillBackpressure {
+    /// Stable lowercase name (CLI flag value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpillBackpressure::Block => "block",
+            SpillBackpressure::Drop => "drop",
+        }
+    }
+
+    /// Parse a CLI flag value (`block` | `drop`).
+    pub fn from_name(name: &str) -> Option<SpillBackpressure> {
+        match name {
+            "block" => Some(SpillBackpressure::Block),
+            "drop" => Some(SpillBackpressure::Drop),
+            _ => None,
+        }
+    }
+}
+
+/// One queued eviction: the block to write and its accounted size.
+pub(crate) struct SpillOrder {
+    pub key: BlockKey,
+    pub data: Bytes,
+    pub size: u64,
+}
+
+/// Outcome of [`SpillQueue::push`].
+pub(crate) enum Push {
+    /// The writer thread owns the order now.
+    Enqueued,
+    /// Queue full under [`SpillBackpressure::Drop`]; the caller must abort
+    /// the spill (drop the `Spilling` slot to absent).
+    Dropped(SpillOrder),
+    /// The queue is shut down; the caller performs the write inline.
+    Bypass(SpillOrder),
+}
+
+struct Inner {
+    orders: VecDeque<SpillOrder>,
+    /// The writer popped an order and has not finished it yet — the queue
+    /// is not idle even though `orders` may be empty.
+    in_flight: bool,
+    shutdown: bool,
+}
+
+/// Bounded MPSC queue between evictors and the spill writer thread.
+pub(crate) struct SpillQueue {
+    inner: Mutex<Inner>,
+    /// Signalled when an order is pushed (wakes the writer).
+    not_empty: Condvar,
+    /// Signalled when an order is popped (wakes blocked evictors).
+    not_full: Condvar,
+    /// Signalled when the queue drains to empty with nothing in flight
+    /// (wakes `flush` waiters).
+    idle: Condvar,
+    capacity: usize,
+}
+
+impl SpillQueue {
+    pub fn new(capacity: usize) -> SpillQueue {
+        SpillQueue {
+            inner: Mutex::new(Inner {
+                orders: VecDeque::new(),
+                in_flight: false,
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue an order, applying `policy` when the queue is full. Returns
+    /// the outcome plus telemetry: how many times the caller blocked on a
+    /// full queue, and the queue depth right after the push (0 unless
+    /// enqueued).
+    pub fn push(&self, order: SpillOrder, policy: SpillBackpressure) -> (Push, u64, u64) {
+        let mut inner = self.inner.lock();
+        let mut waits = 0u64;
+        loop {
+            if inner.shutdown {
+                return (Push::Bypass(order), waits, 0);
+            }
+            if inner.orders.len() < self.capacity {
+                break;
+            }
+            match policy {
+                SpillBackpressure::Block => {
+                    waits += 1;
+                    self.not_full.wait(&mut inner);
+                }
+                SpillBackpressure::Drop => return (Push::Dropped(order), waits, 0),
+            }
+        }
+        inner.orders.push_back(order);
+        let depth = inner.orders.len() as u64 + u64::from(inner.in_flight);
+        self.not_empty.notify_one();
+        (Push::Enqueued, waits, depth)
+    }
+
+    /// Pop the next order, blocking until one arrives or the queue is shut
+    /// down *and* drained (`None` ends the writer thread).
+    pub fn pop(&self) -> Option<SpillOrder> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(order) = inner.orders.pop_front() {
+                inner.in_flight = true;
+                self.not_full.notify_one();
+                return Some(order);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            self.not_empty.wait(&mut inner);
+        }
+    }
+
+    /// The writer finished (or aborted) the order it last popped.
+    pub fn done(&self) {
+        let mut inner = self.inner.lock();
+        inner.in_flight = false;
+        if inner.orders.is_empty() {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Orders queued or in flight right now (gauge).
+    pub fn depth(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.orders.len() as u64 + u64::from(inner.in_flight)
+    }
+
+    /// Block until every queued order has been fully written (queue empty
+    /// and nothing in flight). Returns immediately after shutdown-drain.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        while !inner.orders.is_empty() || inner.in_flight {
+            self.idle.wait(&mut inner);
+        }
+    }
+
+    /// Stop accepting orders; the writer drains what is queued, then its
+    /// `pop` returns `None`.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock();
+        inner.shutdown = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        self.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(i: usize) -> SpillOrder {
+        SpillOrder {
+            key: BlockKey {
+                shard_id: 0,
+                start: i,
+                end: i + 1,
+            },
+            data: Bytes::from(vec![i as u8; 8]),
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn drop_policy_bounces_when_full() {
+        let q = SpillQueue::new(2);
+        assert!(matches!(
+            q.push(order(0), SpillBackpressure::Drop).0,
+            Push::Enqueued
+        ));
+        assert!(matches!(
+            q.push(order(1), SpillBackpressure::Drop).0,
+            Push::Enqueued
+        ));
+        assert!(matches!(
+            q.push(order(2), SpillBackpressure::Drop).0,
+            Push::Dropped(_)
+        ));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends_pop() {
+        let q = SpillQueue::new(4);
+        q.push(order(0), SpillBackpressure::Block);
+        q.push(order(1), SpillBackpressure::Block);
+        q.shutdown();
+        assert!(matches!(
+            q.push(order(2), SpillBackpressure::Block).0,
+            Push::Bypass(_)
+        ));
+        assert!(q.pop().is_some());
+        q.done();
+        assert!(q.pop().is_some());
+        q.done();
+        assert!(q.pop().is_none(), "drained queue ends the writer");
+        q.flush();
+    }
+
+    #[test]
+    fn block_policy_waits_for_writer() {
+        let q = std::sync::Arc::new(SpillQueue::new(1));
+        q.push(order(0), SpillBackpressure::Block);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.push(order(1), SpillBackpressure::Block).1);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(q.pop().is_some(), "free a slot");
+        q.done();
+        let waits = h.join().unwrap();
+        assert!(waits > 0, "pusher blocked at least once");
+        assert!(q.pop().is_some());
+        q.done();
+        q.flush();
+    }
+
+    #[test]
+    fn backpressure_names_round_trip() {
+        for p in [SpillBackpressure::Block, SpillBackpressure::Drop] {
+            assert_eq!(SpillBackpressure::from_name(p.name()), Some(p));
+        }
+        assert_eq!(SpillBackpressure::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property test for the batched prefetch path: for *any* key trace,
+//! warming a window through one `prefetch_blocks` call leaves the cache in
+//! exactly the state the single-block `prefetch_block` baseline produces —
+//! same resident set, same `prefetched` count — while issuing strictly
+//! fewer inner-source read invocations whenever more than one block was
+//! actually fetched.
+
+use emlio_cache::{BlockKey, BlockRead, CacheConfig, CachedSource, RangeSource, ShardCache};
+use emlio_tfrecord::RecordError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const BLOCK: usize = 100;
+
+fn key(i: u8) -> BlockKey {
+    BlockKey {
+        shard_id: 0,
+        start: i as usize * BLOCK,
+        end: (i as usize + 1) * BLOCK,
+    }
+}
+
+fn payload(k: &BlockKey) -> Vec<u8> {
+    vec![(k.start / BLOCK) as u8; BLOCK]
+}
+
+/// An inner source that counts read *invocations* (calls, not blocks) —
+/// modeling a root source whose batched entry point coalesces a whole run
+/// into one positioned read, like `TfrecordSource::read_blocks`.
+#[derive(Default)]
+struct CountingSource {
+    invocations: AtomicU64,
+    blocks_read: AtomicU64,
+}
+
+impl CountingSource {
+    fn read_one(&self, k: &BlockKey) -> BlockRead {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        BlockRead {
+            data: payload(k).into(),
+            origin: emlio_cache::ReadOrigin::Direct,
+            read_nanos: 1,
+        }
+    }
+}
+
+impl RangeSource for CountingSource {
+    fn read_block(&self, k: &BlockKey) -> Result<BlockRead, RecordError> {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        Ok(self.read_one(k))
+    }
+
+    fn read_blocks(&self, keys: &[BlockKey]) -> Result<Vec<BlockRead>, RecordError> {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        Ok(keys.iter().map(|k| self.read_one(k)).collect())
+    }
+
+    fn describe(&self) -> String {
+        "counting".into()
+    }
+}
+
+/// A fresh cache+counter stack big enough that no prefetch evicts (the
+/// equivalence below is about warming, not eviction interleavings).
+fn stack() -> (Arc<ShardCache>, Arc<CountingSource>, CachedSource) {
+    let cache = Arc::new(
+        ShardCache::new(
+            CacheConfig::default()
+                .with_ram_bytes(64 * BLOCK as u64)
+                .with_prefetch_depth(0),
+        )
+        .unwrap(),
+    );
+    let inner = Arc::new(CountingSource::default());
+    let source = CachedSource::new(cache.clone(), inner.clone());
+    (cache, inner, source)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Batched `prefetch_blocks` ≡ sequential `prefetch_block`, cheaper.
+    #[test]
+    fn batched_prefetch_matches_single_block_baseline(
+        trace in vec(0u8..24, 1..48),
+        // Split the trace into windows of this size for the batched run
+        // (prefetchers hand `prefetch_blocks` one window at a time).
+        window in 1usize..9,
+    ) {
+        let keys: Vec<BlockKey> = trace.iter().map(|&i| key(i)).collect();
+
+        // Baseline: one prefetch_block per key, in trace order.
+        let (base_cache, base_inner, base_src) = stack();
+        let mut base_warmed = 0usize;
+        for k in &keys {
+            base_warmed += usize::from(base_src.prefetch_block(k).unwrap());
+        }
+
+        // Batched: the same trace, one prefetch_blocks call per window.
+        let (batch_cache, batch_inner, batch_src) = stack();
+        let mut batch_warmed = 0usize;
+        for chunk in keys.chunks(window) {
+            batch_warmed += batch_src.prefetch_blocks(chunk).unwrap();
+        }
+
+        // Identical warmed state: same resident set, same accounting.
+        prop_assert_eq!(base_cache.ram_keys(), batch_cache.ram_keys());
+        prop_assert_eq!(base_warmed, batch_warmed);
+        let base_stats = base_cache.stats().snapshot();
+        let batch_stats = batch_cache.stats().snapshot();
+        prop_assert_eq!(base_stats.prefetched, batch_stats.prefetched);
+        prop_assert_eq!(
+            base_inner.blocks_read.load(Ordering::Relaxed),
+            batch_inner.blocks_read.load(Ordering::Relaxed),
+            "both paths fetch each unique block exactly once"
+        );
+        // Identical bytes for every warmed block.
+        for k in batch_cache.ram_keys() {
+            prop_assert_eq!(&batch_cache.get(&k).unwrap()[..], &payload(&k)[..]);
+        }
+
+        // Strictly fewer inner read invocations whenever any window
+        // fetched more than one block (and never more in any case).
+        let base_calls = base_inner.invocations.load(Ordering::Relaxed);
+        let batch_calls = batch_inner.invocations.load(Ordering::Relaxed);
+        prop_assert!(batch_calls <= base_calls,
+            "batched path never issues more reads ({batch_calls} vs {base_calls})");
+        let unique = {
+            let mut v = trace.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        if window > 1 && unique > keys.chunks(window).count() {
+            prop_assert!(batch_calls < base_calls,
+                "some window coalesced ≥2 fetches ({batch_calls} vs {base_calls})");
+        }
+    }
+}

@@ -100,6 +100,9 @@ fn hammer(policy: EvictPolicy, lock_shards: usize) {
     for h in handles {
         h.join().expect("no thread panicked");
     }
+    // Settle the background spill writer: queued orders may still resolve
+    // to disk (or be declined) after the workers stop.
+    cache.flush_spills();
 
     assert!(cache.ram_bytes_used() <= ram);
     assert!(cache.disk_bytes_used() <= disk);

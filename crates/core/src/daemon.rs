@@ -112,10 +112,32 @@ impl RangeSource for MeteredSource {
         Ok(read)
     }
 
+    fn read_blocks(&self, keys: &[BlockKey]) -> Result<Vec<BlockRead>, RecordError> {
+        let reads = self.inner.read_blocks(keys)?;
+        // One storage read per non-cached block, even when the source
+        // below coalesced a run into a single pread: each member carries
+        // its share of the merged read's latency, so per-block counting
+        // keeps `storage_reads` comparable across batched and single-block
+        // paths.
+        for read in &reads {
+            if !read.origin.is_cached() {
+                self.metrics.record_storage_read(read.read_nanos);
+                if let Some(rec) = &self.recorder {
+                    rec.record(Stage::StorageRead, read.read_nanos);
+                }
+            }
+        }
+        Ok(reads)
+    }
+
     fn prefetch_block(&self, key: &BlockKey) -> Result<bool, RecordError> {
         // Transparent decoration: a caching layer below (metered ->
         // cached -> …) must still receive warm-ups.
         self.inner.prefetch_block(key)
+    }
+
+    fn prefetch_blocks(&self, keys: &[BlockKey]) -> Result<usize, RecordError> {
+        self.inner.prefetch_blocks(keys)
     }
 
     fn describe(&self) -> String {
@@ -194,6 +216,10 @@ impl EmlioDaemon {
                     ShardCache::new(cache_config.clone())
                         .map_err(|e| DaemonError::Storage(RecordError::Io(e)))?,
                 );
+                // Spill writes and warm promotes happen on cache-owned
+                // threads; routing them into the daemon's recorder keeps
+                // the report's stage map complete.
+                cache.set_recorder(recorder.clone());
                 let cached =
                     Arc::new(CachedSource::new(cache, metered).with_recorder(recorder.clone()));
                 (cached.clone() as Arc<dyn RangeSource>, Some(cached))
@@ -215,6 +241,10 @@ impl EmlioDaemon {
                 // wire frame — not one payload byte is copied. Disk-tier
                 // hits re-read the spill file, so they are excluded.
                 m.set_zero_copy_hits(s.hits - s.disk_hits);
+                m.set_cache_spill_failures(s.spill_failures);
+                m.set_cache_spill_backpressure(s.spill_backpressure_waits + s.spill_dropped);
+                m.set_cache_warm_promoted(s.warm_promoted);
+                m.set_cache_spill_queue_depth(cache.spill_queue_depth());
             });
         }
         let pool_handle = pool.clone();

@@ -112,6 +112,16 @@ fn insert_path_points(db: &mut Db, process: &str, snap: &MetricsSnapshot, ts: u6
         .field("pool_alloc", snap.pool_alloc as f64)
         .field("pool_reuse", snap.pool_reuse as f64)
         .field("zero_copy_hits", snap.zero_copy_hits as f64)
+        .field("cache_spill_failures", snap.cache_spill_failures as f64)
+        .field(
+            "cache_spill_queue_depth",
+            snap.cache_spill_queue_depth as f64,
+        )
+        .field(
+            "cache_spill_backpressure",
+            snap.cache_spill_backpressure as f64,
+        )
+        .field("cache_warm_promoted", snap.cache_warm_promoted as f64)
         .field("send_blocked_nanos", snap.send_blocked_nanos as f64)
         .at(ts);
     // Only meaningful when a cache is configured and saw traffic — the
@@ -237,6 +247,13 @@ pub struct StallReport {
     pub blocked_send_nanos: u64,
     /// `wall_workers - assemble - send`: loop overhead + plan iteration.
     pub unattributed_nanos: u64,
+    /// Spill-file write time on the background `emlio-cache-spill`
+    /// thread. *Off-path*: this thread-time overlaps the workers' wall
+    /// clock instead of adding to it, so it is reported alongside — never
+    /// inside — the `wall × workers` identity above. A synchronous-spill
+    /// build attributes the same file writes to the evicting worker's
+    /// assemble time instead.
+    pub spill_write_nanos: u64,
 }
 
 impl StallReport {
@@ -274,6 +291,7 @@ pub fn stall_attribution(db: &Db, process: &str) -> Option<StallReport> {
         send_nanos: send,
         blocked_send_nanos: blocked_send,
         unattributed_nanos: wall_workers.saturating_sub(assemble).saturating_sub(send),
+        spill_write_nanos: last_stage_sum(db, process, Stage::SpillWrite),
     })
 }
 
@@ -448,6 +466,15 @@ pub fn render_report(db: &Db) -> String {
                 fmt_nanos(stall.unattributed_nanos as f64),
                 pct(stall.unattributed_nanos)
             );
+            // Off-path thread-time: overlaps the workers' wall clock, so
+            // it sits outside the percentages above.
+            if stall.spill_write_nanos > 0 {
+                let _ = writeln!(
+                    out,
+                    "  spill writer    {}  (off-path, background thread)",
+                    fmt_nanos(stall.spill_write_nanos as f64),
+                );
+            }
         }
         let _ = writeln!(out);
     }

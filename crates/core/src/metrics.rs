@@ -56,6 +56,17 @@ pub struct DataPathMetrics {
     /// payload byte (subset of `cache_hits`; disk-tier hits re-enter RAM
     /// and are excluded).
     pub zero_copy_hits: AtomicU64,
+    /// Spill-file writes that failed; each drops the block to absent
+    /// (demand re-fetches it from storage).
+    pub cache_spill_failures: AtomicU64,
+    /// Spill orders queued or in flight on the background writer right now
+    /// (gauge, not monotonic; 0 in synchronous-spill mode).
+    pub cache_spill_queue_depth: AtomicU64,
+    /// Backpressure events at the spill queue: evictor blocks on a full
+    /// queue plus orders dropped under the `drop` policy.
+    pub cache_spill_backpressure: AtomicU64,
+    /// Disk blocks promoted into RAM by cache warm-start.
+    pub cache_warm_promoted: AtomicU64,
     /// Nanoseconds send workers spent blocked on a full socket queue.
     pub send_blocked_nanos: AtomicU64,
     /// Wall-clock nanoseconds of the most recent `serve()` call.
@@ -139,6 +150,30 @@ impl DataPathMetrics {
         self.zero_copy_hits.store(total, Ordering::Relaxed);
     }
 
+    /// Reconcile the spill-write failure counter with the cache's own
+    /// total.
+    pub fn set_cache_spill_failures(&self, total: u64) {
+        self.cache_spill_failures.store(total, Ordering::Relaxed);
+    }
+
+    /// Publish the spill queue's current depth (gauge).
+    pub fn set_cache_spill_queue_depth(&self, depth: u64) {
+        self.cache_spill_queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Reconcile the spill backpressure counter (blocked-evictor waits
+    /// plus dropped orders) with the cache's own totals.
+    pub fn set_cache_spill_backpressure(&self, total: u64) {
+        self.cache_spill_backpressure
+            .store(total, Ordering::Relaxed);
+    }
+
+    /// Reconcile the warm-start promotion counter with the cache's own
+    /// total.
+    pub fn set_cache_warm_promoted(&self, total: u64) {
+        self.cache_warm_promoted.store(total, Ordering::Relaxed);
+    }
+
     /// Mark whether a shard cache is configured (resolves the 0.0
     /// hit-rate ambiguity between "disabled" and "all misses").
     pub fn set_cache_enabled(&self, enabled: bool) {
@@ -195,6 +230,10 @@ impl DataPathMetrics {
             pool_alloc: self.pool_alloc.load(Ordering::Relaxed),
             pool_reuse: self.pool_reuse.load(Ordering::Relaxed),
             zero_copy_hits: self.zero_copy_hits.load(Ordering::Relaxed),
+            cache_spill_failures: self.cache_spill_failures.load(Ordering::Relaxed),
+            cache_spill_queue_depth: self.cache_spill_queue_depth.load(Ordering::Relaxed),
+            cache_spill_backpressure: self.cache_spill_backpressure.load(Ordering::Relaxed),
+            cache_warm_promoted: self.cache_warm_promoted.load(Ordering::Relaxed),
             send_blocked_nanos: self.send_blocked_nanos.load(Ordering::Relaxed),
             serve_wall_nanos: self.serve_wall_nanos.load(Ordering::Relaxed),
             serve_workers: self.serve_workers.load(Ordering::Relaxed),
@@ -236,6 +275,14 @@ pub struct MetricsSnapshot {
     pub pool_reuse: u64,
     /// Batch reads served zero-copy from RAM-tier cache hits.
     pub zero_copy_hits: u64,
+    /// Spill-file writes that failed (block dropped to absent).
+    pub cache_spill_failures: u64,
+    /// Spill orders queued or in flight on the background writer (gauge).
+    pub cache_spill_queue_depth: u64,
+    /// Spill-queue backpressure events (blocked waits + dropped orders).
+    pub cache_spill_backpressure: u64,
+    /// Disk blocks promoted into RAM by cache warm-start.
+    pub cache_warm_promoted: u64,
     /// Nanoseconds send workers spent blocked on a full socket queue.
     pub send_blocked_nanos: u64,
     /// Wall-clock nanoseconds of the most recent serve.

@@ -54,13 +54,22 @@ pub enum Stage {
     WireTransit,
     /// Daemon `send` stamp → consumer dequeue (trace-derived).
     EndToEnd,
+    /// Spill-file write of an evicted block. With the async spill writer
+    /// this runs on the dedicated `emlio-cache-spill` thread, *off* the
+    /// send workers' serve path (so it is neither exclusive nor nested
+    /// within `BatchAssemble`); with a synchronous spill queue it runs on
+    /// the evicting thread.
+    SpillWrite,
+    /// Warm-start promotion of a re-admitted disk block into RAM ahead of
+    /// demand (plan-install time, before any send worker runs).
+    WarmPromote,
 }
 
 impl Stage {
     /// Number of stages (histogram array size).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
-    /// Every stage, in data-path order.
+    /// Every stage, in data-path order (off-path stages trail).
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::StorageRead,
         Stage::CacheLookup,
@@ -76,6 +85,8 @@ impl Stage {
         Stage::PipelineOp,
         Stage::WireTransit,
         Stage::EndToEnd,
+        Stage::SpillWrite,
+        Stage::WarmPromote,
     ];
 
     /// Stable snake_case name (tsdb tag value, report row label).
@@ -95,6 +106,8 @@ impl Stage {
             Stage::PipelineOp => "pipeline_op",
             Stage::WireTransit => "wire_transit",
             Stage::EndToEnd => "end_to_end",
+            Stage::SpillWrite => "spill_write",
+            Stage::WarmPromote => "warm_promote",
         }
     }
 

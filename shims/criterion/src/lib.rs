@@ -83,14 +83,36 @@ fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
 }
 
 /// Top-level benchmark driver.
-#[derive(Default)]
 pub struct Criterion {
-    _priv: (),
+    /// Substring filters from the command line (real criterion's positional
+    /// `FILTER` args): a benchmark runs when any filter matches its full
+    /// `group/name`. Empty = run everything.
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    /// Collect positional (non-flag) CLI args as name filters, matching
+    /// `cargo bench -- <substring>…` behavior — CI uses this to run only
+    /// the cheap smoke groups.
+    fn default() -> Criterion {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
 }
 
 impl Criterion {
-    /// Run a single named benchmark.
+    fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+
+    /// Run a single named benchmark (skipped when CLI filters exclude it).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.matches(name) {
+            return self;
+        }
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b);
         report(name, b.ns_per_iter, None);
@@ -100,13 +122,14 @@ impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             throughput: None,
         }
     }
 
-    /// Accept (and ignore) CLI configuration, for API compatibility.
+    /// Accept (and ignore) CLI configuration, for API compatibility
+    /// (filters are already collected in [`Criterion::default`]).
     pub fn configure_from_args(self) -> Self {
         self
     }
@@ -114,7 +137,7 @@ impl Criterion {
 
 /// A group of benchmarks sharing a name prefix and throughput annotation.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
 }
@@ -126,15 +149,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Run one benchmark within the group.
+    /// Run one benchmark within the group (skipped when CLI filters
+    /// exclude its full `group/name`).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full_name = format!("{}/{}", self.name, name);
+        if !self.parent.matches(&full_name) {
+            return self;
+        }
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b);
-        report(
-            &format!("{}/{}", self.name, name),
-            b.ns_per_iter,
-            self.throughput,
-        );
+        report(&full_name, b.ns_per_iter, self.throughput);
         self
     }
 
@@ -179,6 +203,17 @@ mod tests {
         let mut b = Bencher { ns_per_iter: 0.0 };
         b.iter(|| black_box(1u64 + 1));
         assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn filters_match_on_full_group_slash_name() {
+        let c = Criterion {
+            filters: vec!["cache_spill".into()],
+        };
+        assert!(c.matches("cache_spill_mode/sync"));
+        assert!(!c.matches("cache_hit/ram"));
+        let all = Criterion { filters: vec![] };
+        assert!(all.matches("anything/at_all"));
     }
 
     #[test]
