@@ -374,12 +374,92 @@ fn bench_prefetch_staging(c: &mut Criterion) {
     g.finish();
 }
 
+/// Solo vs cooperative fleet over one slow backing store: four "daemons",
+/// each `cached -> storage` (solo) or `cached -> peer -> storage` (fleet),
+/// every daemon reading the full key list once concurrently. Each storage
+/// read costs ~150 µs (an NFS-shaped stand-in), so the fleet's win is
+/// mechanical: solo pays 4 passes over the backing store, the fleet pays
+/// one (each block's consistent-hash owner reads it, everyone else takes
+/// it peer-to-peer or from the retained flight).
+fn bench_peer_mode(c: &mut Criterion) {
+    use emlio_cache::peer::{FleetRegistry, LocalPeer, PeerConfig, PeerSource};
+    use emlio_cache::{CachedSource, RangeSource};
+    use emlio_tfrecord::FnSource;
+
+    const DAEMONS: usize = 4;
+    let block_bytes = 16 << 10;
+    let blocks = 24usize;
+    let keys: Vec<BlockKey> = (0..blocks)
+        .map(|i| BlockKey {
+            shard_id: 0,
+            start: i * 64,
+            end: (i + 1) * 64,
+        })
+        .collect();
+    let mut g = c.benchmark_group("cache_peer_mode");
+    g.throughput(Throughput::Elements((DAEMONS * blocks) as u64));
+    for (name, fleet) in [("solo", false), ("fleet", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let registry = fleet.then(FleetRegistry::new);
+                if let Some(reg) = &registry {
+                    for d in 0..DAEMONS {
+                        reg.join(&format!("d{d}"));
+                    }
+                }
+                let mut stacks: Vec<Arc<CachedSource>> = Vec::new();
+                for d in 0..DAEMONS {
+                    let storage: Arc<dyn RangeSource> =
+                        Arc::new(FnSource::new(move |_k: &BlockKey| {
+                            spin_for(std::time::Duration::from_micros(150));
+                            Ok(vec![0u8; block_bytes])
+                        }));
+                    let cache = Arc::new(
+                        ShardCache::new(
+                            CacheConfig::default()
+                                .with_ram_bytes(1 << 30)
+                                .with_prefetch_depth(0),
+                        )
+                        .unwrap(),
+                    );
+                    let base = match &registry {
+                        Some(reg) => {
+                            reg.attach(&format!("d{d}"), LocalPeer::new(&cache));
+                            PeerSource::new(
+                                reg.clone(),
+                                &format!("d{d}"),
+                                storage,
+                                PeerConfig::default(),
+                            ) as Arc<dyn RangeSource>
+                        }
+                        None => storage,
+                    };
+                    stacks.push(Arc::new(CachedSource::new(cache, base)));
+                }
+                std::thread::scope(|scope| {
+                    for stack in &stacks {
+                        let stack = stack.clone();
+                        let keys = &keys;
+                        scope.spawn(move || {
+                            for key in keys {
+                                black_box(stack.read_block(key).unwrap());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_policies,
     bench_hit_path,
     bench_contention,
     bench_spill_modes,
-    bench_prefetch_staging
+    bench_prefetch_staging,
+    bench_peer_mode
 );
 criterion_main!(benches);

@@ -2,7 +2,10 @@
 //! clairvoyant) on a Zipf-skewed multi-epoch replay, priced with the NFS
 //! cost model at 10 ms RTT — followed by EXP-CONTEND, the multi-daemon
 //! shared-storage contention scenario (N daemons, one NFS mount,
-//! per-daemon caches). Pass `--smoke` for the CI-sized variants.
+//! per-daemon caches), and EXP-FLEET, the same contention scenario with
+//! the daemons cooperating through one `FleetRegistry` (consistent-hash
+//! block ownership, peer-to-peer block serving). Pass `--smoke` for the
+//! CI-sized variants.
 
 use emlio_bench::cache_ablation::{run, to_rows, AblationConfig};
 use emlio_bench::contention::{self, ContentionConfig};
@@ -83,5 +86,49 @@ fn main() {
         format_bytes(out.nfs_bytes_read),
         out.nfs_reads,
         format_bytes(out.aggregate_bytes_saved),
+    );
+
+    // EXP-FLEET: the 4-daemon cooperative variant — one registry, peer
+    // layer in every read stack. The shared link must carry the dataset
+    // once in total, not once per daemon.
+    let fcfg = if smoke {
+        ContentionConfig::smoke_fleet()
+    } else {
+        ContentionConfig {
+            epochs: 3,
+            samples: 256,
+            ..ContentionConfig::smoke_fleet()
+        }
+    };
+    println!(
+        "\ncooperative fleet: {} daemons × {} epochs sharing one registry ({} samples)",
+        fcfg.daemons, fcfg.epochs, fcfg.samples,
+    );
+    let fleet = contention::run(&fcfg);
+    assert_eq!(
+        fleet.batches_delivered, fleet.expected_batches,
+        "full delivery in fleet mode"
+    );
+    assert_eq!(
+        fleet.nfs_bytes_read, fleet.dataset_bytes,
+        "fleet reads the dataset from storage exactly once, in aggregate"
+    );
+    println!(
+        "  shared link carried {} (= dataset, vs {} solo); {} storage reads for {} unique blocks",
+        format_bytes(fleet.nfs_bytes_read),
+        format_bytes(fcfg.daemons as u64 * fleet.dataset_bytes),
+        fleet.per_daemon_storage_reads.iter().sum::<u64>(),
+        fleet.unique_blocks,
+    );
+    println!(
+        "  peers: {} hits / {} misses / {} fallbacks, {} served peer-to-peer",
+        fleet.peer_hits,
+        fleet.peer_misses,
+        fleet.peer_fallbacks,
+        format_bytes(fleet.peer_bytes),
+    );
+    println!(
+        "  fleet avoided {:.2}s and {:.1} J of storage I/O (modeled at {DEFAULT_STORAGE_IO_WATTS} W)",
+        fleet.fleet_savings.avoided_secs, fleet.fleet_savings.avoided_joules,
     );
 }

@@ -578,6 +578,32 @@ impl CacheCore {
         }
     }
 
+    /// Serve `key`'s bytes without perturbing the cache: no demand-cursor
+    /// advance, no hit/miss counters, no recency touch, no promotion. A
+    /// RAM/spilling resident clones the shared bytes; a disk resident is
+    /// read (and CRC-validated) from its spill file *in place* — the block
+    /// stays on disk. `Busy` (fetch in flight) and absent report `None`.
+    /// This is the peer-serving entry point: a remote daemon's fetch must
+    /// not distort this cache's plan accounting or tier placement.
+    pub fn peek(&self, key: &BlockKey) -> Option<Bytes> {
+        let meta = {
+            let map = self.shard_for(key).map.lock();
+            match map.get(key) {
+                Some(Slot::Ram(data)) | Some(Slot::Spilling(data)) => return Some(data.clone()),
+                Some(Slot::Disk(meta)) => meta.clone(),
+                _ => return None,
+            }
+        };
+        // Spill-file read outside every lock. A concurrent evictor may
+        // delete the file under us; validation degrades that to a miss.
+        match std::fs::read(&meta.path) {
+            Ok(d) if d.len() as u64 == meta.len && persist::block_crc(&d) == meta.crc => {
+                Some(Bytes::from(d))
+            }
+            _ => None,
+        }
+    }
+
     /// Insert a block without demand-access accounting. A no-op when the
     /// key is already resident (either tier) or in flight — an unowned
     /// insert must never clobber another thread's single-flight slot.
@@ -1522,6 +1548,16 @@ impl ShardCache {
     /// key is already resident (either tier) or in flight.
     pub fn insert(&self, key: BlockKey, data: impl Into<Bytes>) {
         self.core.insert(key, data);
+    }
+
+    /// Serve `key`'s bytes without perturbing the cache: no demand-cursor
+    /// advance, no hit/miss counters, no recency touch, no promotion —
+    /// disk residents are CRC-validated and read in place, staying on
+    /// disk. `Busy` and absent report `None`. The peer-serving entry
+    /// point: a remote daemon's fetch must not distort this cache's plan
+    /// accounting or tier placement.
+    pub fn peek(&self, key: &BlockKey) -> Option<Bytes> {
+        self.core.peek(key)
     }
 
     /// Demand lookup with single-flight fetch: on a miss, run `fetch` (at

@@ -27,6 +27,12 @@
 //!   [`RangeSource`] read stack: wrap any
 //!   inner source (local `TfrecordSource`, `emlio-netem`'s `NfsSource`)
 //!   and the whole daemon read path gains the cache transparently.
+//! * [`PeerSource`] ([`peer`]) — the cooperative-fleet decorator: a
+//!   [`FleetRegistry`] consistent-hashes block ownership across N daemons
+//!   so non-owners fetch a block from its owner's RAM/disk tier (through a
+//!   [`PeerTransport`]) instead of the shared storage link, with
+//!   fleet-wide single-flight and graceful degradation to direct storage
+//!   when a peer is down or slow.
 //! * [`Prefetcher`] — a background thread that walks the planned access
 //!   sequence ahead of the demand cursor and warms the RAM tier through a
 //!   [`CachedSource`], bounded by a configurable depth so it cannot wreck
@@ -41,6 +47,7 @@
 
 pub mod cache;
 pub mod order;
+pub mod peer;
 pub mod persist;
 pub mod policy;
 pub mod prefetch;
@@ -51,6 +58,10 @@ pub mod stats;
 
 pub use cache::{CacheConfig, Fetched, ShardCache};
 pub use emlio_tfrecord::source::{BlockKey, BlockRead, RangeSource, ReadOrigin};
+pub use peer::{
+    FleetRegistry, HashRing, LocalPeer, PeerConfig, PeerFetch, PeerSource, PeerStats,
+    PeerStatsSnapshot, PeerTransport,
+};
 pub use policy::EvictPolicy;
 pub use prefetch::Prefetcher;
 pub use reader::{CachedRangeReader, RangeRead};

@@ -145,3 +145,80 @@ fn stress_single_lock_shard() {
     // interleaving on a single slot map.
     hammer(EvictPolicy::Lru, 1);
 }
+
+#[test]
+fn stress_peer_fleet_coalesces_storage_reads() {
+    // A 4-peer fleet hammered from 8 threads: every key is read through
+    // many peers at once, racing owner fetches, flight handoffs, and
+    // offers into the owners' caches. Liveness = completion; correctness =
+    // every read returns the backing pattern; economy = the shared backing
+    // store is read exactly once per unique key (fleet-wide single-flight
+    // plus retained flights make the count exact, not approximate).
+    use emlio_cache::peer::{FleetRegistry, LocalPeer, PeerConfig, PeerSource};
+    use emlio_cache::RangeSource;
+    use emlio_tfrecord::FnSource;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    const PEERS: usize = 4;
+
+    let storage_reads = Arc::new(AtomicU64::new(0));
+    let touched = Arc::new(Mutex::new(HashSet::new()));
+    let registry = FleetRegistry::new();
+    for p in 0..PEERS {
+        registry.join(&format!("p{p}"));
+    }
+    let mut sources = Vec::new();
+    let mut caches = Vec::new();
+    for p in 0..PEERS {
+        let cache = Arc::new(
+            ShardCache::new(
+                CacheConfig::default()
+                    .with_ram_bytes((KEYSPACE * BLOCK_BYTES) as u64)
+                    .with_prefetch_depth(0),
+            )
+            .unwrap(),
+        );
+        registry.attach(&format!("p{p}"), LocalPeer::new(&cache));
+        let reads = storage_reads.clone();
+        let touched = touched.clone();
+        let inner: Arc<dyn RangeSource> = Arc::new(FnSource::new(move |k: &BlockKey| {
+            reads.fetch_add(1, Ordering::SeqCst);
+            touched.lock().unwrap().insert(*k);
+            Ok(vec![k.shard_id as u8; BLOCK_BYTES])
+        }));
+        sources.push(PeerSource::new(
+            registry.clone(),
+            &format!("p{p}"),
+            inner,
+            PeerConfig::default(),
+        ));
+        caches.push(cache);
+    }
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let source = sources[t % PEERS].clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = 0xD1B54A32u64.wrapping_mul(t as u64 + 1) | 1;
+            for _ in 0..OPS_PER_THREAD {
+                let k = key(next_rand(&mut rng) as usize % KEYSPACE);
+                let read = source.read_block(&k).unwrap();
+                assert_eq!(read.data.len(), BLOCK_BYTES);
+                assert!(read.data.iter().all(|&b| b == k.shard_id as u8));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+
+    let unique = touched.lock().unwrap().len() as u64;
+    assert_eq!(
+        storage_reads.load(Ordering::SeqCst),
+        unique,
+        "fleet-wide single-flight reads each key from storage exactly once"
+    );
+    let fallbacks: u64 = sources.iter().map(|s| s.stats().snapshot().fallbacks).sum();
+    assert_eq!(fallbacks, 0, "all owners stayed reachable");
+}

@@ -99,11 +99,11 @@ impl MeteredSource {
 impl RangeSource for MeteredSource {
     fn read_block(&self, key: &BlockKey) -> Result<BlockRead, RecordError> {
         let read = self.inner.read_block(key)?;
-        // A cache-served read below this layer (metered -> cached -> …)
-        // issued no backing read, so it must not count as one; for the
+        // A cache-served or peer-served read below this layer issued no
+        // backing-storage read, so it must not count as one; for the
         // rest, the source's own measurement covers exactly the
         // positioned read (not span resolution or cache admission work).
-        if !read.origin.is_cached() {
+        if !read.origin.avoided_storage() {
             self.metrics.record_storage_read(read.read_nanos);
             if let Some(rec) = &self.recorder {
                 rec.record(Stage::StorageRead, read.read_nanos);
@@ -120,7 +120,7 @@ impl RangeSource for MeteredSource {
         // keeps `storage_reads` comparable across batched and single-block
         // paths.
         for read in &reads {
-            if !read.origin.is_cached() {
+            if !read.origin.avoided_storage() {
                 self.metrics.record_storage_read(read.read_nanos);
                 if let Some(rec) = &self.recorder {
                     rec.record(Stage::StorageRead, read.read_nanos);
@@ -488,8 +488,10 @@ impl EmlioDaemon {
         match read.origin {
             ReadOrigin::Cache => self.metrics.record_cache_hit(read.bytes),
             ReadOrigin::CacheMiss => self.metrics.record_cache_miss(),
-            // Storage-read time is accounted by the metered stack layer.
-            ReadOrigin::Direct => {}
+            // Storage-read time is accounted by the metered stack layer;
+            // peer fetches are accounted by the peer layer's own stats
+            // (surfaced through a registered metrics provider).
+            ReadOrigin::Direct | ReadOrigin::Peer => {}
         }
 
         debug_assert_eq!(read.payloads.len(), range.len());

@@ -122,6 +122,10 @@ fn insert_path_points(db: &mut Db, process: &str, snap: &MetricsSnapshot, ts: u6
             snap.cache_spill_backpressure as f64,
         )
         .field("cache_warm_promoted", snap.cache_warm_promoted as f64)
+        .field("peer_hits", snap.peer_hits as f64)
+        .field("peer_misses", snap.peer_misses as f64)
+        .field("peer_fallbacks", snap.peer_fallbacks as f64)
+        .field("peer_bytes", snap.peer_bytes as f64)
         .field("send_blocked_nanos", snap.send_blocked_nanos as f64)
         .at(ts);
     // Only meaningful when a cache is configured and saw traffic — the
@@ -432,6 +436,19 @@ pub fn render_report(db: &Db) -> String {
                 None => "cache: enabled, no traffic".to_string(),
             };
             let _ = writeln!(out, "{cache_line}");
+            // Fleet line only when the peer tier saw traffic: solo runs
+            // stay byte-identical to pre-fleet reports.
+            let peer_events = g("peer_hits") + g("peer_misses") + g("peer_fallbacks");
+            if peer_events > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "peers: {} hits / {} misses / {} fallbacks, {:.1} MiB served by peers",
+                    g("peer_hits") as u64,
+                    g("peer_misses") as u64,
+                    g("peer_fallbacks") as u64,
+                    g("peer_bytes") / (1024.0 * 1024.0),
+                );
+            }
         }
         if let Some(stall) = stall_attribution(db, process) {
             let ww = stall.wall_workers_nanos as f64;
@@ -549,6 +566,37 @@ mod tests {
         assert!(!fields.contains_key("cache_hit_rate"));
         assert_eq!(fields.get("cache_enabled"), Some(&0.0));
         assert!(render_report(&db).contains("cache: disabled"));
+    }
+
+    #[test]
+    fn peer_fields_exported_and_reported_only_with_traffic() {
+        // Solo: fields exist (zero) but the report stays peer-silent.
+        let solo = demo_sources();
+        let mut db = Db::new();
+        sample_into(&mut db, &solo, 10);
+        let fields = last_fields(&db, "emlio_path", &[("proc", "daemon-0")]).unwrap();
+        assert_eq!(fields.get("peer_hits"), Some(&0.0));
+        assert!(!render_report(&db).contains("peers:"));
+
+        // Fleet: counters flow through to the point and the report line.
+        let metrics = DataPathMetrics::shared();
+        metrics.set_peer_counters(40, 3, 2, 5 << 20);
+        let sources = vec![SampleSource {
+            process: "daemon-1".into(),
+            metrics: Some(metrics),
+            recorder: None,
+        }];
+        let mut db = Db::new();
+        sample_into(&mut db, &sources, 20);
+        let fields = last_fields(&db, "emlio_path", &[("proc", "daemon-1")]).unwrap();
+        assert_eq!(fields.get("peer_hits"), Some(&40.0));
+        assert_eq!(fields.get("peer_fallbacks"), Some(&2.0));
+        assert_eq!(fields.get("peer_bytes"), Some(&((5 << 20) as f64)));
+        let report = render_report(&db);
+        assert!(
+            report.contains("peers: 40 hits / 3 misses / 2 fallbacks"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -67,6 +67,16 @@ pub struct DataPathMetrics {
     pub cache_spill_backpressure: AtomicU64,
     /// Disk blocks promoted into RAM by cache warm-start.
     pub cache_warm_promoted: AtomicU64,
+    /// Blocks served by a peer daemon's cache tier or a fleet flight
+    /// handoff (cooperative fleet; 0 when running solo).
+    pub peer_hits: AtomicU64,
+    /// Peer fetches the owner answered but did not hold resident.
+    pub peer_misses: AtomicU64,
+    /// Peer-owned reads that degraded to direct storage (owner down,
+    /// detached, or past the peer timeout).
+    pub peer_fallbacks: AtomicU64,
+    /// Payload bytes that arrived from peers instead of shared storage.
+    pub peer_bytes: AtomicU64,
     /// Nanoseconds send workers spent blocked on a full socket queue.
     pub send_blocked_nanos: AtomicU64,
     /// Wall-clock nanoseconds of the most recent `serve()` call.
@@ -180,6 +190,16 @@ impl DataPathMetrics {
         self.cache_enabled.store(enabled, Ordering::Relaxed);
     }
 
+    /// Reconcile the peer-tier counters with the peer layer's own stats
+    /// (the `PeerSource` is the source of truth; register a provider so
+    /// mid-epoch snapshots stay fresh).
+    pub fn set_peer_counters(&self, hits: u64, misses: u64, fallbacks: u64, bytes: u64) {
+        self.peer_hits.store(hits, Ordering::Relaxed);
+        self.peer_misses.store(misses, Ordering::Relaxed);
+        self.peer_fallbacks.store(fallbacks, Ordering::Relaxed);
+        self.peer_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Add time a send worker spent blocked on a full socket queue.
     pub fn add_send_blocked_nanos(&self, nanos: u64) {
         self.send_blocked_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -234,6 +254,10 @@ impl DataPathMetrics {
             cache_spill_queue_depth: self.cache_spill_queue_depth.load(Ordering::Relaxed),
             cache_spill_backpressure: self.cache_spill_backpressure.load(Ordering::Relaxed),
             cache_warm_promoted: self.cache_warm_promoted.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
+            peer_misses: self.peer_misses.load(Ordering::Relaxed),
+            peer_fallbacks: self.peer_fallbacks.load(Ordering::Relaxed),
+            peer_bytes: self.peer_bytes.load(Ordering::Relaxed),
             send_blocked_nanos: self.send_blocked_nanos.load(Ordering::Relaxed),
             serve_wall_nanos: self.serve_wall_nanos.load(Ordering::Relaxed),
             serve_workers: self.serve_workers.load(Ordering::Relaxed),
@@ -283,6 +307,14 @@ pub struct MetricsSnapshot {
     pub cache_spill_backpressure: u64,
     /// Disk blocks promoted into RAM by cache warm-start.
     pub cache_warm_promoted: u64,
+    /// Blocks served by a peer daemon or a fleet flight handoff.
+    pub peer_hits: u64,
+    /// Peer fetches the owner answered but did not hold resident.
+    pub peer_misses: u64,
+    /// Peer-owned reads that degraded to direct storage.
+    pub peer_fallbacks: u64,
+    /// Payload bytes that arrived from peers instead of shared storage.
+    pub peer_bytes: u64,
     /// Nanoseconds send workers spent blocked on a full socket queue.
     pub send_blocked_nanos: u64,
     /// Wall-clock nanoseconds of the most recent serve.
@@ -323,6 +355,21 @@ impl MetricsSnapshot {
                 emlio_util::bytesize::format_bytes(self.cache_bytes_saved),
             ),
         }
+    }
+
+    /// One-line peer-tier report for service output; `None` when the
+    /// cooperative-fleet layer saw no traffic (solo mode).
+    pub fn peer_summary(&self) -> Option<String> {
+        if self.peer_hits + self.peer_misses + self.peer_fallbacks == 0 {
+            return None;
+        }
+        Some(format!(
+            "peers: {} hits / {} misses / {} fallbacks, {} served by peers",
+            self.peer_hits,
+            self.peer_misses,
+            self.peer_fallbacks,
+            emlio_util::bytesize::format_bytes(self.peer_bytes),
+        ))
     }
 }
 
@@ -397,6 +444,24 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.send_blocked_nanos, 150);
         assert_eq!((s.serve_wall_nanos, s.serve_workers), (1_000_000, 4));
+    }
+
+    #[test]
+    fn peer_counters_reconcile_and_summarize() {
+        let m = DataPathMetrics::shared();
+        assert_eq!(m.snapshot().peer_summary(), None, "solo mode is silent");
+        m.set_peer_counters(10, 2, 1, 640_000);
+        let s = m.snapshot();
+        assert_eq!(
+            (s.peer_hits, s.peer_misses, s.peer_fallbacks, s.peer_bytes),
+            (10, 2, 1, 640_000)
+        );
+        let line = s.peer_summary().unwrap();
+        assert!(line.contains("10 hits"), "{line}");
+        assert!(line.contains("1 fallbacks"), "{line}");
+        // Reconciliation overwrites rather than accumulates.
+        m.set_peer_counters(12, 2, 1, 700_000);
+        assert_eq!(m.snapshot().peer_hits, 12);
     }
 
     #[test]

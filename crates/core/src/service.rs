@@ -11,6 +11,8 @@ use crate::metrics::DataPathMetrics;
 use crate::plan::Plan;
 use crate::receiver::{EmlioReceiver, ReceiverConfig};
 use emlio_obs::StageRecorder;
+use emlio_tfrecord::source::RangeSource;
+use emlio_tfrecord::GlobalIndex;
 use emlio_zmq::Endpoint;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -144,6 +146,83 @@ impl EmlioService {
             daemon_recorders,
             daemons,
             _guard: Some(guard),
+        })
+    }
+
+    /// Like [`launch`](Self::launch), but every daemon reads through a
+    /// caller-built backing source — the seam for a shared `NfsSource` or
+    /// a cooperative-fleet `PeerSource` stack.
+    ///
+    /// `base_for(i, index)` builds daemon `i`'s base source from its
+    /// loaded index. `on_open(i, daemon)` runs after *every* daemon is
+    /// open but before *any* serve thread spawns — the window where fleet
+    /// wiring (attaching each daemon's cache to the shared registry,
+    /// registering peer-stat metric providers) must happen, so no daemon
+    /// starts serving against a registry that is still missing peers.
+    pub fn launch_with_sources<B, O>(
+        storage: &[StorageSpec],
+        config: &EmlioConfig,
+        node_id: &str,
+        connect_via: Option<Endpoint>,
+        base_for: B,
+        on_open: O,
+    ) -> Result<Deployment, DaemonError>
+    where
+        B: Fn(usize, &Arc<GlobalIndex>) -> Arc<dyn RangeSource>,
+        O: Fn(usize, &EmlioDaemon),
+    {
+        assert!(!storage.is_empty(), "need at least one storage node");
+        let expected_streams = (storage.len() * config.threads_per_node) as u32;
+        let receiver = EmlioReceiver::bind(ReceiverConfig {
+            hwm: config.hwm,
+            queue_capacity: config.hwm,
+            ..ReceiverConfig::loopback(expected_streams)
+        })
+        .map_err(DaemonError::Transport)?;
+        let connect_to = connect_via.unwrap_or_else(|| receiver.endpoint().clone());
+
+        // Phase 1: open every daemon (no serving yet).
+        let mut opened = Vec::with_capacity(storage.len());
+        let mut daemon_metrics = Vec::with_capacity(storage.len());
+        let mut daemon_recorders = Vec::with_capacity(storage.len());
+        let mut batches_per_epoch = vec![0u64; config.epochs as usize];
+        for (i, spec) in storage.iter().enumerate() {
+            let index = Arc::new(GlobalIndex::load_dir(&spec.dataset_dir)?);
+            let base = base_for(i, &index);
+            let daemon = EmlioDaemon::open_with_base(&spec.id, index, config.clone(), base)?;
+            daemon_metrics.push(daemon.metrics());
+            daemon_recorders.push(daemon.recorder());
+            let plan = Plan::build(daemon.index(), &[node_id.to_string()], config);
+            for e in 0..config.epochs {
+                batches_per_epoch[e as usize] += plan.batches_for(e, node_id);
+            }
+            opened.push((daemon, plan));
+        }
+
+        // Phase 2: fleet wiring over the fully-opened set.
+        for (i, (daemon, _)) in opened.iter().enumerate() {
+            on_open(i, daemon);
+        }
+
+        // Phase 3: serve.
+        let mut daemons = Vec::with_capacity(storage.len());
+        for (spec, (daemon, plan)) in storage.iter().zip(opened) {
+            let node_id = node_id.to_string();
+            let endpoint = connect_to.clone();
+            daemons.push(
+                std::thread::Builder::new()
+                    .name(format!("emlio-daemon-{}", spec.id))
+                    .spawn(move || daemon.serve(&plan, &node_id, &endpoint))
+                    .expect("spawn daemon thread"),
+            );
+        }
+        Ok(Deployment {
+            receiver,
+            batches_per_epoch,
+            daemon_metrics,
+            daemon_recorders,
+            daemons,
+            _guard: None,
         })
     }
 }

@@ -34,7 +34,7 @@ pub use accumulator::StreamMerger;
 pub use monitor::{EnergyMonitor, MonitorConfig};
 pub use power::{ComponentPower, ModelPower, NodePower, PowerSource, UtilProbe, Utilization};
 pub use report::EnergyBreakdown;
-pub use savings::{cache_savings, IoSavings, DEFAULT_STORAGE_IO_WATTS};
+pub use savings::{cache_savings, peer_savings, IoSavings, DEFAULT_STORAGE_IO_WATTS};
 
 /// The paper's sampling interval: 100 ms.
 pub const DEFAULT_INTERVAL_NANOS: u64 = 100_000_000;

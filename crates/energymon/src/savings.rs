@@ -78,9 +78,40 @@ pub fn cache_savings(
     }
 }
 
+/// Price `peer_hits` blocks totalling `peer_bytes` bytes that a
+/// cooperative fleet served from peer daemons' RAM/disk tiers instead of
+/// the shared storage link. Same NFS cost model as [`cache_savings`]: the
+/// avoided work is identical — the bytes simply came from a sibling daemon
+/// rather than this daemon's own cache. Peer-to-peer transfer cost is not
+/// netted out here; the in-process transport is free, and a socket
+/// transport rides the daemon interconnect, not the storage link being
+/// priced.
+pub fn peer_savings(
+    peer_hits: u64,
+    peer_bytes: u64,
+    nfs: &NfsConfig,
+    profile: &NetProfile,
+    storage_watts: f64,
+) -> IoSavings {
+    cache_savings(peer_hits, peer_bytes, nfs, profile, storage_watts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peer_savings_price_like_cache_savings() {
+        let nfs = NfsConfig::default();
+        let profile = NetProfile::wan_30ms();
+        // A 4-daemon fleet where 3 non-owners each took 8 blocks of 1 MiB
+        // from the owner: 24 storage reads never happened.
+        let s = peer_savings(24, 24 << 20, &nfs, &profile, DEFAULT_STORAGE_IO_WATTS);
+        let same = cache_savings(24, 24 << 20, &nfs, &profile, DEFAULT_STORAGE_IO_WATTS);
+        assert_eq!(s, same);
+        assert_eq!(s.avoided_reads, 24);
+        assert!(s.avoided_secs > 0.0 && s.avoided_joules > 0.0);
+    }
 
     #[test]
     fn zero_hits_zero_savings() {

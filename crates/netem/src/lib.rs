@@ -27,7 +27,7 @@ pub mod profile;
 pub mod shaper;
 pub mod source;
 
-pub use nfs::{NfsConfig, NfsMount};
+pub use nfs::{NfsConfig, NfsFile, NfsMount};
 pub use profile::NetProfile;
 pub use shaper::Proxy;
 pub use source::NfsSource;

@@ -235,6 +235,31 @@ impl NfsMount {
         Ok(buf)
     }
 
+    /// Open `rel` once, paying the compound LOOKUP+OPEN cost up front, and
+    /// return a handle whose positioned reads charge only READ-wave round
+    /// trips (plus GETATTR revalidation when the attribute cache entry
+    /// expires). This is the open-once/read-many shape a block reader gets
+    /// by holding one handle per shard instead of re-opening per block —
+    /// compare [`NfsMount::read_range`], which pays the open every call.
+    pub fn open_file(&self, rel: &Path) -> io::Result<NfsFile> {
+        let full = self.shared.root.join(rel);
+        let cfg = &self.shared.config;
+        let open_rtts = if self.attr_check(&full) {
+            cfg.open_rtts
+        } else {
+            // Attr-cached: the GETATTR leg of the compound is suppressed.
+            (cfg.open_rtts - 1.0).max(0.0)
+        };
+        self.shared.stats.opens.fetch_add(1, Ordering::Relaxed);
+        self.charge_rtts(open_rtts);
+        let file = std::fs::File::open(&full)?;
+        Ok(NfsFile {
+            mount: self.clone(),
+            file,
+            path: full,
+        })
+    }
+
     /// List a directory (READDIR: one round trip per 128 entries).
     pub fn list_dir(&self, rel: &Path) -> io::Result<Vec<PathBuf>> {
         let full = self.shared.root.join(rel);
@@ -246,6 +271,52 @@ impl NfsMount {
         let round_trips = names.len().div_ceil(128).max(1);
         self.charge_rtts(round_trips as f64);
         Ok(names)
+    }
+}
+
+/// An opened file over an [`NfsMount`]: the per-file open cost was paid by
+/// [`NfsMount::open_file`]; each [`NfsFile::read_range`] pays only data
+/// round trips and bandwidth. Dropping the handle models CLOSE as free —
+/// delegations make the close round trip asynchronous in practice, and the
+/// block read path holds its handles for the process lifetime anyway.
+pub struct NfsFile {
+    mount: NfsMount,
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl NfsFile {
+    /// Positioned read through the held handle: READ waves + bandwidth,
+    /// plus one GETATTR round trip when the attribute cache entry has
+    /// expired (close-to-open consistency revalidation).
+    pub fn read_range(&self, offset: u64, len: u64) -> io::Result<Vec<u8>> {
+        let cfg = &self.mount.shared.config;
+        if self.mount.attr_check(&self.path) {
+            self.mount.charge_rtts(1.0);
+        }
+        let mut buf = vec![0u8; len as usize];
+        read_at(&self.file, &mut buf, offset)?;
+
+        let chunks = len.div_ceil(cfg.rsize).max(1);
+        let waves = chunks.div_ceil(cfg.readahead.max(1) as u64);
+        self.mount
+            .shared
+            .stats
+            .reads
+            .fetch_add(chunks, Ordering::Relaxed);
+        self.mount.charge_rtts(waves as f64);
+        self.mount.charge_bandwidth(len);
+        self.mount
+            .shared
+            .stats
+            .bytes_read
+            .fetch_add(len, Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    /// The mount this handle charges its reads to.
+    pub fn mount(&self) -> &NfsMount {
+        &self.mount
     }
 }
 
@@ -336,6 +407,20 @@ mod tests {
         let data = mount.read_range(Path::new("b.bin"), 100, 5000).unwrap();
         assert_eq!(data.len(), 5000);
         assert!(data.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn open_file_pays_open_once_across_range_reads() {
+        let (_d, mount) = setup(0);
+        let f = mount.open_file(Path::new("b.bin")).unwrap();
+        for i in 0..10u64 {
+            let data = f.read_range(i * 1000, 1000).unwrap();
+            assert!(data.iter().all(|&b| b == 2));
+        }
+        // One OPEN for ten positioned reads; read_range() would pay ten.
+        assert_eq!(mount.stats().opens.load(Ordering::Relaxed), 1);
+        assert_eq!(mount.stats().reads.load(Ordering::Relaxed), 10);
+        assert_eq!(mount.stats().bytes_read.load(Ordering::Relaxed), 10_000);
     }
 
     #[test]

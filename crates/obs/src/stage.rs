@@ -29,6 +29,10 @@ pub enum Stage {
     StorageRead,
     /// Shard-cache hit service time (miss time is the storage read).
     CacheLookup,
+    /// Cooperative-fleet block service: fetch from the owning peer's
+    /// RAM/disk tier or a fleet flight handoff (nested inside
+    /// `BatchAssemble` like the storage read it replaces).
+    PeerFetch,
     /// Buffer-pool handout (free-list pop or fresh allocation).
     PoolAlloc,
     /// Whole daemon-side batch build: read + slice + encode (inclusive).
@@ -67,12 +71,13 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (histogram array size).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// Every stage, in data-path order (off-path stages trail).
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::StorageRead,
         Stage::CacheLookup,
+        Stage::PeerFetch,
         Stage::PoolAlloc,
         Stage::BatchAssemble,
         Stage::Encode,
@@ -94,6 +99,7 @@ impl Stage {
         match self {
             Stage::StorageRead => "storage_read",
             Stage::CacheLookup => "cache_lookup",
+            Stage::PeerFetch => "peer_fetch",
             Stage::PoolAlloc => "pool_alloc",
             Stage::BatchAssemble => "batch_assemble",
             Stage::Encode => "encode",

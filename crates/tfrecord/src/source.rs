@@ -44,12 +44,22 @@ pub enum ReadOrigin {
     CacheMiss,
     /// Read straight from a backing source (no caching layer in the stack).
     Direct,
+    /// Served by a peer daemon's cache tier (cooperative fleet) — remote
+    /// RAM/disk was read, but the shared storage link was not touched.
+    Peer,
 }
 
 impl ReadOrigin {
     /// True when no backing-storage read was issued for this access.
     pub fn is_cached(&self) -> bool {
         matches!(self, ReadOrigin::Cache)
+    }
+
+    /// True when this access avoided the shared storage tier entirely —
+    /// a local cache hit or a peer-cache fetch. The metering layer uses
+    /// this to keep `storage_reads` an exact count of backing-store I/O.
+    pub fn avoided_storage(&self) -> bool {
+        matches!(self, ReadOrigin::Cache | ReadOrigin::Peer)
     }
 }
 

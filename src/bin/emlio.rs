@@ -14,7 +14,11 @@
 //! `daemon` and `receive` run in separate processes (or separate machines);
 //! they agree on the batch plan because the planner is deterministic in the
 //! shared seed. `bench-io` is the one-process loopback measurement, with an
-//! optional netem-shaped RTT. `--cache-mb` enables the daemon-side shard
+//! optional netem-shaped RTT. `--peer-fleet N` runs N daemons as a
+//! cooperative cache fleet over one emulated NFS mount (`--rtt-ms` then
+//! shapes the shared storage link instead of the receiver wire);
+//! `--peer-timeout-ms` bounds a peer fetch before a read degrades to
+//! direct NFS. `--cache-mb` enables the daemon-side shard
 //! block cache (`emlio-cache`) so repeated epochs are served from memory;
 //! `--cache-persist DIR` keeps the disk spill tier (CRC-validated) across
 //! daemon restarts. `--cache-policy` is case-insensitive and accepts the
@@ -27,22 +31,26 @@
 //! `--prefetch-staging` sets how many prefetch windows may fill ahead of
 //! the demand cursor (0 = legacy continuous window).
 
+use emlio::cache::peer::{FleetRegistry, LocalPeer, PeerConfig, PeerSource};
 use emlio::cache::{CacheConfig, EvictPolicy as CachePolicy, SpillBackpressure};
+use emlio::core::daemon::DaemonError;
 use emlio::core::export::{self, MetricsSampler, SampleSource};
 use emlio::core::plan::Plan;
 use emlio::core::receiver::{EmlioReceiver, ReceiverConfig};
-use emlio::core::service::StorageSpec;
+use emlio::core::service::{Deployment, StorageSpec};
 use emlio::core::{EmlioConfig, EmlioDaemon, EmlioService};
 use emlio::datagen::convert::build_tfrecord_dataset;
 use emlio::datagen::DatasetSpec;
-use emlio::netem::{NetProfile, Proxy};
+use emlio::energymon::{peer_savings, DEFAULT_STORAGE_IO_WATTS};
+use emlio::netem::{NetProfile, NfsConfig, NfsMount, NfsSource, Proxy};
 use emlio::pipeline::{ExternalSource, PipelineBuilder};
-use emlio::tfrecord::ShardSpec;
+use emlio::tfrecord::{RangeSource, ShardSpec};
 use emlio::util::bytesize::format_bytes;
 use emlio::util::clock::RealClock;
 use emlio::zmq::Endpoint;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -88,7 +96,8 @@ USAGE:
                  [--cache-persist DIR] [--prefetch D] [--prefetch-staging N]
                  [--spill-queue N] [--spill-policy block|drop] [--warm-start MB]
   emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
-  emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB] [...]
+  emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB]
+                 [--peer-fleet N] [--peer-timeout-ms MS] [...]
   emlio report   --metrics FILE
   emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]
 
@@ -398,20 +407,101 @@ fn cmd_receive(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Launch `storage.len()` daemons as a cooperative cache fleet over one
+/// emulated NFS mount at `data`: every daemon joins one [`FleetRegistry`]
+/// before any serving starts, reads through
+/// `cached -> metered -> peer -> nfs`, and attaches its cache so siblings
+/// fetch the blocks it owns from its tiers instead of the storage link.
+fn launch_peer_fleet(
+    storage: &[StorageSpec],
+    config: &EmlioConfig,
+    data: &str,
+    profile: NetProfile,
+    timeout: Duration,
+) -> Result<Deployment, DaemonError> {
+    let mount = NfsMount::mount(
+        std::path::Path::new(data),
+        profile,
+        RealClock::shared(),
+        NfsConfig::default(),
+    );
+    let registry = FleetRegistry::new();
+    for spec in storage {
+        registry.join(&spec.id);
+    }
+    // base_for runs once per daemon, in order, before on_open runs for
+    // any of them; the Mutex just satisfies the Fn bound.
+    let peers: std::sync::Mutex<Vec<Arc<PeerSource>>> = std::sync::Mutex::new(Vec::new());
+    EmlioService::launch_with_sources(
+        storage,
+        config,
+        "bench-node",
+        None,
+        |i, index| {
+            let nfs: Arc<dyn RangeSource> = Arc::new(NfsSource::new(index.clone(), mount.clone()));
+            let peer = PeerSource::new(
+                registry.clone(),
+                &storage[i].id,
+                nfs,
+                PeerConfig::default().with_timeout(timeout),
+            );
+            peers.lock().unwrap().push(peer.clone());
+            peer
+        },
+        |i, daemon| {
+            let peer = peers.lock().unwrap()[i].clone();
+            if let Some(cache) = daemon.cache() {
+                registry.attach(&storage[i].id, LocalPeer::new(cache));
+            }
+            peer.set_recorder(daemon.recorder());
+            let stats = peer.stats();
+            daemon.metrics().register_provider(move |m| {
+                let s = stats.snapshot();
+                m.set_peer_counters(s.hits, s.misses, s.fallbacks, s.bytes_from_peers);
+            });
+        },
+    )
+}
+
 fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
     let data = get(&flags, "data")?.to_string();
     let rtt_ms: f64 = get_num(&flags, "rtt-ms", 0.0)?;
+    let peer_fleet: usize = get_num(&flags, "peer-fleet", 0)?;
+    let peer_timeout_ms: u64 = get_num(&flags, "peer-timeout-ms", 500)?;
+    if peer_fleet == 1 {
+        return Err("--peer-fleet N needs N ≥ 2 daemons to cooperate".into());
+    }
+    if flags.contains_key("peer-timeout-ms") && peer_fleet < 2 {
+        return Err("--peer-timeout-ms requires --peer-fleet N (N ≥ 2)".into());
+    }
     let config = config_from(&flags)?;
-    let storage = vec![StorageSpec {
-        id: "bench-storage".into(),
-        dataset_dir: data.clone().into(),
-    }];
+    if peer_fleet >= 2 && config.cache.is_none() {
+        return Err(
+            "--peer-fleet requires --cache-mb: peers serve blocks from each other's cache tiers"
+                .into(),
+        );
+    }
+    let storage: Vec<StorageSpec> = (0..peer_fleet.max(1))
+        .map(|d| StorageSpec {
+            id: format!("bench-storage-{d}"),
+            dataset_dir: data.clone().into(),
+        })
+        .collect();
     let profile = NetProfile::new(
         &format!("{rtt_ms}ms"),
         Duration::from_secs_f64(rtt_ms / 1e3),
         1.25e9,
     );
-    let mut dep = if rtt_ms > 0.0 {
+    let savings_profile = profile.clone();
+    let mut dep = if peer_fleet >= 2 {
+        launch_peer_fleet(
+            &storage,
+            &config,
+            &data,
+            profile.clone(),
+            Duration::from_millis(peer_timeout_ms),
+        )
+    } else if rtt_ms > 0.0 {
         EmlioService::launch_with(&storage, &config, "bench-node", move |ep| {
             let Endpoint::Tcp(addr) = ep else {
                 panic!("tcp endpoint expected")
@@ -459,6 +549,29 @@ fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
         for (i, m) in dep.daemon_metrics.iter().enumerate() {
             println!("daemon {i} {}", m.snapshot().cache_summary());
         }
+    }
+    if peer_fleet >= 2 {
+        let snaps: Vec<_> = dep.daemon_metrics.iter().map(|m| m.snapshot()).collect();
+        let hits: u64 = snaps.iter().map(|s| s.peer_hits).sum();
+        let misses: u64 = snaps.iter().map(|s| s.peer_misses).sum();
+        let fallbacks: u64 = snaps.iter().map(|s| s.peer_fallbacks).sum();
+        let peer_bytes: u64 = snaps.iter().map(|s| s.peer_bytes).sum();
+        println!(
+            "fleet: {hits} peer hits / {misses} misses / {fallbacks} fallbacks across {peer_fleet} daemons"
+        );
+        let sav = peer_savings(
+            hits,
+            peer_bytes,
+            &NfsConfig::default(),
+            &savings_profile,
+            DEFAULT_STORAGE_IO_WATTS,
+        );
+        println!(
+            "fleet: {} served peer-to-peer, avoiding ~{:.3} s and ~{:.1} J of storage I/O (modeled)",
+            format_bytes(sav.avoided_bytes),
+            sav.avoided_secs,
+            sav.avoided_joules,
+        );
     }
     if let Some(m) = metrics_file {
         m.finish()?;

@@ -53,3 +53,46 @@ fn per_daemon_caches_absorb_repeat_epochs_on_a_shared_mount() {
         out.per_daemon_bytes_saved.iter().sum::<u64>()
     );
 }
+
+#[test]
+fn cooperative_fleet_collapses_shared_link_to_one_dataset_pass() {
+    // Same harness, fleet mode: the daemons share one `FleetRegistry`, so
+    // each block's owner reads it from storage once and every other daemon
+    // takes it peer-to-peer. Exact counts in both modes — solo pays the
+    // link once per daemon, the fleet once in total, even across repeat
+    // epochs (local caches absorb those before the peer tier is asked).
+    let fleet_cfg = ContentionConfig {
+        epochs: 3,
+        ..ContentionConfig::smoke_fleet()
+    };
+    let fleet = run(&fleet_cfg);
+    assert_eq!(fleet.batches_delivered, fleet.expected_batches, "{fleet:?}");
+    assert_eq!(
+        fleet.nfs_bytes_read, fleet.dataset_bytes,
+        "fleet shared-link traffic is exactly one dataset pass: {fleet:?}"
+    );
+    assert_eq!(
+        fleet.per_daemon_storage_reads.iter().sum::<u64>(),
+        fleet.unique_blocks,
+        "{fleet:?}"
+    );
+    assert_eq!(fleet.peer_fallbacks, 0, "healthy fleet never degrades");
+    assert!(
+        fleet.peer_bytes > 0 && fleet.fleet_savings.avoided_joules > 0.0,
+        "peer traffic is priced as avoided storage I/O: {fleet:?}"
+    );
+
+    let solo_cfg = ContentionConfig {
+        peer_fleet: false,
+        ..fleet_cfg
+    };
+    let solo = run(&solo_cfg);
+    assert_eq!(
+        solo.nfs_bytes_read,
+        solo_cfg.daemons as u64 * solo.dataset_bytes,
+        "solo shared-link traffic is exactly one pass per daemon: {solo:?}"
+    );
+    // Identical payloads either way — the fleet changes who carries the
+    // bytes, never the bytes.
+    assert_eq!(fleet.payload_digest, solo.payload_digest);
+}
