@@ -1,0 +1,643 @@
+//! Seeded chaos harness: deterministic fault schedules over the whole
+//! data path, with a hard delivery-guarantee oracle.
+//!
+//! One schedule = one seed. The seed derives, through the workspace RNG,
+//! every knob of the run — which fault sites are active, their rates,
+//! injected latencies, the retry budget, and the daemon kill points — and
+//! seeds the [`FaultPlan`] whose per-site decision sequence is a pure
+//! function of `(seed, site, invocation)`. Re-running a seed replays the
+//! same fault schedule; a failing seed printed by the harness is a
+//! one-command repro (`emlio chaos --seed N --config <mode>`).
+//!
+//! Every schedule runs against a clean reference: the fingerprint of all
+//! `(epoch, sample, label, payload-digest)` tuples a fault-free daemon
+//! delivers under the same plan. The oracle then admits exactly two
+//! outcomes:
+//!
+//! * **Clean** — the run completed and delivery is byte-identical to the
+//!   reference (exactly once: nothing lost, duplicated, or corrupted),
+//!   even across daemon kill/restart cycles mid-epoch.
+//! * **Detectable error** — the run surfaced an error, and everything
+//!   delivered *before* the error is a duplicate-free subset of the
+//!   reference.
+//!
+//! Anything else — a completed run with missing/extra/altered samples, or
+//! a delivered batch the clean run never produced — is silent corruption:
+//! [`run_schedule`] returns `Err` with the seed embedded in the message.
+
+use emlio_cache::peer::{ChaosPeer, FleetRegistry, LocalPeer, PeerConfig, PeerSource};
+use emlio_cache::CacheConfig;
+use emlio_core::chaos::ChaosController;
+use emlio_core::daemon::DaemonError;
+use emlio_core::plan::Plan;
+use emlio_core::receiver::{EmlioReceiver, ReceiverConfig};
+use emlio_core::{DataPathMetrics, EmlioConfig, EmlioDaemon, EmlioService};
+use emlio_datagen::convert::build_tfrecord_dataset;
+use emlio_datagen::DatasetSpec;
+use emlio_netem::{FaultSource, NetProfile, NfsConfig, NfsMount, NfsSource};
+use emlio_pipeline::ExternalSource;
+use emlio_tfrecord::{GlobalIndex, RangeSource, ShardSpec, TfrecordSource};
+use emlio_util::clock::RealClock;
+use emlio_util::fault::{mix64, site, FaultInjector, FaultPlan, FaultSpec};
+use emlio_util::testutil::TempDir;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which serve-path configuration the schedule exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Cached local daemon: faults at `source.read`, kill/restart cycles
+    /// that lose the RAM tier.
+    Cached,
+    /// Cooperative fleet fetcher: faults at `peer.fetch`, `nfs.open`, and
+    /// `nfs.read`; degraded peers fall back to faulted NFS under retry.
+    Fleet,
+    /// Spill-to-disk cache with a persistent tier: faults at `source.read`
+    /// and `spill.write`; restarts re-admit whatever spill survived.
+    SpillPersist,
+}
+
+impl ChaosMode {
+    /// Every mode, in CLI order.
+    pub const ALL: [ChaosMode; 3] = [ChaosMode::Cached, ChaosMode::Fleet, ChaosMode::SpillPersist];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosMode::Cached => "cached",
+            ChaosMode::Fleet => "fleet",
+            ChaosMode::SpillPersist => "spill-persist",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(s: &str) -> Option<ChaosMode> {
+        ChaosMode::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl fmt::Display for ChaosMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One schedule's parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed: derives the fault schedule, kill points, retry budget,
+    /// and the plan shuffle.
+    pub seed: u64,
+    /// Serve-path configuration under test.
+    pub mode: ChaosMode,
+    /// Dataset size in samples.
+    pub samples: u64,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Send workers per daemon.
+    pub threads: usize,
+    /// Epochs served.
+    pub epochs: u32,
+}
+
+impl ChaosConfig {
+    /// Harness defaults: small enough for CI, multi-epoch and
+    /// multi-threaded so kills land mid-epoch with real interleaving.
+    pub fn new(seed: u64, mode: ChaosMode) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            mode,
+            samples: 36,
+            batch_size: 4,
+            threads: 2,
+            epochs: 2,
+        }
+    }
+}
+
+/// How a schedule ended. Both variants satisfy the delivery guarantee;
+/// silent corruption is [`run_schedule`]'s `Err`, never a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Completed; delivery byte-identical to the clean reference.
+    Clean,
+    /// Surfaced an error; the delivered prefix was valid.
+    DetectableError(String),
+}
+
+/// Everything one schedule observed.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The schedule's seed (replay handle).
+    pub seed: u64,
+    /// Mode exercised.
+    pub mode: ChaosMode,
+    /// How the run ended.
+    pub verdict: Verdict,
+    /// Batches the compute side received.
+    pub batches_delivered: u64,
+    /// Daemon kills tripped.
+    pub kills: u64,
+    /// Restarts performed by the chaos serve loop (0 when the run erred
+    /// before completing).
+    pub restarts: u32,
+    /// Injected transient read errors.
+    pub injected_errors: u64,
+    /// Injected short reads.
+    pub injected_short_reads: u64,
+    /// Injected latency spikes.
+    pub injected_latencies: u64,
+    /// Transient errors the retry layer absorbed, summed across daemon
+    /// incarnations.
+    pub io_retries: u64,
+    /// Retry-budget exhaustions, summed across daemon incarnations.
+    pub io_giveups: u64,
+}
+
+impl ChaosOutcome {
+    /// Total injected faults of any class.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_errors + self.injected_short_reads + self.injected_latencies
+    }
+}
+
+impl fmt::Display for ChaosOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = match &self.verdict {
+            Verdict::Clean => "clean".to_string(),
+            Verdict::DetectableError(e) => format!("detectable-error ({e})"),
+        };
+        write!(
+            f,
+            "seed {:#018x} {:<13} {verdict}: {} batches, {} kills/{} restarts, \
+             faults {}err/{}short/{}lat, io_retries {} (giveups {})",
+            self.seed,
+            self.mode.name(),
+            self.batches_delivered,
+            self.kills,
+            self.restarts,
+            self.injected_errors,
+            self.injected_short_reads,
+            self.injected_latencies,
+            self.io_retries,
+            self.io_giveups,
+        )
+    }
+}
+
+/// One delivered sample: `(epoch, sample_id, label, payload digest)`.
+type Fingerprint = (u32, u64, u32, u64);
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `i`-th seed of a suite rooted at `base` — full-avalanche, so
+/// consecutive suite indices give uncorrelated schedules while staying
+/// individually replayable.
+pub fn suite_seed(base: u64, i: u64) -> u64 {
+    mix64(base.wrapping_add(i))
+}
+
+/// The fault schedule derived from a seed, before any I/O happens: a pure
+/// function of `(seed, mode, total_batches)` — the replay guarantee.
+#[derive(Debug, Clone, PartialEq)]
+struct Schedule {
+    fault_plan: FaultPlan,
+    kill_points: Vec<u64>,
+    io_retries: u32,
+    io_backoff: Duration,
+}
+
+impl Schedule {
+    fn derive(cfg: &ChaosConfig, total_batches: u64) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let error_rate = rng.gen_range(0.05..0.35);
+        let latency_rate = rng.gen_range(0.0..0.2);
+        let latency = Duration::from_micros(rng.gen_range(20..200));
+        // Short reads always end the run (truncation is detectable but not
+        // retryable), so keep them rarer — and off for most seeds — or the
+        // suite would never exercise the clean-completion path.
+        let short_rate = if rng.gen_bool(0.25) {
+            rng.gen_range(0.02..0.10)
+        } else {
+            0.0
+        };
+        let read_spec = FaultSpec {
+            error: error_rate,
+            short_read: short_rate,
+            ..FaultSpec::latency(latency_rate, latency)
+        };
+
+        let fault_plan = match cfg.mode {
+            ChaosMode::Cached => FaultPlan::new(cfg.seed).with_site(site::SOURCE_READ, read_spec),
+            ChaosMode::Fleet => FaultPlan::new(cfg.seed)
+                .with_site(
+                    site::PEER_FETCH,
+                    FaultSpec::errors(rng.gen_range(0.05..0.4)),
+                )
+                .with_site(site::NFS_OPEN, FaultSpec::errors(rng.gen_range(0.0..0.1)))
+                .with_site(site::NFS_READ, read_spec),
+            ChaosMode::SpillPersist => FaultPlan::new(cfg.seed)
+                .with_site(site::SOURCE_READ, read_spec)
+                .with_site(
+                    site::SPILL_WRITE,
+                    FaultSpec::errors(rng.gen_range(0.1..0.6)),
+                ),
+        };
+
+        let n_kills = rng.gen_range(1..=2usize);
+        let kill_points = (0..n_kills)
+            .map(|_| rng.gen_range(1..=total_batches.max(1)))
+            .collect();
+        Schedule {
+            fault_plan,
+            kill_points,
+            io_retries: rng.gen_range(4..=8),
+            io_backoff: Duration::from_micros(rng.gen_range(5..40)),
+        }
+    }
+}
+
+/// Serve a single fault-free incarnation to completion and return the
+/// sorted delivery fingerprint (reference and warm-up legs).
+fn drain_solo(
+    daemon: EmlioDaemon,
+    plan: Plan,
+    config: &EmlioConfig,
+) -> Result<(Vec<Fingerprint>, u64), DaemonError> {
+    let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(config.threads_per_node as u32))
+        .map_err(DaemonError::Transport)?;
+    let ep = receiver.endpoint().clone();
+    let server = std::thread::spawn(move || daemon.serve(&plan, "n", &ep));
+    let mut src = receiver.source();
+    let mut seen = Vec::new();
+    let mut batches = 0u64;
+    while let Some(b) = src.next_batch() {
+        batches += 1;
+        for s in &b.samples {
+            seen.push((b.epoch, s.sample_id, s.label, fnv1a(&s.bytes)));
+        }
+    }
+    server
+        .join()
+        .map_err(|_| DaemonError::BadPlan("solo server thread panicked".into()))??;
+    seen.sort_unstable();
+    Ok((seen, batches))
+}
+
+/// What a chaos serve leg observed: the sorted delivery fingerprint, the
+/// batch count, and the kill/restart loop's result.
+type ChaosDelivery = (Vec<Fingerprint>, u64, Result<u32, DaemonError>);
+
+/// Serve under the kill/restart loop while a collector thread drains the
+/// receiver.
+fn serve_and_drain<F>(
+    open: F,
+    plan: &Plan,
+    config: &EmlioConfig,
+    controller: &Arc<ChaosController>,
+    max_restarts: u32,
+) -> Result<ChaosDelivery, String>
+where
+    F: Fn() -> Result<EmlioDaemon, DaemonError>,
+{
+    // Killed incarnations abandon their streams without end-of-stream
+    // markers; the budget of `threads_per_node` markers is satisfied by the
+    // one incarnation that runs to completion.
+    let receiver = EmlioReceiver::bind(ReceiverConfig {
+        hwm: config.hwm,
+        queue_capacity: config.hwm,
+        ..ReceiverConfig::loopback(config.threads_per_node as u32)
+    })
+    .map_err(|e| format!("chaos receiver bind failed: {e}"))?;
+    let endpoint = receiver.endpoint().clone();
+    let mut src = receiver.source();
+    let collector = std::thread::spawn(move || {
+        let mut seen: Vec<Fingerprint> = Vec::new();
+        let mut batches = 0u64;
+        while let Some(b) = src.next_batch() {
+            batches += 1;
+            for s in &b.samples {
+                seen.push((b.epoch, s.sample_id, s.label, fnv1a(&s.bytes)));
+            }
+        }
+        (seen, batches)
+    });
+
+    let served =
+        EmlioService::serve_with_chaos(open, plan, "n", &endpoint, controller, max_restarts);
+    if served.is_err() {
+        // No completing incarnation ⇒ no markers; close the receiver so the
+        // collector drains what arrived and sees end-of-queue.
+        drop(receiver);
+    }
+    let (mut delivered, batches) = collector
+        .join()
+        .map_err(|_| "chaos collector thread panicked".to_string())?;
+    delivered.sort_unstable();
+    Ok((delivered, batches, served))
+}
+
+/// The oracle: classify `(delivered, serve result)` against the clean
+/// reference, or report silent corruption.
+fn reconcile(
+    seed: u64,
+    delivered: &[Fingerprint],
+    reference: &[Fingerprint],
+    served: &Result<u32, DaemonError>,
+) -> Result<Verdict, String> {
+    match served {
+        Ok(_) => {
+            if delivered == reference {
+                Ok(Verdict::Clean)
+            } else {
+                Err(format!(
+                    "seed {seed:#018x}: SILENT CORRUPTION — run completed but delivered \
+                     {} samples vs {} in the clean reference (lost, duplicated, or altered \
+                     payloads); replay with --seed {seed}",
+                    delivered.len(),
+                    reference.len(),
+                ))
+            }
+        }
+        Err(e) => {
+            // Everything delivered before the error must exist in the
+            // reference, each at most as often: a duplicate-free subset.
+            let mut budget: HashMap<&Fingerprint, u64> = HashMap::new();
+            for f in reference {
+                *budget.entry(f).or_insert(0) += 1;
+            }
+            for f in delivered {
+                match budget.get_mut(f) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => {
+                        return Err(format!(
+                            "seed {seed:#018x}: CORRUPT PREFIX — delivered sample \
+                             (epoch {}, id {}) that the clean run never produced (or \
+                             produced fewer times); replay with --seed {seed}",
+                            f.0, f.1,
+                        ))
+                    }
+                }
+            }
+            Ok(Verdict::DetectableError(e.to_string()))
+        }
+    }
+}
+
+/// Run one seeded schedule end to end. `Err` means a delivery-guarantee
+/// violation or a harness failure (the message embeds the seed for
+/// replay); `Ok` carries the observed outcome, clean or detectably failed.
+pub fn run_schedule(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
+    let fail = |what: &str, e: &dyn fmt::Display| format!("seed {:#018x}: {what}: {e}", cfg.seed);
+
+    let dir = TempDir::new(&format!("chaos-{}-{:x}", cfg.mode.name(), cfg.seed));
+    let spec = DatasetSpec::tiny(&format!("chaos{:x}", cfg.seed & 0xffff), cfg.samples);
+    build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(3))
+        .map_err(|e| fail("dataset build failed", &e))?;
+    let index =
+        Arc::new(GlobalIndex::load_dir(dir.path()).map_err(|e| fail("index load failed", &e))?);
+
+    let base_config = EmlioConfig::default()
+        .with_batch_size(cfg.batch_size)
+        .with_threads(cfg.threads)
+        .with_epochs(cfg.epochs)
+        .with_seed(cfg.seed);
+    // Cache / retry knobs don't affect planning, so the same plan drives
+    // the reference and every chaos incarnation.
+    let plan = Plan::build(&index, &["n".to_string()], &base_config);
+    let total_batches: u64 = (0..cfg.epochs).map(|e| plan.batches_for(e, "n")).sum();
+    let schedule = Schedule::derive(cfg, total_batches);
+
+    // Clean reference: same plan, plain local stack, no faults.
+    let reference = {
+        let daemon = EmlioDaemon::open_with_base(
+            "ref",
+            index.clone(),
+            base_config.clone(),
+            Arc::new(TfrecordSource::new(index.clone())),
+        )
+        .map_err(|e| fail("reference open failed", &e))?;
+        drain_solo(daemon, plan.clone(), &base_config)
+            .map_err(|e| fail("clean reference failed", &e))?
+            .0
+    };
+
+    let injector = FaultInjector::new(schedule.fault_plan.clone());
+    let controller = ChaosController::new();
+    for &k in &schedule.kill_points {
+        controller.arm(k);
+    }
+    let max_restarts = schedule.kill_points.len() as u32;
+    let chaos_config = base_config
+        .clone()
+        .with_io_retries(schedule.io_retries)
+        .with_io_backoff(schedule.io_backoff);
+    // Per-incarnation metrics handles: retry counters are per daemon, so
+    // the totals sum every incarnation's final snapshot.
+    let incarnations: Arc<Mutex<Vec<Arc<DataPathMetrics>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let (delivered, batches, served) = match cfg.mode {
+        ChaosMode::Cached => {
+            let config = chaos_config.with_cache(CacheConfig::default().with_ram_bytes(32 << 20));
+            let open = {
+                let index = index.clone();
+                let injector = injector.clone();
+                let config = config.clone();
+                let log = incarnations.clone();
+                move || {
+                    let base: Arc<dyn RangeSource> = Arc::new(FaultSource::new(
+                        Arc::new(TfrecordSource::new(index.clone())),
+                        injector.clone(),
+                    ));
+                    let d = EmlioDaemon::open_with_base("d0", index.clone(), config.clone(), base)?;
+                    log.lock().unwrap().push(d.metrics());
+                    Ok(d)
+                }
+            };
+            serve_and_drain(open, &plan, &config, &controller, max_restarts)?
+        }
+        ChaosMode::Fleet => {
+            // Warm a healthy owner's RAM tier, then fetch everything through
+            // a chaotic peer transport whose fallback is faulted NFS.
+            let owner_config = base_config
+                .clone()
+                .with_epochs(1)
+                .with_cache(CacheConfig::default().with_ram_bytes(64 << 20));
+            let owner = EmlioDaemon::open_with_base(
+                "owner",
+                index.clone(),
+                owner_config.clone(),
+                Arc::new(TfrecordSource::new(index.clone())),
+            )
+            .map_err(|e| fail("owner open failed", &e))?;
+            let owner_cache = owner.cache().expect("owner is cached").clone();
+            let owner_plan = Plan::build(&index, &["n".to_string()], &owner_config);
+            drain_solo(owner, owner_plan, &owner_config)
+                .map_err(|e| fail("owner warm-up failed", &e))?;
+
+            let registry = FleetRegistry::new();
+            registry.join("owner");
+            registry.attach(
+                "owner",
+                ChaosPeer::new(LocalPeer::new(&owner_cache), injector.clone()),
+            );
+            // The mount and peer source outlive daemon incarnations, like
+            // the real shared filesystem and fleet fabric would.
+            let mount = NfsMount::mount(
+                dir.path(),
+                NetProfile::local(),
+                RealClock::shared(),
+                NfsConfig::default(),
+            );
+            mount.set_fault_injector(injector.clone());
+            let nfs: Arc<dyn RangeSource> = Arc::new(NfsSource::new(index.clone(), mount));
+            let peer = PeerSource::new(
+                registry,
+                "fetcher",
+                nfs,
+                PeerConfig::default().with_timeout(Duration::from_millis(200)),
+            );
+            let open = {
+                let index = index.clone();
+                let config = chaos_config.clone();
+                let peer = peer.clone();
+                let log = incarnations.clone();
+                move || {
+                    let d = EmlioDaemon::open_with_base(
+                        "fetcher",
+                        index.clone(),
+                        config.clone(),
+                        peer.clone() as Arc<dyn RangeSource>,
+                    )?;
+                    log.lock().unwrap().push(d.metrics());
+                    Ok(d)
+                }
+            };
+            serve_and_drain(open, &plan, &chaos_config, &controller, max_restarts)?
+        }
+        ChaosMode::SpillPersist => {
+            // RAM tier far smaller than the dataset: admissions spill to the
+            // persistent disk tier under injected write faults, and each
+            // restart re-admits whatever spill survived.
+            let config = chaos_config.with_cache(
+                CacheConfig::default()
+                    .with_ram_bytes(16 << 10)
+                    .with_disk_bytes(64 << 20)
+                    .with_persist_dir(dir.path().join("persist")),
+            );
+            let open = {
+                let index = index.clone();
+                let injector = injector.clone();
+                let config = config.clone();
+                let log = incarnations.clone();
+                move || {
+                    let base: Arc<dyn RangeSource> = Arc::new(FaultSource::new(
+                        Arc::new(TfrecordSource::new(index.clone())),
+                        injector.clone(),
+                    ));
+                    let d = EmlioDaemon::open_with_base("d0", index.clone(), config.clone(), base)?;
+                    d.cache()
+                        .expect("spill-persist daemon is cached")
+                        .set_fault_injector(injector.clone());
+                    log.lock().unwrap().push(d.metrics());
+                    Ok(d)
+                }
+            };
+            serve_and_drain(open, &plan, &config, &controller, max_restarts)?
+        }
+    };
+
+    let verdict = reconcile(cfg.seed, &delivered, &reference, &served)?;
+    let (mut io_retries, mut io_giveups) = (0u64, 0u64);
+    for m in incarnations.lock().unwrap().iter() {
+        let s = m.snapshot();
+        io_retries += s.io_retries;
+        io_giveups += s.io_giveups;
+    }
+    // A clean finish with give-ups on the books is NOT a swallowed error:
+    // every mode here runs a cache above the retry layer, and the
+    // prefetcher deliberately skips fetch errors — a prefetch read may
+    // exhaust its budget while the later demand read (fresh budget)
+    // succeeds. The delivery guarantee is the fingerprint oracle above;
+    // the strict `clean ⟹ zero give-ups` invariant is asserted where it
+    // actually holds — on the cache-less direct stack in
+    // `tests/failure_injection.rs`.
+    let faults = injector.stats();
+    Ok(ChaosOutcome {
+        seed: cfg.seed,
+        mode: cfg.mode,
+        verdict,
+        batches_delivered: batches,
+        kills: controller.kills(),
+        restarts: served.unwrap_or(0),
+        injected_errors: faults.errors,
+        injected_short_reads: faults.short_reads,
+        injected_latencies: faults.latencies,
+        io_retries,
+        io_giveups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_derivation_is_pure_in_seed() {
+        let cfg = ChaosConfig::new(0xD15_EA5E, ChaosMode::Fleet);
+        let a = Schedule::derive(&cfg, 18);
+        let b = Schedule::derive(&cfg, 18);
+        assert_eq!(a, b, "same (seed, mode, batches) must derive one schedule");
+        let other = Schedule::derive(&ChaosConfig::new(0xD15_EA5F, ChaosMode::Fleet), 18);
+        assert_ne!(a.fault_plan, other.fault_plan, "seeds decorrelate");
+        assert!(
+            !a.kill_points.is_empty(),
+            "every schedule kills at least once"
+        );
+        assert!(a.io_retries >= 4, "retry budget in the derived band");
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in ChaosMode::ALL {
+            assert_eq!(ChaosMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(ChaosMode::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cached_schedule_upholds_the_delivery_guarantee() {
+        let out = run_schedule(&ChaosConfig::new(0xC0FFEE, ChaosMode::Cached)).unwrap();
+        assert!(out.injected_total() > 0, "{out}");
+    }
+
+    #[test]
+    fn fleet_schedule_upholds_the_delivery_guarantee() {
+        let out = run_schedule(&ChaosConfig::new(0xF1EE7, ChaosMode::Fleet)).unwrap();
+        assert!(out.injected_total() > 0, "{out}");
+    }
+
+    #[test]
+    fn spill_persist_schedule_upholds_the_delivery_guarantee() {
+        let out = run_schedule(&ChaosConfig::new(0x5_B111, ChaosMode::SpillPersist)).unwrap();
+        assert!(out.injected_total() > 0, "{out}");
+    }
+
+    #[test]
+    fn suite_seeds_decorrelate_but_replay() {
+        assert_eq!(suite_seed(1, 5), suite_seed(1, 5));
+        assert_ne!(suite_seed(1, 5), suite_seed(1, 6));
+        assert_ne!(suite_seed(1, 5), suite_seed(2, 5));
+    }
+}

@@ -25,6 +25,7 @@
 //! regenerates the entire evaluation.
 
 pub mod cache_ablation;
+pub mod chaos;
 pub mod contention;
 
 use emlio_testbed::experiment::ExperimentRow;

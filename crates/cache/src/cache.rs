@@ -365,6 +365,9 @@ struct CacheCore {
     /// Stage recorder for `SpillWrite`/`WarmPromote` timings (set once by
     /// the daemon after construction).
     recorder: OnceLock<Arc<StageRecorder>>,
+    /// Seeded chaos hook, consulted at `spill.write` before each
+    /// spill-file write (set once, like the recorder).
+    injector: OnceLock<Arc<emlio_util::fault::FaultInjector>>,
     /// Blocks checkpointed out of RAM by `persist_now`: index entries for
     /// files that are *not* part of the live disk tier.
     checkpointed: Mutex<HashMap<BlockKey, SpillEntry>>,
@@ -436,6 +439,7 @@ impl CacheCore {
             owns_spill_dir,
             spill_queue,
             recorder: OnceLock::new(),
+            injector: OnceLock::new(),
             checkpointed: Mutex::new(HashMap::new()),
             config,
         };
@@ -1061,7 +1065,29 @@ impl CacheCore {
         let path = dir.join(persist::spill_file_name(&key));
         let crc = persist::block_crc(&data);
         let t0 = Instant::now();
-        let result = std::fs::write(&path, &data[..]);
+        // Chaos failpoint: an injected error takes the real failed-write
+        // branch below (block drops to absent, counted, never silent); an
+        // injected latency spike stalls the writer thread like a congested
+        // disk. Short reads don't apply to a write site.
+        let injected = match self.injector.get().map(|inj| {
+            (
+                inj.decide(emlio_util::fault::site::SPILL_WRITE),
+                inj.plan().seed(),
+            )
+        }) {
+            Some((emlio_util::fault::FaultDecision::Error, seed)) => Some(io::Error::other(
+                format!("injected fault at spill.write (seed {seed})"),
+            )),
+            Some((emlio_util::fault::FaultDecision::Latency(d), _)) => {
+                std::thread::sleep(d);
+                None
+            }
+            _ => None,
+        };
+        let result = match injected {
+            Some(e) => Err(e),
+            None => std::fs::write(&path, &data[..]),
+        };
         if let Some(rec) = self.recorder.get() {
             rec.record(Stage::SpillWrite, t0.elapsed().as_nanos() as u64);
         }
@@ -1488,6 +1514,14 @@ impl ShardCache {
         let _ = self.core.recorder.set(recorder);
     }
 
+    /// Replay `injector` at this cache's `spill.write` failpoint: injected
+    /// errors exercise the real failed-spill-write branch (block degrades
+    /// to absent, `spill_failures` counts it), injected latency stalls the
+    /// writer like a congested disk. First call wins.
+    pub fn set_fault_injector(&self, injector: Arc<emlio_util::fault::FaultInjector>) {
+        let _ = self.core.injector.set(injector);
+    }
+
     /// Install the planned access sequence (every epoch, in consumption
     /// order) and reset the demand cursor. The clairvoyant policy and the
     /// prefetcher both walk this sequence; set it before spawning a
@@ -1631,6 +1665,15 @@ impl ShardCache {
     /// spill queue).
     pub fn spill_queue_depth(&self) -> u64 {
         self.core.spill_queue.as_ref().map_or(0, |q| q.depth())
+    }
+
+    /// Evictors blocked on a full spill queue right now (gauge; 0 without
+    /// an async spill queue or under the drop policy).
+    pub fn spill_blocked_pushers(&self) -> u64 {
+        self.core
+            .spill_queue
+            .as_ref()
+            .map_or(0, |q| q.blocked_pushers())
     }
 }
 

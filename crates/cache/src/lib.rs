@@ -59,7 +59,7 @@ pub mod stats;
 pub use cache::{CacheConfig, Fetched, ShardCache};
 pub use emlio_tfrecord::source::{BlockKey, BlockRead, RangeSource, ReadOrigin};
 pub use peer::{
-    FleetRegistry, HashRing, LocalPeer, PeerConfig, PeerFetch, PeerSource, PeerStats,
+    ChaosPeer, FleetRegistry, HashRing, LocalPeer, PeerConfig, PeerFetch, PeerSource, PeerStats,
     PeerStatsSnapshot, PeerTransport,
 };
 pub use policy::EvictPolicy;

@@ -227,6 +227,55 @@ impl PeerTransport for LocalPeer {
     }
 }
 
+/// A chaos decorator over any [`PeerTransport`], replaying a seeded
+/// injector at the `peer.fetch` failpoint: injected **errors** model a
+/// dropped/crashed peer ([`PeerFetch::Unavailable`]), **short reads**
+/// model a peer that answers but no longer holds the block
+/// ([`PeerFetch::Miss`]) — both degrade the caller to its inner source,
+/// never to wrong bytes — and **latency** models a slow peer (the fetch
+/// stalls, then proceeds). Offers pass through untouched.
+pub struct ChaosPeer {
+    inner: Arc<dyn PeerTransport>,
+    injector: Arc<emlio_util::fault::FaultInjector>,
+}
+
+impl ChaosPeer {
+    /// Wrap `inner`, consulting `injector` once per fetch.
+    pub fn new(
+        inner: Arc<dyn PeerTransport>,
+        injector: Arc<emlio_util::fault::FaultInjector>,
+    ) -> Arc<ChaosPeer> {
+        Arc::new(ChaosPeer { inner, injector })
+    }
+}
+
+impl PeerTransport for ChaosPeer {
+    fn fetch(&self, key: &BlockKey, timeout: Duration) -> PeerFetch {
+        use emlio_util::fault::FaultDecision;
+        match self.injector.decide(emlio_util::fault::site::PEER_FETCH) {
+            FaultDecision::Error => PeerFetch::Unavailable,
+            FaultDecision::ShortRead => PeerFetch::Miss,
+            FaultDecision::Latency(d) => {
+                std::thread::sleep(d);
+                self.inner.fetch(key, timeout)
+            }
+            FaultDecision::None => self.inner.fetch(key, timeout),
+        }
+    }
+
+    fn offer(&self, key: &BlockKey, data: &Bytes) {
+        self.inner.offer(key, data);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "chaos(seed {}) -> {}",
+            self.injector.plan().seed(),
+            self.inner.describe()
+        )
+    }
+}
+
 /// One fleet-wide single-flight slot: the leader publishes the block's
 /// bytes (or failure) and every follower takes them directly — a payload
 /// handoff, not just dedup.
@@ -813,6 +862,65 @@ mod tests {
         // the survivor makes every read self-owned (straight to inner).
         registry.leave("owner");
         assert_eq!(registry.owner_of(&k).as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn chaos_peer_degrades_never_corrupts() {
+        use emlio_util::fault::{site, FaultInjector, FaultPlan, FaultSpec};
+
+        struct WarmPeer;
+        impl PeerTransport for WarmPeer {
+            fn fetch(&self, _key: &BlockKey, _timeout: Duration) -> PeerFetch {
+                PeerFetch::Hit(Bytes::from_static(b"block"))
+            }
+        }
+
+        // Always-error: every fetch degrades to Unavailable.
+        let dropped = ChaosPeer::new(
+            Arc::new(WarmPeer),
+            FaultInjector::new(
+                FaultPlan::new(2).with_site(site::PEER_FETCH, FaultSpec::errors(1.0)),
+            ),
+        );
+        assert!(matches!(
+            dropped.fetch(&key(0), Duration::from_millis(10)),
+            PeerFetch::Unavailable
+        ));
+        assert!(dropped.describe().starts_with("chaos(seed 2)"));
+
+        // Always-short: the peer answers Miss, never truncated bytes.
+        let forgetful = ChaosPeer::new(
+            Arc::new(WarmPeer),
+            FaultInjector::new(
+                FaultPlan::new(2).with_site(site::PEER_FETCH, FaultSpec::short_reads(1.0)),
+            ),
+        );
+        assert!(matches!(
+            forgetful.fetch(&key(0), Duration::from_millis(10)),
+            PeerFetch::Miss
+        ));
+
+        // Latency: delayed but intact.
+        let slow = ChaosPeer::new(
+            Arc::new(WarmPeer),
+            FaultInjector::new(FaultPlan::new(2).with_site(
+                site::PEER_FETCH,
+                FaultSpec::latency(1.0, Duration::from_millis(2)),
+            )),
+        );
+        let t0 = Instant::now();
+        match slow.fetch(&key(0), Duration::from_millis(50)) {
+            PeerFetch::Hit(data) => assert_eq!(&data[..], b"block"),
+            other => panic!("expected delayed hit, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(2));
+
+        // Clear plan: transparent.
+        let clear = ChaosPeer::new(Arc::new(WarmPeer), FaultInjector::new(FaultPlan::new(2)));
+        assert!(matches!(
+            clear.fetch(&key(0), Duration::from_millis(10)),
+            PeerFetch::Hit(_)
+        ));
     }
 
     #[test]

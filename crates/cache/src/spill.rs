@@ -19,6 +19,7 @@ use bytes::Bytes;
 use emlio_tfrecord::BlockKey;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What an evictor does when the spill queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,6 +89,10 @@ pub(crate) struct SpillQueue {
     /// Signalled when the queue drains to empty with nothing in flight
     /// (wakes `flush` waiters).
     idle: Condvar,
+    /// Evictors currently parked in [`SpillQueue::push`] on a full queue
+    /// (gauge — lets tests and diagnostics observe "a pusher is blocked"
+    /// without guessing at timing).
+    blocked: AtomicU64,
     capacity: usize,
 }
 
@@ -102,6 +107,7 @@ impl SpillQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             idle: Condvar::new(),
+            blocked: AtomicU64::new(0),
             capacity: capacity.max(1),
         }
     }
@@ -123,7 +129,9 @@ impl SpillQueue {
             match policy {
                 SpillBackpressure::Block => {
                     waits += 1;
+                    self.blocked.fetch_add(1, Ordering::SeqCst);
                     self.not_full.wait(&mut inner);
+                    self.blocked.fetch_sub(1, Ordering::SeqCst);
                 }
                 SpillBackpressure::Drop => return (Push::Dropped(order), waits, 0),
             }
@@ -164,6 +172,11 @@ impl SpillQueue {
     pub fn depth(&self) -> u64 {
         let inner = self.inner.lock();
         inner.orders.len() as u64 + u64::from(inner.in_flight)
+    }
+
+    /// Evictors parked on a full queue right now (gauge).
+    pub fn blocked_pushers(&self) -> u64 {
+        self.blocked.load(Ordering::SeqCst)
     }
 
     /// Block until every queued order has been fully written (queue empty
@@ -245,7 +258,14 @@ mod tests {
         q.push(order(0), SpillBackpressure::Block);
         let q2 = q.clone();
         let h = std::thread::spawn(move || q2.push(order(1), SpillBackpressure::Block).1);
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Deadline-poll the gauge instead of sleeping a magic duration:
+        // the pusher is provably parked before we free the slot.
+        assert!(
+            emlio_util::testutil::poll_until(std::time::Duration::from_secs(5), || {
+                q.blocked_pushers() > 0
+            }),
+            "pusher parked on the full queue"
+        );
         assert!(q.pop().is_some(), "free a slot");
         q.done();
         let waits = h.join().unwrap();

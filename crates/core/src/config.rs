@@ -37,6 +37,13 @@ pub struct EmlioConfig {
     /// Shard block cache on the daemon read path (`None` = read every
     /// planned range from storage every epoch, the paper's behaviour).
     pub cache: Option<CacheConfig>,
+    /// Transient-I/O retry budget per storage operation (0 = fail fast).
+    /// When positive, the daemon wraps its backing source in a
+    /// `RetrySource` that absorbs `Io`-class read failures with bounded
+    /// exponential backoff.
+    pub io_retries: u32,
+    /// First retry backoff; doubles per attempt (jittered, capped).
+    pub io_backoff: std::time::Duration,
 }
 
 impl Default for EmlioConfig {
@@ -50,6 +57,8 @@ impl Default for EmlioConfig {
             seed: 0x000E_4110,
             verify_crc: false,
             cache: None,
+            io_retries: 0,
+            io_backoff: std::time::Duration::from_millis(5),
         }
     }
 }
@@ -91,6 +100,19 @@ impl EmlioConfig {
     /// Enable the daemon-side shard block cache.
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Retry transient storage failures up to `retries` times per
+    /// operation.
+    pub fn with_io_retries(mut self, retries: u32) -> Self {
+        self.io_retries = retries;
+        self
+    }
+
+    /// Override the first retry backoff (doubles per attempt).
+    pub fn with_io_backoff(mut self, backoff: std::time::Duration) -> Self {
+        self.io_backoff = backoff;
         self
     }
 }

@@ -17,6 +17,7 @@
 //! of the send workers, and a persistent spill tier survives daemon
 //! restarts.
 
+use crate::chaos::ChaosController;
 use crate::config::EmlioConfig;
 use crate::metrics::DataPathMetrics;
 use crate::plan::{BatchRange, Plan};
@@ -26,7 +27,8 @@ use bytes::Bytes;
 use emlio_cache::{BlockKey, CachedRangeReader, CachedSource, Prefetcher, ReadOrigin, ShardCache};
 use emlio_obs::{clock, obs_error, BatchTrace, FlightRecorder, Stage, StageRecorder};
 use emlio_tfrecord::source::{BlockRead, RangeSource, TfrecordSource};
-use emlio_tfrecord::{GlobalIndex, RecordError};
+use emlio_tfrecord::{GlobalIndex, RecordError, RetrySource};
+use emlio_util::fault::RetryPolicy;
 use emlio_zmq::{Endpoint, Frame, PushSocket, SocketOptions, ZmqError};
 use std::fmt;
 use std::sync::Arc;
@@ -206,6 +208,24 @@ impl EmlioDaemon {
         let metrics = DataPathMetrics::shared();
         let recorder = StageRecorder::shared();
         pool.set_recorder(recorder.clone());
+        // Optional retry layer directly above the root: transient storage
+        // failures are absorbed with deterministic backoff before they can
+        // surface as a dead worker. Sits *below* metering so a retried
+        // read still counts as one storage read once it succeeds.
+        let base = if config.io_retries > 0 {
+            let policy =
+                RetryPolicy::new(config.io_retries, config.io_backoff).with_seed(config.seed);
+            let retry = RetrySource::new(base, policy);
+            retry.set_recorder(recorder.clone());
+            let stats = retry.stats();
+            metrics.register_provider(move |m| {
+                let s = stats.snapshot();
+                m.set_retry_counters(s.retries, s.giveups);
+            });
+            Arc::new(retry) as Arc<dyn RangeSource>
+        } else {
+            base
+        };
         let metered: Arc<dyn RangeSource> =
             Arc::new(MeteredSource::new(base, metrics.clone()).with_recorder(recorder.clone()));
         metrics.set_cache_enabled(config.cache.is_some());
@@ -304,6 +324,34 @@ impl EmlioDaemon {
         node_id: &str,
         endpoint: &Endpoint,
     ) -> Result<(), DaemonError> {
+        self.serve_inner(plan, node_id, endpoint, None)
+    }
+
+    /// Like [`serve`](Self::serve), but under chaos control: workers skip
+    /// batches the controller's ledger already holds, record every push,
+    /// and abandon their streams mid-epoch (no end-of-stream marker) when
+    /// the controller's armed kill point trips. A killed serve returns
+    /// `Ok(())` — the "crash" is the controller's state, which
+    /// [`EmlioService::serve_with_chaos`] inspects to drive the restart.
+    ///
+    /// [`EmlioService::serve_with_chaos`]: crate::service::EmlioService::serve_with_chaos
+    pub fn serve_chaos(
+        &self,
+        plan: &Plan,
+        node_id: &str,
+        endpoint: &Endpoint,
+        chaos: &Arc<ChaosController>,
+    ) -> Result<(), DaemonError> {
+        self.serve_inner(plan, node_id, endpoint, Some(chaos))
+    }
+
+    fn serve_inner(
+        &self,
+        plan: &Plan,
+        node_id: &str,
+        endpoint: &Endpoint,
+        chaos: Option<&Arc<ChaosController>>,
+    ) -> Result<(), DaemonError> {
         let t = self.config.threads_per_node;
         for ep in &plan.epochs {
             let np = ep
@@ -336,9 +384,10 @@ impl EmlioDaemon {
         let result = std::thread::scope(|scope| -> Result<(), DaemonError> {
             let mut handles = Vec::with_capacity(t);
             for worker in 0..t {
-                handles.push(
-                    scope.spawn(move || self.run_worker(plan, node_id, endpoint, worker, reader)),
-                );
+                let chaos = chaos.map(|c| c.as_ref());
+                handles.push(scope.spawn(move || {
+                    self.run_worker(plan, node_id, endpoint, worker, reader, chaos)
+                }));
             }
             let mut first_err = None;
             for h in handles {
@@ -417,6 +466,7 @@ impl EmlioDaemon {
         endpoint: &Endpoint,
         worker: usize,
         reader: &CachedRangeReader,
+        chaos: Option<&ChaosController>,
     ) -> Result<(), DaemonError> {
         let origin = format!("{}/t{}", self.id, worker);
         let socket = PushSocket::connect(
@@ -428,19 +478,37 @@ impl EmlioDaemon {
         let stats = socket.stats();
         let mut sent = 0u64;
 
-        for ep in &plan.epochs {
+        'epochs: for ep in &plan.epochs {
             FlightRecorder::global().record("daemon_epoch_start", ep.epoch as u64, 0);
             let ranges = &plan.epochs[ep.epoch as usize].nodes[node_id].thread_splits[worker];
             for range in ranges {
+                if let Some(c) = chaos {
+                    if c.is_killed() {
+                        break 'epochs;
+                    }
+                    // A previous incarnation already pushed this batch —
+                    // replaying it would double-deliver.
+                    if c.should_skip(ep.epoch, range.batch_id) {
+                        continue;
+                    }
+                }
                 let t0 = Instant::now();
                 let frame = self.assemble_batch(range, ep.epoch, &origin, sent, reader)?;
                 self.recorder
                     .record(Stage::BatchAssemble, t0.elapsed().as_nanos() as u64);
                 socket.send(frame)?;
                 sent += 1;
+                if let Some(c) = chaos {
+                    if c.record_sent(ep.epoch, range.batch_id) {
+                        break 'epochs;
+                    }
+                }
             }
         }
-        socket.send(Bytes::from(wire::encode_end_stream(&origin, sent)))?;
+        let killed = chaos.is_some_and(ChaosController::is_killed);
+        if !killed {
+            socket.send(Bytes::from(wire::encode_end_stream(&origin, sent)))?;
+        }
         // Fold this stream's backpressure stalls into the shared counters
         // before the socket (and its stats' last strong ref) goes away.
         self.metrics.add_send_blocked_nanos(
@@ -448,6 +516,10 @@ impl EmlioDaemon {
                 .blocked_nanos
                 .load(std::sync::atomic::Ordering::Relaxed),
         );
+        // A killed worker still closes the socket — accepted frames flush,
+        // matching a process whose kernel buffers drain after the crash —
+        // but the missing end-of-stream marker is what the receiver of a
+        // real crash would (not) see.
         socket.close()?;
         Ok(())
     }
@@ -494,7 +566,16 @@ impl EmlioDaemon {
             ReadOrigin::Direct | ReadOrigin::Peer => {}
         }
 
-        debug_assert_eq!(read.payloads.len(), range.len());
+        // A block truncated exactly on a record boundary (storage fault,
+        // short read) decodes cleanly to *fewer* records than planned;
+        // zipping would then silently ship a partial batch. Fail loudly:
+        // lost data must surface as a detectable error, never a quietly
+        // smaller batch.
+        if read.payloads.len() != range.len() {
+            return Err(DaemonError::Storage(RecordError::Truncated {
+                offset: read.bytes,
+            }));
+        }
         let metas = &shard.records[range.start..range.end];
         // Payloads are refcounted slices of the block buffer; the frame
         // aliases them rather than copying (scatter framing writes them to
@@ -666,6 +747,57 @@ mod tests {
             daemon.serve(&plan2, "ghost", &Endpoint::inproc("never-bound")),
             Err(DaemonError::BadPlan(_))
         ));
+    }
+
+    #[test]
+    fn boundary_truncated_block_is_a_detectable_error() {
+        // A block cut exactly on a record boundary decodes cleanly to
+        // fewer records than planned — the one truncation shape the frame
+        // parser cannot see. The daemon must refuse to ship the partial
+        // batch (regression: this used to be a release-invisible
+        // debug_assert).
+        struct Cut {
+            inner: TfrecordSource,
+        }
+        impl RangeSource for Cut {
+            fn read_block(&self, key: &BlockKey) -> Result<BlockRead, RecordError> {
+                let mut r = self.inner.read_block(key)?;
+                let (_, next) = emlio_tfrecord::record::decode_at(&r.data, 0, false)?;
+                r.data = r.data.slice(0..next as usize);
+                Ok(r)
+            }
+            fn describe(&self) -> String {
+                "cut -> tfrecord".into()
+            }
+        }
+
+        let dir = TempDir::new("daemon-shortread");
+        let spec = DatasetSpec::tiny("short", 8);
+        build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(1)).unwrap();
+        let index = Arc::new(GlobalIndex::load_dir(dir.path()).unwrap());
+        let config = EmlioConfig::default().with_batch_size(4).with_threads(1);
+        let daemon = EmlioDaemon::open_with_base(
+            "d0",
+            index.clone(),
+            config.clone(),
+            Arc::new(Cut {
+                inner: TfrecordSource::new(index),
+            }),
+        )
+        .unwrap();
+        let plan = Plan::build(daemon.index(), &["n".to_string()], &config);
+        let pull = PullSocket::bind(
+            &Endpoint::inproc("daemon-shortread-sink"),
+            SocketOptions::default(),
+        )
+        .unwrap();
+        let err = daemon
+            .serve(&plan, "n", &pull.local_endpoint().unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(err, DaemonError::Storage(RecordError::Truncated { .. })),
+            "partial batch must surface as truncation, got {err}"
+        );
     }
 
     #[test]

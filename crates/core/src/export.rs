@@ -126,6 +126,8 @@ fn insert_path_points(db: &mut Db, process: &str, snap: &MetricsSnapshot, ts: u6
         .field("peer_misses", snap.peer_misses as f64)
         .field("peer_fallbacks", snap.peer_fallbacks as f64)
         .field("peer_bytes", snap.peer_bytes as f64)
+        .field("io_retries", snap.io_retries as f64)
+        .field("io_giveups", snap.io_giveups as f64)
         .field("send_blocked_nanos", snap.send_blocked_nanos as f64)
         .at(ts);
     // Only meaningful when a cache is configured and saw traffic — the
@@ -155,6 +157,15 @@ pub struct MetricsSampler {
     db: Arc<Mutex<Db>>,
 }
 
+/// Lock the sampler's database even when poisoned. `sample_into` runs
+/// metric providers while the guard is held; a provider that panics (a
+/// chaos hook, a bug) poisons the lock but never leaves the `Db` itself
+/// mid-mutation, so later samples and `finish()` can keep going instead
+/// of turning one bad sample into a lost run.
+fn lock_db(db: &Mutex<Db>) -> std::sync::MutexGuard<'_, Db> {
+    db.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl MetricsSampler {
     /// Start sampling `sources` every `interval`.
     pub fn spawn(sources: Vec<SampleSource>, interval: Duration) -> MetricsSampler {
@@ -170,11 +181,7 @@ impl MetricsSampler {
                         if stop.load(Ordering::Acquire) {
                             break;
                         }
-                        sample_into(
-                            &mut db.lock().expect("sampler db poisoned"),
-                            &sources,
-                            clock::now_nanos(),
-                        );
+                        sample_into(&mut lock_db(&db), &sources, clock::now_nanos());
                         // Sleep in small slices so finish() never waits a
                         // full interval for the thread to notice the flag.
                         let mut remaining = interval;
@@ -185,11 +192,7 @@ impl MetricsSampler {
                         }
                     }
                     // Final sample: the settled end-of-run state.
-                    sample_into(
-                        &mut db.lock().expect("sampler db poisoned"),
-                        &sources,
-                        clock::now_nanos(),
-                    );
+                    sample_into(&mut lock_db(&db), &sources, clock::now_nanos());
                 })
                 .expect("spawn metrics sampler")
         };
@@ -200,6 +203,12 @@ impl MetricsSampler {
         }
     }
 
+    /// Points collected so far — a cheap liveness probe for tests and
+    /// progress displays ("has the sampler taken a pass yet?").
+    pub fn point_count(&self) -> usize {
+        lock_db(&self.db).point_count()
+    }
+
     /// Stop the sampler and return the collected database (including one
     /// final sample taken after the stop signal).
     pub fn finish(mut self) -> Db {
@@ -207,7 +216,7 @@ impl MetricsSampler {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        std::mem::take(&mut self.db.lock().expect("sampler db poisoned"))
+        std::mem::take(&mut lock_db(&self.db))
     }
 }
 
@@ -449,6 +458,17 @@ pub fn render_report(db: &Db) -> String {
                     g("peer_bytes") / (1024.0 * 1024.0),
                 );
             }
+            // Retry line only when the storage path actually hiccuped —
+            // healthy runs stay byte-identical to pre-retry reports.
+            let io_events = g("io_retries") + g("io_giveups");
+            if io_events > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "io: {} transient errors retried, {} gave up past the budget",
+                    g("io_retries") as u64,
+                    g("io_giveups") as u64,
+                );
+            }
         }
         if let Some(stall) = stall_attribution(db, process) {
             let ww = stall.wall_workers_nanos as f64;
@@ -604,11 +624,63 @@ mod tests {
         let sources = demo_sources();
         let metrics = sources[0].metrics.clone().unwrap();
         let sampler = MetricsSampler::spawn(sources, Duration::from_millis(5));
-        std::thread::sleep(Duration::from_millis(15));
+        // Deadline-poll for the first periodic pass instead of sleeping a
+        // fixed 15 ms — loaded CI machines made that a coin flip.
+        assert!(
+            emlio_util::testutil::poll_until(Duration::from_secs(5), || sampler.point_count() >= 2),
+            "sampler never took a periodic sample"
+        );
         metrics.record_batch(1, 1); // landed after spawn; final sample sees it
         let db = sampler.finish();
         let fields = last_fields(&db, "emlio_path", &[("proc", "daemon-0")]).unwrap();
         assert_eq!(fields.get("batches"), Some(&2.0));
         assert!(db.point_count() >= 2);
+    }
+
+    #[test]
+    fn sampler_finish_survives_a_panicking_provider() {
+        let metrics = DataPathMetrics::shared();
+        metrics.register_provider(|_| panic!("injected provider failure"));
+        let sources = vec![SampleSource {
+            process: "d".into(),
+            metrics: Some(metrics),
+            recorder: None,
+        }];
+        let sampler = MetricsSampler::spawn(sources, Duration::from_millis(1));
+        // The first pass panics inside `sample_into` with the db guard
+        // held, poisoning the lock and killing the sampler thread.
+        // `finish()` must hand back what was collected (here: nothing)
+        // rather than propagating the poison as a second panic.
+        let db = sampler.finish();
+        assert_eq!(db.point_count(), 0);
+    }
+
+    #[test]
+    fn io_retry_fields_exported_and_reported_only_when_nonzero() {
+        // Healthy run: fields exist (zero) but the report stays silent.
+        let mut db = Db::new();
+        sample_into(&mut db, &demo_sources(), 10);
+        let fields = last_fields(&db, "emlio_path", &[("proc", "daemon-0")]).unwrap();
+        assert_eq!(fields.get("io_retries"), Some(&0.0));
+        assert!(!render_report(&db).contains("transient errors retried"));
+
+        // Hiccuping storage: counters flow to the point and the report.
+        let metrics = DataPathMetrics::shared();
+        metrics.set_retry_counters(7, 1);
+        let sources = vec![SampleSource {
+            process: "daemon-2".into(),
+            metrics: Some(metrics),
+            recorder: None,
+        }];
+        let mut db = Db::new();
+        sample_into(&mut db, &sources, 20);
+        let fields = last_fields(&db, "emlio_path", &[("proc", "daemon-2")]).unwrap();
+        assert_eq!(fields.get("io_retries"), Some(&7.0));
+        assert_eq!(fields.get("io_giveups"), Some(&1.0));
+        let report = render_report(&db);
+        assert!(
+            report.contains("io: 7 transient errors retried, 1 gave up"),
+            "{report}"
+        );
     }
 }

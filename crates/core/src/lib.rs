@@ -25,6 +25,7 @@
 //! `emlio-netem` shapers for WAN emulation) and [`metrics`] carries the
 //! timestamped events used to align with energy traces.
 
+pub mod chaos;
 pub mod config;
 pub mod daemon;
 pub mod export;
@@ -35,6 +36,7 @@ pub mod receiver;
 pub mod service;
 pub mod wire;
 
+pub use chaos::ChaosController;
 pub use config::{Coverage, EmlioConfig};
 pub use daemon::EmlioDaemon;
 pub use export::{MetricsSampler, SampleSource, StallReport};

@@ -19,6 +19,14 @@ impl fmt::Debug for Providers {
     }
 }
 
+/// Lock the provider list even when poisoned: a panicking provider (e.g.
+/// a fault-injection hook blowing up mid-callback) must not take every
+/// later snapshot down with it — the `Vec` is never left mid-mutation.
+fn lock_providers(p: &Providers) -> std::sync::MutexGuard<'_, Vec<Provider>> {
+    p.0.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Monotonic counters for one side of the data path.
 #[derive(Debug, Default)]
 pub struct DataPathMetrics {
@@ -77,6 +85,14 @@ pub struct DataPathMetrics {
     pub peer_fallbacks: AtomicU64,
     /// Payload bytes that arrived from peers instead of shared storage.
     pub peer_bytes: AtomicU64,
+    /// Transient storage-read failures absorbed by the retry layer
+    /// (each one re-issued after backoff; 0 ⇒ retries disabled or a
+    /// perfectly healthy storage path).
+    pub io_retries: AtomicU64,
+    /// Storage operations that exhausted the retry budget and surfaced
+    /// an error to the caller. Nonzero here under injected-transient-only
+    /// fault schedules means the budget is too small.
+    pub io_giveups: AtomicU64,
     /// Nanoseconds send workers spent blocked on a full socket queue.
     pub send_blocked_nanos: AtomicU64,
     /// Wall-clock nanoseconds of the most recent `serve()` call.
@@ -200,6 +216,14 @@ impl DataPathMetrics {
         self.peer_bytes.store(bytes, Ordering::Relaxed);
     }
 
+    /// Reconcile the storage-retry counters with the retry layer's own
+    /// stats (the `RetrySource` is the source of truth; register a
+    /// provider so mid-epoch snapshots stay fresh).
+    pub fn set_retry_counters(&self, retries: u64, giveups: u64) {
+        self.io_retries.store(retries, Ordering::Relaxed);
+        self.io_giveups.store(giveups, Ordering::Relaxed);
+    }
+
     /// Add time a send worker spent blocked on a full socket queue.
     pub fn add_send_blocked_nanos(&self, nanos: u64) {
         self.send_blocked_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -221,7 +245,7 @@ impl DataPathMetrics {
     where
         F: Fn(&DataPathMetrics) + Send + Sync + 'static,
     {
-        self.providers.0.lock().unwrap().push(Box::new(f));
+        lock_providers(&self.providers).push(Box::new(f));
     }
 
     /// Plain-value copy of every counter. Runs registered providers first,
@@ -229,7 +253,7 @@ impl DataPathMetrics {
     /// sampled mid-epoch.
     pub fn snapshot(&self) -> MetricsSnapshot {
         {
-            let providers = self.providers.0.lock().unwrap();
+            let providers = lock_providers(&self.providers);
             for p in providers.iter() {
                 p(self);
             }
@@ -258,6 +282,8 @@ impl DataPathMetrics {
             peer_misses: self.peer_misses.load(Ordering::Relaxed),
             peer_fallbacks: self.peer_fallbacks.load(Ordering::Relaxed),
             peer_bytes: self.peer_bytes.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_giveups: self.io_giveups.load(Ordering::Relaxed),
             send_blocked_nanos: self.send_blocked_nanos.load(Ordering::Relaxed),
             serve_wall_nanos: self.serve_wall_nanos.load(Ordering::Relaxed),
             serve_workers: self.serve_workers.load(Ordering::Relaxed),
@@ -315,6 +341,10 @@ pub struct MetricsSnapshot {
     pub peer_fallbacks: u64,
     /// Payload bytes that arrived from peers instead of shared storage.
     pub peer_bytes: u64,
+    /// Transient storage-read failures absorbed by the retry layer.
+    pub io_retries: u64,
+    /// Storage operations that exhausted the retry budget.
+    pub io_giveups: u64,
     /// Nanoseconds send workers spent blocked on a full socket queue.
     pub send_blocked_nanos: u64,
     /// Wall-clock nanoseconds of the most recent serve.
@@ -462,6 +492,37 @@ mod tests {
         // Reconciliation overwrites rather than accumulates.
         m.set_peer_counters(12, 2, 1, 700_000);
         assert_eq!(m.snapshot().peer_hits, 12);
+    }
+
+    #[test]
+    fn retry_counters_reconcile() {
+        let m = DataPathMetrics::shared();
+        m.set_retry_counters(5, 0);
+        let s = m.snapshot();
+        assert_eq!((s.io_retries, s.io_giveups), (5, 0));
+        // Reconciliation overwrites rather than accumulates.
+        m.set_retry_counters(9, 1);
+        assert_eq!(m.snapshot().io_giveups, 1);
+    }
+
+    #[test]
+    fn provider_registry_survives_a_panicking_provider() {
+        let m = DataPathMetrics::shared();
+        m.register_provider(|dm| dm.set_cache_evictions(3));
+        // Poison the provider mutex from another thread while it is held.
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.providers.0.lock().unwrap();
+            panic!("poison the provider lock");
+        })
+        .join();
+        assert!(m.providers.0.lock().is_err(), "lock should be poisoned");
+        // Snapshots and late registration still work: the Vec was never
+        // mid-mutation, so the poison is recoverable.
+        assert_eq!(m.snapshot().cache_evictions, 3);
+        m.register_provider(|dm| dm.set_cache_readmitted(7));
+        let s = m.snapshot();
+        assert_eq!((s.cache_evictions, s.cache_readmitted), (3, 7));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! emulation, point `connect_via` at an `emlio-netem` proxy that forwards
 //! to the receiver — daemons then experience the shaped RTT/bandwidth.
 
+use crate::chaos::ChaosController;
 use crate::config::EmlioConfig;
 use crate::daemon::{DaemonError, EmlioDaemon};
 use crate::metrics::DataPathMetrics;
@@ -225,6 +226,50 @@ impl EmlioService {
             _guard: None,
         })
     }
+
+    /// Serve `plan` under a kill/restart loop: open a daemon via `open`,
+    /// serve until it completes or the `controller`'s armed kill point
+    /// trips, then tear the daemon down (sockets, cache, pool — exactly
+    /// what a crashed process loses), re-open, and re-serve against the
+    /// controller's retained exactly-once ledger. A persistent cache
+    /// (`CacheConfig::with_persist_dir`) re-admits its spill tier across
+    /// the restart; everything else starts cold.
+    ///
+    /// Returns the number of restarts performed. Fails with
+    /// [`DaemonError::BadPlan`] if the controller keeps killing past
+    /// `max_restarts` — a disarmed controller after
+    /// [`ChaosController::reset_for_restart`] makes that unreachable in
+    /// practice unless the caller re-arms from another thread.
+    pub fn serve_with_chaos<F>(
+        open: F,
+        plan: &Plan,
+        node_id: &str,
+        endpoint: &Endpoint,
+        controller: &Arc<ChaosController>,
+        max_restarts: u32,
+    ) -> Result<u32, DaemonError>
+    where
+        F: Fn() -> Result<EmlioDaemon, DaemonError>,
+    {
+        let mut restarts = 0u32;
+        loop {
+            let daemon = open()?;
+            daemon.serve_chaos(plan, node_id, endpoint, controller)?;
+            if !controller.is_killed() {
+                return Ok(restarts);
+            }
+            if restarts >= max_restarts {
+                return Err(DaemonError::BadPlan(format!(
+                    "chaos: daemon killed more than {max_restarts} times"
+                )));
+            }
+            restarts += 1;
+            // Drop before reopening: the incarnation's sockets close and
+            // its in-RAM cache state is lost, as in a real crash.
+            drop(daemon);
+            controller.reset_for_restart();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -271,5 +316,72 @@ mod tests {
             assert_eq!(n, expected_samples, "epoch {e} delivers the union");
         }
         dep.join_daemons().unwrap();
+    }
+
+    #[test]
+    fn chaos_kill_restart_delivers_every_batch_exactly_once() {
+        use crate::receiver::{EmlioReceiver, ReceiverConfig};
+        use emlio_tfrecord::GlobalIndex;
+
+        let dir = TempDir::new("chaos-restart");
+        let spec = DatasetSpec::tiny("chaos", 24);
+        build_tfrecord_dataset(dir.path(), &spec, ShardSpec::Count(2)).unwrap();
+        let config = EmlioConfig::default()
+            .with_batch_size(4)
+            .with_threads(2)
+            .with_epochs(2);
+        let index = Arc::new(GlobalIndex::load_dir(dir.path()).unwrap());
+        let plan = Plan::build(&index, &["node".to_string()], &config);
+
+        // Two send workers per incarnation; the killed incarnation's
+        // streams end without markers, so the receiver's stream budget is
+        // satisfied by the final (uninterrupted) incarnation alone.
+        let receiver = EmlioReceiver::bind(ReceiverConfig {
+            hwm: config.hwm,
+            queue_capacity: config.hwm,
+            ..ReceiverConfig::loopback(config.threads_per_node as u32)
+        })
+        .unwrap();
+        let endpoint = receiver.endpoint().clone();
+
+        let controller = ChaosController::new();
+        controller.arm(3); // die mid-epoch 0
+        controller.arm(5); // and again shortly after the first restart
+
+        let server = {
+            let config = config.clone();
+            let plan = plan.clone();
+            let controller = controller.clone();
+            let dataset = dir.path().to_path_buf();
+            std::thread::spawn(move || {
+                EmlioService::serve_with_chaos(
+                    || EmlioDaemon::open("d0", &dataset, config.clone()),
+                    &plan,
+                    "node",
+                    &endpoint,
+                    &controller,
+                    4,
+                )
+            })
+        };
+
+        let mut src = receiver.source();
+        let mut seen = vec![std::collections::HashSet::new(); 2];
+        while let Some(b) = src.next_batch() {
+            for s in &b.samples {
+                assert!(
+                    seen[b.epoch as usize].insert(s.sample_id),
+                    "duplicate sample {} in epoch {} across incarnations",
+                    s.sample_id,
+                    b.epoch
+                );
+            }
+        }
+        let restarts = server.join().unwrap().unwrap();
+        assert_eq!(restarts, 2, "both armed kill points tripped");
+        assert_eq!(controller.kills(), 2);
+        for (e, s) in seen.iter().enumerate() {
+            assert_eq!(s.len(), 24, "epoch {e}: no batch lost to the kills");
+        }
     }
 }

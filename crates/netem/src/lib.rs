@@ -17,16 +17,21 @@
 //!   many-small-reads cost that makes baseline loaders collapse at high RTT;
 //! * [`source::NfsSource`] — the mount presented as an
 //!   `emlio_tfrecord::RangeSource`, so shared remote storage slots into the
-//!   daemon's composable read stack under a per-daemon cache layer.
+//!   daemon's composable read stack under a per-daemon cache layer;
+//! * [`fault::FaultSource`] — a seeded chaos decorator for the same read
+//!   stack, paired with `NfsMount` failpoints (`nfs.open` / `nfs.read`)
+//!   replaying an `emlio_util::fault::FaultInjector`.
 //!
 //! All delays run on an [`emlio_util::Clock`], so the same code paths work
 //! under wall time (examples) and manual time (tests).
 
+pub mod fault;
 pub mod nfs;
 pub mod profile;
 pub mod shaper;
 pub mod source;
 
+pub use fault::FaultSource;
 pub use nfs::{NfsConfig, NfsFile, NfsMount};
 pub use profile::NetProfile;
 pub use shaper::Proxy;

@@ -15,13 +15,14 @@
 
 use crate::profile::NetProfile;
 use emlio_util::clock::SharedClock;
+use emlio_util::fault::{site, FaultDecision, FaultInjector};
 use emlio_util::rate::TokenBucket;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Tunable NFS client parameters (defaults match a stock Linux NFSv4 mount).
@@ -87,6 +88,8 @@ struct MountShared {
     bucket: Mutex<TokenBucket>,
     attr_cache: Mutex<HashMap<PathBuf, u64>>, // path → expiry nanos
     stats: NfsStats,
+    /// Seeded chaos hook: consulted at `nfs.open` / `nfs.read` when set.
+    injector: OnceLock<Arc<FaultInjector>>,
 }
 
 /// A handle to an emulated NFS mount. Clones share the connection (and its
@@ -119,8 +122,36 @@ impl NfsMount {
                 bucket: Mutex::new(bucket),
                 attr_cache: Mutex::new(HashMap::new()),
                 stats: NfsStats::default(),
+                injector: OnceLock::new(),
             }),
         }
+    }
+
+    /// Replay `injector` at this mount's failpoints:
+    /// [`site::NFS_OPEN`] (mount stall or open failure, consulted by
+    /// [`NfsMount::open_file`]) and [`site::NFS_READ`] (per-read I/O
+    /// error, latency spike, or short read, consulted by
+    /// [`NfsFile::read_range`]). First call wins; every clone of the
+    /// mount shares the hook.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        let _ = self.shared.injector.set(injector);
+    }
+
+    /// This mount's decision at `site` (clear when no injector is set).
+    /// Latency decisions stall on the mount's clock right here — a stalled
+    /// mount blocks the caller exactly like a wedged kernel mount — and
+    /// the (possibly downgraded) decision is returned for the caller to
+    /// apply.
+    fn consult(&self, fault_site: &str) -> FaultDecision {
+        let Some(inj) = self.shared.injector.get() else {
+            return FaultDecision::None;
+        };
+        let decision = inj.decide(fault_site);
+        if let FaultDecision::Latency(d) = decision {
+            self.shared.clock.sleep_nanos(d.as_nanos() as u64);
+            return FaultDecision::None;
+        }
+        decision
     }
 
     /// The local directory backing the mount.
@@ -242,6 +273,13 @@ impl NfsMount {
     /// by holding one handle per shard instead of re-opening per block —
     /// compare [`NfsMount::read_range`], which pays the open every call.
     pub fn open_file(&self, rel: &Path) -> io::Result<NfsFile> {
+        if self.consult(site::NFS_OPEN) == FaultDecision::Error {
+            return Err(io::Error::other(format!(
+                "injected fault at {} ({})",
+                site::NFS_OPEN,
+                rel.display()
+            )));
+        }
         let full = self.shared.root.join(rel);
         let cfg = &self.shared.config;
         let open_rtts = if self.attr_check(&full) {
@@ -291,6 +329,19 @@ impl NfsFile {
     /// expired (close-to-open consistency revalidation).
     pub fn read_range(&self, offset: u64, len: u64) -> io::Result<Vec<u8>> {
         let cfg = &self.mount.shared.config;
+        let len = match self.mount.consult(site::NFS_READ) {
+            FaultDecision::Error => {
+                return Err(io::Error::other(format!(
+                    "injected fault at {} ({})",
+                    site::NFS_READ,
+                    self.path.display()
+                )))
+            }
+            // A torn transfer: serve only the front half of the range, so
+            // downstream framing/CRC checks must flag the truncation.
+            FaultDecision::ShortRead => len / 2,
+            _ => len,
+        };
         if self.mount.attr_check(&self.path) {
             self.mount.charge_rtts(1.0);
         }
@@ -434,6 +485,39 @@ mod tests {
         let (_d, mount) = setup(0);
         let names = mount.list_dir(Path::new("")).unwrap();
         assert_eq!(names, vec![PathBuf::from("a.bin"), PathBuf::from("b.bin")]);
+    }
+
+    #[test]
+    fn fault_hooks_fire_at_open_and_read() {
+        use emlio_util::fault::{FaultPlan, FaultSpec};
+
+        // Every open fails, every positioned read is short.
+        let (_d, mount) = setup(0);
+        mount.set_fault_injector(FaultInjector::new(
+            FaultPlan::new(11)
+                .with_site(site::NFS_OPEN, FaultSpec::errors(1.0))
+                .with_site(site::NFS_READ, FaultSpec::short_reads(1.0)),
+        ));
+        let err = match mount.open_file(Path::new("a.bin")) {
+            Err(e) => e,
+            Ok(_) => panic!("open must fail under an always-error plan"),
+        };
+        assert!(err.to_string().contains("nfs.open"));
+
+        // A mount without open faults, but short reads: handle opens fine,
+        // reads return half the requested range.
+        let (_d2, mount2) = setup(0);
+        mount2.set_fault_injector(FaultInjector::new(
+            FaultPlan::new(11).with_site(site::NFS_READ, FaultSpec::short_reads(1.0)),
+        ));
+        let f = mount2.open_file(Path::new("b.bin")).unwrap();
+        assert_eq!(f.read_range(0, 4096).unwrap().len(), 2048);
+
+        // A clear injector leaves the mount untouched.
+        let (_d3, mount3) = setup(0);
+        mount3.set_fault_injector(FaultInjector::new(FaultPlan::new(11)));
+        let f = mount3.open_file(Path::new("a.bin")).unwrap();
+        assert_eq!(f.read_range(0, 100).unwrap().len(), 100);
     }
 
     #[test]

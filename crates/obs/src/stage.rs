@@ -67,11 +67,16 @@ pub enum Stage {
     /// Warm-start promotion of a re-admitted disk block into RAM ahead of
     /// demand (plan-install time, before any send worker runs).
     WarmPromote,
+    /// Time the data path spent absorbing injected or transient faults:
+    /// retry backoff sleeps on the storage path plus injected latency
+    /// spikes from a chaos fault plan (nested inside whatever span the
+    /// faulted operation ran under — never added to exclusive stages).
+    FaultInject,
 }
 
 impl Stage {
     /// Number of stages (histogram array size).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every stage, in data-path order (off-path stages trail).
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -92,6 +97,7 @@ impl Stage {
         Stage::EndToEnd,
         Stage::SpillWrite,
         Stage::WarmPromote,
+        Stage::FaultInject,
     ];
 
     /// Stable snake_case name (tsdb tag value, report row label).
@@ -114,6 +120,7 @@ impl Stage {
             Stage::EndToEnd => "end_to_end",
             Stage::SpillWrite => "spill_write",
             Stage::WarmPromote => "warm_promote",
+            Stage::FaultInject => "fault_inject",
         }
     }
 

@@ -23,6 +23,7 @@ pub mod crc32c;
 pub mod index;
 pub mod reader;
 pub mod record;
+pub mod retry;
 pub mod shard;
 pub mod source;
 pub mod writer;
@@ -30,6 +31,7 @@ pub mod writer;
 pub use index::{GlobalIndex, RecordMeta, ShardIndex};
 pub use reader::{RangeReader, RecordReader};
 pub use record::{RecordError, FRAME_OVERHEAD};
+pub use retry::{RetrySource, RetryStats, RetryStatsSnapshot};
 pub use shard::{ShardSpec, ShardWriter};
 pub use source::{
     BlockAlloc, BlockKey, BlockRead, FnSource, RangeSource, ReadOrigin, SystemAlloc, TfrecordSource,

@@ -37,6 +37,17 @@ pub enum RecordError {
     },
 }
 
+impl RecordError {
+    /// True for failures worth retrying: raw I/O errors, which cover both
+    /// real device/mount blips and injected chaos faults. Corruption,
+    /// truncation, and index errors are permanent — the bytes on disk are
+    /// wrong, and re-reading them yields the same wrong bytes — so the
+    /// retry layer surfaces them immediately as detectable errors.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RecordError::Io(_))
+    }
+}
+
 impl fmt::Display for RecordError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -208,7 +208,13 @@ impl TfrecordSource {
     }
 
     fn reader_for(&self, shard_id: u32) -> Result<Arc<RangeReader>> {
-        let mut readers = self.readers.lock().expect("reader map poisoned");
+        // The map holds only opened readers — a panic elsewhere can poison
+        // the mutex without leaving partial state, so keep serving instead
+        // of propagating the panic to every later reader.
+        let mut readers = self
+            .readers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(r) = readers.get(&shard_id) {
             return Ok(r.clone());
         }
@@ -436,6 +442,36 @@ mod tests {
                 end: 1
             }])
             .is_err());
+    }
+
+    #[test]
+    fn reader_map_survives_a_poisoned_lock() {
+        let dir = TempDir::new("tfrecord-poison");
+        let mut w = ShardWriter::create(dir.path(), ShardSpec::Count(1)).unwrap();
+        for i in 0..4u8 {
+            w.append(&[i; 16], 0).unwrap();
+        }
+        let idx = Arc::new(w.finish().unwrap());
+        let src = Arc::new(TfrecordSource::new(idx.clone()));
+        // Poison the reader-map mutex: a thread panics while holding it
+        // (as a panicking fault-injection hook or allocator would).
+        let poisoner = src.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.readers.lock().unwrap();
+            panic!("poison the reader map");
+        })
+        .join();
+        assert!(src.readers.lock().is_err(), "lock really is poisoned");
+        // Reads must keep working — the map's state is always consistent.
+        let n = idx.shards[0].records.len();
+        let read = src
+            .read_block(&BlockKey {
+                shard_id: 0,
+                start: 0,
+                end: n,
+            })
+            .unwrap();
+        assert_eq!(read.origin, ReadOrigin::Direct);
     }
 
     #[test]

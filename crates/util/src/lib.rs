@@ -15,10 +15,14 @@
 //! * [`rate`] — token-bucket pacing used by the userspace network emulator.
 //! * [`alloc`] — a counting `#[global_allocator]` wrapper so tests and
 //!   benches can assert allocation budgets on the zero-copy serve path.
+//! * [`fault`] — seeded, deterministic fault plans ([`FaultPlan`] /
+//!   [`FaultInjector`]) driving named failpoint sites across the serve
+//!   path, plus the [`RetryPolicy`] backoff that absorbs transient faults.
 
 pub mod alloc;
 pub mod bytesize;
 pub mod clock;
+pub mod fault;
 pub mod json;
 pub mod rate;
 pub mod stats;
@@ -27,6 +31,7 @@ pub mod tslog;
 
 pub use alloc::CountingAllocator;
 pub use clock::{Clock, ManualClock, RealClock, SharedClock};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultSpec, RetryPolicy};
 pub use json::Json;
 pub use stats::{OnlineStats, Summary};
 pub use tslog::TimestampLogger;

@@ -1,9 +1,12 @@
-//! Test support shared across the workspace (temp directories without
-//! external crates). Compiled unconditionally so downstream crates can use it
-//! from their own `#[cfg(test)]` modules and integration tests.
+//! Test support shared across the workspace (temp directories, deadline
+//! polling, latches — without external crates). Compiled unconditionally so
+//! downstream crates can use it from their own `#[cfg(test)]` modules and
+//! integration tests.
 
+use parking_lot::{Condvar, Mutex};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -38,6 +41,88 @@ impl Drop for TempDir {
     }
 }
 
+/// Poll `cond` every millisecond until it returns true or `timeout`
+/// expires. Returns whether the condition became true — the de-flake
+/// replacement for bare `sleep`-and-check waits: tests wait exactly as
+/// long as the condition needs, bounded by a generous deadline, instead
+/// of guessing a magic sleep that loaded CI machines outgrow.
+pub fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Poll `value` until it holds a stable reading: the same value observed
+/// across `hold` with no change, or the deadline expires. Returns the last
+/// observed value. Used to wait for a counter to *plateau* (e.g. "the
+/// producer has stopped making progress because it is blocked") where no
+/// exact target value exists.
+pub fn poll_stable<T: PartialEq + Copy>(
+    timeout: Duration,
+    hold: Duration,
+    mut value: impl FnMut() -> T,
+) -> T {
+    let deadline = Instant::now() + timeout;
+    let mut last = value();
+    let mut held_since = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(1));
+        let now = value();
+        if now != last {
+            last = now;
+            held_since = Instant::now();
+        } else if held_since.elapsed() >= hold {
+            return last;
+        }
+        if Instant::now() >= deadline {
+            return last;
+        }
+    }
+}
+
+/// A one-shot condvar latch: threads [`wait`](Latch::wait) until some
+/// other thread [`open`](Latch::open)s it. Replaces "sleep long enough
+/// for the other thread to have started" handshakes.
+#[derive(Default)]
+pub struct Latch {
+    opened: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// A closed latch.
+    pub fn new() -> Latch {
+        Latch::default()
+    }
+
+    /// Open the latch, waking every current and future waiter.
+    pub fn open(&self) {
+        let mut opened = self.opened.lock();
+        *opened = true;
+        self.cv.notify_all();
+    }
+
+    /// Wait until the latch opens, bounded by `timeout`. Returns whether
+    /// it opened in time.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut opened = self.opened.lock();
+        while !*opened {
+            if self.cv.wait_until(&mut opened, deadline).timed_out() {
+                return *opened;
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +144,53 @@ mod tests {
         let a = TempDir::new("emlio-uniq");
         let b = TempDir::new("emlio-uniq");
         assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn poll_until_sees_condition_and_times_out() {
+        let flag = AtomicU64::new(0);
+        let ok = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                flag.store(1, Ordering::SeqCst);
+            });
+            poll_until(Duration::from_secs(2), || flag.load(Ordering::SeqCst) == 1)
+        });
+        assert!(ok);
+        assert!(!poll_until(Duration::from_millis(5), || false));
+    }
+
+    #[test]
+    fn poll_stable_returns_plateau() {
+        let v = AtomicU64::new(0);
+        let got = std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    v.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+            poll_stable(Duration::from_secs(2), Duration::from_millis(50), || {
+                v.load(Ordering::SeqCst)
+            })
+        });
+        assert_eq!(got, 5, "plateaued at the final value");
+    }
+
+    #[test]
+    fn latch_opens_waiters() {
+        let latch = Latch::new();
+        assert!(
+            !latch.wait(Duration::from_millis(5)),
+            "closed latch times out"
+        );
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                latch.open();
+            });
+            assert!(latch.wait(Duration::from_secs(2)));
+        });
+        assert!(latch.wait(Duration::from_millis(1)), "stays open");
     }
 }

@@ -316,22 +316,32 @@ mod tests {
         // Small HWMs everywhere; a sender that produces 64 large messages
         // must block until the receiver drains, and nothing may be lost.
         let (pull, push) = tcp_pair(2);
+        let stats = push.stats();
         let producer = std::thread::spawn(move || {
             for i in 0..64u32 {
                 push.send(Bytes::from(vec![i as u8; 64 << 10])).unwrap();
             }
-            let blocked = push.stats().blocked_nanos.load(Ordering::Relaxed);
             push.close().unwrap();
-            blocked
         });
-        std::thread::sleep(Duration::from_millis(100)); // let queues fill
+        // Wait until the sender has actually hit the HWM and blocked
+        // (bounded deadline poll — a fixed sleep here flakes on loaded
+        // machines) before draining a single message.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while stats.blocked_nanos.load(Ordering::Relaxed) == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            stats.blocked_nanos.load(Ordering::Relaxed) > 0,
+            "sender should have hit the HWM and blocked"
+        );
         let mut count = 0;
         while count < 64 {
             pull.recv().unwrap();
             count += 1;
         }
-        let blocked = producer.join().unwrap();
-        assert!(blocked > 0, "sender should have hit the HWM and blocked");
+        producer.join().unwrap();
     }
 
     #[test]

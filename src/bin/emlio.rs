@@ -69,6 +69,7 @@ fn main() -> ExitCode {
         "daemon" => cmd_daemon(parse_flags(rest)),
         "receive" => cmd_receive(parse_flags(rest)),
         "bench-io" => cmd_bench_io(parse_flags(rest)),
+        "chaos" => cmd_chaos(parse_flags(rest)),
         "report" => cmd_report(parse_flags(rest)),
         "figures" => cmd_figures(rest),
         "help" | "--help" | "-h" => {
@@ -98,8 +99,18 @@ USAGE:
   emlio receive  --bind tcp://ADDR:PORT --streams N [--resize W] [--quiet]
   emlio bench-io --data DIR [--batch B] [--threads T] [--rtt-ms MS] [--cache-mb MB]
                  [--peer-fleet N] [--peer-timeout-ms MS] [...]
+  emlio chaos    [--seed HEX | --seeds N [--base-seed N]]
+                 [--config cached|fleet|spill-persist|all]
+                 [--samples N] [--batch B] [--threads T] [--epochs E]
   emlio report   --metrics FILE
   emlio figures  [fig1 fig5 fig6 fig7 fig8 fig9 fig10 ablations]
+
+daemon / bench-io also take --io-retries R [--io-backoff-ms MS] to absorb
+transient storage read failures with bounded, seed-deterministic
+exponential backoff before surfacing an error.
+chaos runs seeded fault-injection schedules (see docs/TESTING.md) and fails
+loudly — printing the replay seed — on any silent-corruption, lost-batch,
+or duplicate-batch violation.
 
 Every command also takes --log-level error|warn|info|debug|trace (default warn).
 daemon / receive / bench-io take --metrics-out FILE [--sample-ms MS] to record
@@ -224,11 +235,21 @@ fn cmd_convert(flags: HashMap<String, String>) -> Result<(), String> {
 }
 
 fn config_from(flags: &HashMap<String, String>) -> Result<EmlioConfig, String> {
+    let io_retries: u32 = get_num(flags, "io-retries", 0)?;
+    if flags.contains_key("io-backoff-ms") && io_retries == 0 {
+        return Err("--io-backoff-ms requires --io-retries to enable retrying".into());
+    }
     let mut config = EmlioConfig::default()
         .with_batch_size(get_num(flags, "batch", 64usize)?)
         .with_threads(get_num(flags, "threads", 2usize)?)
         .with_epochs(get_num(flags, "epochs", 1u32)?)
-        .with_seed(get_num(flags, "seed", 0x000E_4110_u64)?);
+        .with_seed(get_num(flags, "seed", 0x000E_4110_u64)?)
+        .with_io_retries(io_retries)
+        .with_io_backoff(Duration::from_millis(get_num(
+            flags,
+            "io-backoff-ms",
+            5u64,
+        )?));
     let cache_mb: u64 = get_num(flags, "cache-mb", 0)?;
     let persist_dir = flags.get("cache-persist").cloned();
     if cache_mb > 0 {
@@ -576,6 +597,77 @@ fn cmd_bench_io(flags: HashMap<String, String>) -> Result<(), String> {
     if let Some(m) = metrics_file {
         m.finish()?;
     }
+    Ok(())
+}
+
+/// Parse a chaos seed: decimal or `0x`-prefixed hex (the harness prints
+/// failing seeds in hex, so the replay command can paste them verbatim).
+fn parse_seed(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("--seed: bad value {v:?} (decimal or 0x-hex)"))
+}
+
+fn cmd_chaos(flags: HashMap<String, String>) -> Result<(), String> {
+    use emlio::bench::chaos::{run_schedule, suite_seed, ChaosConfig, ChaosMode, Verdict};
+
+    let mode_arg = flags.get("config").map(String::as_str).unwrap_or("all");
+    let modes: Vec<ChaosMode> = if mode_arg == "all" {
+        ChaosMode::ALL.to_vec()
+    } else {
+        vec![ChaosMode::from_name(mode_arg).ok_or_else(|| {
+            format!("--config: bad value {mode_arg:?} (valid: cached, fleet, spill-persist, all)")
+        })?]
+    };
+    let seeds: Vec<u64> = match flags.get("seed") {
+        Some(v) => vec![parse_seed(v)?],
+        None => {
+            let count: u64 = get_num(&flags, "seeds", 20)?;
+            let base: u64 = get_num(&flags, "base-seed", 0x000C_4A05_u64)?;
+            (0..count).map(|i| suite_seed(base, i)).collect()
+        }
+    };
+    if seeds.is_empty() {
+        return Err("--seeds must be positive".into());
+    }
+
+    let make = |seed: u64, mode: ChaosMode| -> Result<ChaosConfig, String> {
+        let mut c = ChaosConfig::new(seed, mode);
+        c.samples = get_num(&flags, "samples", c.samples)?;
+        c.batch_size = get_num(&flags, "batch", c.batch_size)?;
+        c.threads = get_num(&flags, "threads", c.threads)?;
+        c.epochs = get_num(&flags, "epochs", c.epochs)?;
+        Ok(c)
+    };
+
+    let t0 = std::time::Instant::now();
+    let (mut clean, mut detectable) = (0u64, 0u64);
+    let (mut faults, mut retries, mut giveups, mut kills) = (0u64, 0u64, 0u64, 0u64);
+    for &seed in &seeds {
+        for &mode in &modes {
+            let out = run_schedule(&make(seed, mode)?).map_err(|violation| {
+                format!("{violation}\nreplay: emlio chaos --seed {seed:#x} --config {mode}")
+            })?;
+            println!("{out}");
+            match out.verdict {
+                Verdict::Clean => clean += 1,
+                Verdict::DetectableError(_) => detectable += 1,
+            }
+            faults += out.injected_total();
+            retries += out.io_retries;
+            giveups += out.io_giveups;
+            kills += out.kills;
+        }
+    }
+    println!(
+        "chaos: {} schedules in {:.2?} — {clean} clean, {detectable} detectable errors, \
+         0 silent corruptions; {faults} faults injected, {kills} daemon kills, \
+         {retries} retries absorbed ({giveups} give-ups)",
+        seeds.len() * modes.len(),
+        t0.elapsed(),
+    );
     Ok(())
 }
 

@@ -23,7 +23,9 @@
 //! * [`datagen`] — synthetic datasets with a real image codec;
 //! * [`trainsim`] — backbone cost profiles, DDP model, a real MLP;
 //! * [`sim`] + [`testbed`] — the discrete-event replay of the paper's
-//!   evaluation (every figure).
+//!   evaluation (every figure);
+//! * [`mod@bench`] — the figure-reproduction harness plus the seeded chaos
+//!   suite (`emlio chaos`) that proves delivery guarantees under faults.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@
 //! ```
 
 pub use emlio_baselines as baselines;
+pub use emlio_bench as bench;
 pub use emlio_cache as cache;
 pub use emlio_core as core;
 pub use emlio_datagen as datagen;

@@ -13,7 +13,7 @@ use emlio::pipeline::{Accelerator, Device, PipelineBuilder};
 use emlio::tfrecord::ShardSpec;
 use emlio::tsdb::TsdbClient;
 use emlio::util::clock::RealClock;
-use emlio::util::testutil::TempDir;
+use emlio::util::testutil::{poll_until, TempDir};
 use emlio::util::TimestampLogger;
 use std::sync::Arc;
 
@@ -74,8 +74,13 @@ fn monitored_run_produces_queryable_energy() {
     tslog.log("epoch_end", "0");
     let t1 = clock.now_nanos();
 
-    // Make sure at least several sampling intervals elapsed.
-    std::thread::sleep(std::time::Duration::from_millis(40));
+    // Wait until several sampling intervals have actually landed in the
+    // TSDB (bounded poll — a fixed sleep here flakes on loaded machines).
+    assert!(
+        poll_until(std::time::Duration::from_secs(10), || tsdb.point_count()
+            >= 3),
+        "timed out waiting for energy samples to flush"
+    );
     let written = monitor.stop();
     assert!(written >= 3, "expected several samples, wrote {written}");
     assert!(batches >= 8);

@@ -2,15 +2,19 @@
 //! daemons dying mid-stream, and consumers disappearing. The system must
 //! fail *detectably* (errors, never wrong data) and shut down cleanly.
 
+use emlio::cache::CacheConfig;
 use emlio::core::plan::Plan;
 use emlio::core::receiver::{EmlioReceiver, ReceiverConfig};
 use emlio::core::{EmlioConfig, EmlioDaemon};
 use emlio::datagen::convert::build_tfrecord_dataset;
 use emlio::datagen::DatasetSpec;
+use emlio::netem::FaultSource;
 use emlio::pipeline::ExternalSource;
-use emlio::tfrecord::{GlobalIndex, ShardSpec};
+use emlio::tfrecord::{GlobalIndex, RangeSource, ShardSpec, TfrecordSource};
+use emlio::util::fault::{site, FaultInjector, FaultPlan, FaultSpec};
 use emlio::util::testutil::TempDir;
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
 
 fn build(dir: &TempDir, n: u64) -> GlobalIndex {
     let spec = DatasetSpec::tiny("fail", n);
@@ -155,4 +159,149 @@ fn daemon_crash_mid_stream_leaves_receiver_consistent() {
         "everything sent was delivered"
     );
     receiver.join().unwrap();
+}
+
+// ---- injected faults through the seeded failpoint seam -------------------
+
+/// Serve to completion and fingerprint everything delivered:
+/// sorted `(epoch, sample_id, label, FNV-1a payload digest)`.
+fn drain(daemon: EmlioDaemon, plan: Plan, config: &EmlioConfig) -> Vec<(u32, u64, u32, u64)> {
+    let receiver =
+        EmlioReceiver::bind(ReceiverConfig::loopback(config.threads_per_node as u32)).unwrap();
+    let ep = receiver.endpoint().clone();
+    let server = std::thread::spawn(move || daemon.serve(&plan, "n", &ep));
+    let mut src = receiver.source();
+    let mut seen = Vec::new();
+    while let Some(b) = src.next_batch() {
+        for s in &b.samples {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &byte in s.bytes.iter() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            seen.push((b.epoch, s.sample_id, s.label, h));
+        }
+    }
+    server.join().unwrap().unwrap();
+    seen.sort_unstable();
+    seen
+}
+
+fn faulted_daemon(
+    index: &Arc<GlobalIndex>,
+    config: &EmlioConfig,
+    spec: FaultSpec,
+    seed: u64,
+) -> (EmlioDaemon, Arc<FaultInjector>) {
+    let injector = FaultInjector::new(FaultPlan::new(seed).with_site(site::SOURCE_READ, spec));
+    let base: Arc<dyn RangeSource> = Arc::new(FaultSource::new(
+        Arc::new(TfrecordSource::new(index.clone())),
+        injector.clone(),
+    ));
+    let daemon = EmlioDaemon::open_with_base("d", index.clone(), config.clone(), base).unwrap();
+    (daemon, injector)
+}
+
+#[test]
+fn transient_read_errors_are_absorbed_by_the_retry_budget() {
+    let dir = TempDir::new("fail-retry-absorb");
+    let index = Arc::new(build(&dir, 24));
+    let clean_config = EmlioConfig::default().with_batch_size(4).with_threads(2);
+    let reference = {
+        let daemon = EmlioDaemon::open("d", dir.path(), clean_config.clone()).unwrap();
+        let plan = Plan::build(daemon.index(), &["n".to_string()], &clean_config);
+        drain(daemon, plan, &clean_config)
+    };
+
+    // ~25% of reads fail transiently; an 8-deep retry budget makes the
+    // probability of a full-budget streak negligible (and, at this fixed
+    // seed, zero).
+    let config = clean_config.clone().with_io_retries(8);
+    let (daemon, injector) = faulted_daemon(&index, &config, FaultSpec::errors(0.25), 0xAB5012B);
+    let metrics = daemon.metrics();
+    let plan = Plan::build(&index, &["n".to_string()], &config);
+    let delivered = drain(daemon, plan, &config);
+
+    assert_eq!(delivered, reference, "retried epoch is byte-identical");
+    let snap = metrics.snapshot();
+    assert!(injector.stats().errors > 0, "schedule injected nothing");
+    assert!(snap.io_retries > 0, "retry layer never engaged");
+    assert_eq!(snap.io_giveups, 0, "no giveup on a completed epoch");
+}
+
+#[test]
+fn injected_errors_without_retries_surface_detectably() {
+    let dir = TempDir::new("fail-no-retry");
+    let index = Arc::new(build(&dir, 16));
+    let config = EmlioConfig::default().with_batch_size(4).with_threads(1);
+    let (daemon, injector) = faulted_daemon(&index, &config, FaultSpec::errors(1.0), 7);
+    let plan = Plan::build(&index, &["n".to_string()], &config);
+    let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+    let result = daemon.serve(&plan, "n", receiver.endpoint());
+    assert!(result.is_err(), "fault must surface without a retry budget");
+    assert!(injector.stats().errors > 0);
+}
+
+#[test]
+fn exhausted_retry_budget_gives_up_loudly() {
+    let dir = TempDir::new("fail-giveup");
+    let index = Arc::new(build(&dir, 16));
+    // Every read errors: a 2-deep budget must burn its retries, then
+    // surface the original error — counted as a giveup, never wrong data.
+    let config = EmlioConfig::default()
+        .with_batch_size(4)
+        .with_threads(1)
+        .with_io_retries(2);
+    let (daemon, _) = faulted_daemon(&index, &config, FaultSpec::errors(1.0), 7);
+    let metrics = daemon.metrics();
+    let plan = Plan::build(&index, &["n".to_string()], &config);
+    let receiver = EmlioReceiver::bind(ReceiverConfig::loopback(1)).unwrap();
+    let result = daemon.serve(&plan, "n", receiver.endpoint());
+    assert!(result.is_err(), "exhausted budget must surface the error");
+    let snap = metrics.snapshot();
+    assert!(snap.io_retries > 0, "budget was spent before giving up");
+    assert!(snap.io_giveups > 0, "giveup must be counted");
+}
+
+#[test]
+fn spill_write_faults_degrade_to_storage_not_corruption() {
+    let dir = TempDir::new("fail-spill-write");
+    build(&dir, 24);
+    let clean_config = EmlioConfig::default()
+        .with_batch_size(4)
+        .with_threads(2)
+        .with_epochs(2);
+    let reference = {
+        let daemon = EmlioDaemon::open("d", dir.path(), clean_config.clone()).unwrap();
+        let plan = Plan::build(daemon.index(), &["n".to_string()], &clean_config);
+        drain(daemon, plan, &clean_config)
+    };
+
+    // A RAM tier holding only a block or two (samples are ~8 KiB, so a
+    // 4-sample block is ~32 KiB) forces evictions into the disk tier;
+    // every spill write fails by injection, so blocks degrade to absent
+    // and demand re-reads storage — delivery must not change.
+    let config = clean_config.clone().with_cache(
+        CacheConfig::default()
+            .with_ram_bytes(48 << 10)
+            .with_disk_bytes(16 << 20)
+            .with_spill_queue(0),
+    );
+    let injector =
+        FaultInjector::new(FaultPlan::new(3).with_site(site::SPILL_WRITE, FaultSpec::errors(1.0)));
+    let daemon = EmlioDaemon::open("d", dir.path(), config.clone()).unwrap();
+    let cache = daemon.cache().expect("cache enabled").clone();
+    cache.set_fault_injector(injector.clone());
+    let plan = Plan::build(daemon.index(), &["n".to_string()], &config);
+    let delivered = drain(daemon, plan, &config);
+
+    assert_eq!(
+        delivered, reference,
+        "failed spills must not alter delivery"
+    );
+    assert!(
+        cache.stats().snapshot().spill_failures > 0,
+        "injected spill.write faults must hit the real failure branch"
+    );
+    assert!(injector.stats().errors > 0);
 }
